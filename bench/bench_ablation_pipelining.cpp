@@ -1,0 +1,55 @@
+// Ablation for paper Fig. 6 / Sec. V: the effect of pipelined emission.
+//
+// "w/o pipelining" restricts the mapper to the minimal buffer set (one
+// buffer for C1, one pair for C2) even when more exist; "w/ pipelining"
+// software-pipelines over all Nb buffers. The gain comes from (i)
+// overlapping transfers with compute, and (ii) in the inter-row regime,
+// grouping same-row accesses to remove row activations.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "sim/runner.h"
+
+int main() {
+  using namespace nttpim;
+  bench::print_table1_header("Ablation: pipelining (Fig. 6 / Sec. V)");
+
+  const std::size_t sizes[] = {256, 1024, 4096};
+  const std::size_t buffer_counts[] = {2, 4, 6};
+
+  TablePrinter table({"N", "Nb", "cycles w/o", "cycles w/", "speedup",
+                      "ACTs w/o", "ACTs w/", "ACT reduction"});
+  for (const std::size_t n : sizes) {
+    for (const std::size_t nb : buffer_counts) {
+      sim::NttRunConfig config;
+      config.n = n;
+      config.num_buffers = nb;
+
+      config.pipelined = false;
+      const auto off = sim::run_ntt_on_pim(config);
+      config.pipelined = true;
+      const auto on = sim::run_ntt_on_pim(config);
+      if (!off.verified || !on.verified) {
+        std::cerr << "verification FAILED\n";
+        return 1;
+      }
+
+      table.add_row(
+          {std::to_string(n), std::to_string(nb),
+           std::to_string(off.stats.cycles), std::to_string(on.stats.cycles),
+           TablePrinter::num(static_cast<double>(off.stats.cycles) /
+                             static_cast<double>(on.stats.cycles)),
+           std::to_string(off.stats.activations),
+           std::to_string(on.stats.activations),
+           TablePrinter::num(static_cast<double>(off.stats.activations) /
+                             static_cast<double>(on.stats.activations))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nNote: at Nb=2 the pipelined and minimal schedules "
+               "coincide for C2 phases (one buffer pair), so gains appear "
+               "from Nb=4 on; ACT reduction only exists where the inter-row "
+               "regime does (N >= 512).\n";
+  return 0;
+}

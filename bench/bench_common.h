@@ -1,0 +1,25 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <iostream>
+
+#include "dram/config.h"
+
+namespace nttpim::bench {
+
+/// Echo the Table-I architecture parameters every bench runs under, so each
+/// report is self-describing.
+inline void print_table1_header(const char* title) {
+  const dram::DramTiming t = dram::hbm2e_timing();
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  std::cout << "==== " << title << " ====\n"
+            << "Architecture (paper Table I, HBM2E): atom=" << g.atom_bytes
+            << "B, cols/row=" << g.atoms_per_row
+            << ", rows/bank=" << g.rows_per_bank << ", banks=" << g.banks
+            << "\nTiming @" << t.freq_mhz << " MHz (cycles): CL=" << t.cl
+            << " tCCD=" << t.tccd << " tRP=" << t.trp << " tRAS=" << t.tras
+            << " tRCD=" << t.trcd << " tWR=" << t.twr
+            << " | C1=" << t.c1_latency << " C2=" << t.c2_latency << "\n\n";
+}
+
+}  // namespace nttpim::bench

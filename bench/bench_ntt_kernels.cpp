@@ -1,0 +1,199 @@
+// google-benchmark microbenchmarks of the NTT kernel library: the
+// algorithm variants discussed in paper Sec. II.B (Cooley-Tukey vs Pease vs
+// Stockham) and the modular-reduction strategies of the BU datapath
+// (Montgomery vs Barrett vs plain `%`).
+#include <benchmark/benchmark.h>
+
+#include "common/bitutil.h"
+#include "common/random.h"
+#include "ntt/barrett.h"
+#include "ntt/fourstep.h"
+#include "ntt/montgomery.h"
+#include "ntt/params.h"
+#include "ntt/pease.h"
+#include "ntt/poly.h"
+#include "ntt/radix4.h"
+#include "ntt/reference.h"
+#include "ntt/stockham.h"
+
+namespace {
+
+using namespace nttpim;
+
+const ntt::NttParams& params_for(std::size_t n) {
+  static std::map<std::size_t, ntt::NttParams> cache;
+  auto it = cache.find(n);
+  if (it == cache.end())
+    it = cache.emplace(n, ntt::NttParams::create(n)).first;
+  return it->second;
+}
+
+std::vector<std::uint32_t> input_for(std::size_t n, std::uint32_t q) {
+  Rng rng(n);
+  return rng.residues(n, q);
+}
+
+void BM_NttCooleyTukey(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& p = params_for(n);
+  const auto input = input_for(n, p.q());
+  for (auto _ : state) {
+    auto a = input;
+    bit_reverse_permute(a);
+    ntt::ntt_dit_bitrev_to_natural(a, p);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+
+void BM_NttGentlemanSande(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& p = params_for(n);
+  const auto input = input_for(n, p.q());
+  for (auto _ : state) {
+    auto a = input;
+    ntt::ntt_dif_natural_to_bitrev(a, p);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+
+void BM_NttPease(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& p = params_for(n);
+  const auto input = input_for(n, p.q());
+  for (auto _ : state) {
+    auto out = ntt::ntt_pease_natural_to_bitrev(input, p);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_NttStockham(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& p = params_for(n);
+  const auto input = input_for(n, p.q());
+  for (auto _ : state) {
+    auto out = ntt::ntt_stockham(input, p);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_NttRadix4(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& p = params_for(n);
+  const auto input = input_for(n, p.q());
+  for (auto _ : state) {
+    auto out = ntt::ntt_radix4(input, p);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_NttFourStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& p = params_for(n);
+  const auto input = input_for(n, p.q());
+  for (auto _ : state) {
+    auto out = ntt::ntt_four_step(input, p);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+
+void BM_NttPlainMod(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& p = params_for(n);
+  const auto input = input_for(n, p.q());
+  for (auto _ : state) {
+    auto a = input;
+    ntt::forward_ntt_plain_mod(a, p.q(), p.omega());
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+
+void BM_NttMontgomeryCpu(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& p = params_for(n);
+  const auto input = input_for(n, p.q());
+  for (auto _ : state) {
+    auto a = input;
+    ntt::forward_ntt_montgomery(a, p);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+
+void BM_ReduceMontgomery(benchmark::State& state) {
+  const std::uint32_t q = 998244353;
+  const ntt::Montgomery32 mont(q);
+  Rng rng(1);
+  std::vector<std::uint32_t> xs(1024), ys(1024);
+  for (auto& x : xs) x = rng.next_mod(q);
+  for (auto& y : ys) y = rng.next_mod(q);
+  for (auto _ : state) {
+    std::uint32_t acc = 1;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      acc ^= mont.mul(xs[i], ys[i]);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+
+void BM_ReduceBarrett(benchmark::State& state) {
+  const std::uint32_t q = 998244353;
+  const ntt::Barrett32 barrett(q);
+  Rng rng(2);
+  std::vector<std::uint32_t> xs(1024), ys(1024);
+  for (auto& x : xs) x = rng.next_mod(q);
+  for (auto& y : ys) y = rng.next_mod(q);
+  for (auto _ : state) {
+    std::uint32_t acc = 1;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      acc ^= barrett.mul(xs[i], ys[i]);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+
+void BM_ReducePlainMod(benchmark::State& state) {
+  const std::uint32_t q = 998244353;
+  Rng rng(3);
+  std::vector<std::uint32_t> xs(1024), ys(1024);
+  for (auto& x : xs) x = rng.next_mod(q);
+  for (auto& y : ys) y = rng.next_mod(q);
+  for (auto _ : state) {
+    std::uint32_t acc = 1;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      acc ^= static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(xs[i]) * ys[i] % q);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+
+void BM_PolymulNttVsSchoolbook(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& p = params_for(n);
+  const auto a = input_for(n, p.q());
+  const auto b = input_for(n, p.q() - 1);
+  for (auto _ : state) {
+    auto c = ntt::negacyclic_convolution_ntt(a, b, p);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_NttCooleyTukey)->RangeMultiplier(4)->Range(256, 8192);
+BENCHMARK(BM_NttGentlemanSande)->RangeMultiplier(4)->Range(256, 8192);
+BENCHMARK(BM_NttPease)->RangeMultiplier(4)->Range(256, 4096);
+BENCHMARK(BM_NttStockham)->RangeMultiplier(4)->Range(256, 8192);
+BENCHMARK(BM_NttRadix4)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_NttFourStep)->RangeMultiplier(4)->Range(256, 8192);
+BENCHMARK(BM_NttPlainMod)->RangeMultiplier(4)->Range(256, 8192);
+BENCHMARK(BM_NttMontgomeryCpu)->RangeMultiplier(4)->Range(256, 8192);
+BENCHMARK(BM_ReduceMontgomery);
+BENCHMARK(BM_ReduceBarrett);
+BENCHMARK(BM_ReducePlainMod);
+BENCHMARK(BM_PolymulNttVsSchoolbook)->Arg(256)->Arg(1024);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Regenerates paper Table II: PIM area overhead vs a DRAM bank and Newton.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "model/area.h"
+
+int main() {
+  using namespace nttpim;
+  bench::print_table1_header("Table II: PIM Area Overhead");
+
+  const model::AreaModel area;
+  TablePrinter table({"Architecture", "Nb", "Area (mm^2)", "% of bank",
+                      "paper (mm^2)", "paper (%)"});
+  table.add_row({"A DRAM bank", "-", TablePrinter::num(area.bank_area(), 4),
+                 "-", "4.2208", "-"});
+  table.add_row({"Newton", "-", TablePrinter::num(area.newton_area(), 4),
+                 TablePrinter::num(area.newton_area() / area.bank_area() *
+                                       100.0, 3),
+                 "0.0474", "1.123"});
+
+  const struct {
+    std::size_t nb;
+    const char* paper_area;
+    const char* paper_pct;
+  } rows[] = {{1, "0.0213", "0.504"},
+              {2, "0.0232", "0.550"},
+              {4, "0.0263", "0.624"},
+              {6, "0.0285", "0.676"}};
+  for (const auto& row : rows) {
+    const auto a = area.nttpim_area(row.nb);
+    table.add_row({"NTT-PIM", std::to_string(row.nb),
+                   TablePrinter::num(a.total_mm2, 4),
+                   TablePrinter::num(a.percent_of_bank, 3), row.paper_area,
+                   row.paper_pct});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nComponent breakdown (Nb = 4):\n";
+  const auto b = area.nttpim_area(4);
+  TablePrinter parts({"Component", "Area (mm^2)"});
+  parts.add_row({"ModMult (Montgomery, 32b)", TablePrinter::num(b.modmult_mm2, 4)});
+  parts.add_row({"2x ModAdd/Sub", TablePrinter::num(b.modaddsub_mm2, 4)});
+  parts.add_row({"TFG", TablePrinter::num(b.tfg_mm2, 4)});
+  parts.add_row({"LSU + control + crossbar", TablePrinter::num(b.lsu_ctrl_mm2, 4)});
+  parts.add_row({"Secondary atom buffers", TablePrinter::num(b.buffers_mm2, 4)});
+  parts.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Regenerates paper Table III: comparison with previous PIM-based NTT
+// accelerators (MeNTT, CryptoPIM), x86 and FPGA, in latency and energy.
+//
+// Our NTT-PIM rows are simulated; the related-work rows are the numbers
+// quoted in the paper (no hardware exists to re-run); x86 is additionally
+// measured on this host. Units are us / uJ (see model/baselines.h for the
+// unit note on the paper's column headers).
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "model/baselines.h"
+#include "model/cpu_baseline.h"
+#include "sim/runner.h"
+
+int main() {
+  using namespace nttpim;
+  bench::print_table1_header("Table III: Comparison with previous work");
+
+  const std::size_t sizes[] = {256, 512, 1024, 2048, 4096};
+  const std::size_t buffer_counts[] = {2, 4, 6};
+
+  // Simulate our design once per (N, Nb).
+  double sim_us[5][3];
+  double sim_uj[5][3];
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      sim::NttRunConfig config;
+      config.n = sizes[i];
+      config.num_buffers = buffer_counts[j];
+      const auto result = sim::run_ntt_on_pim(config);
+      if (!result.verified) {
+        std::cerr << "verification FAILED\n";
+        return 1;
+      }
+      sim_us[i][j] = result.latency_us;
+      sim_uj[i][j] = result.energy_nj / 1e3;
+    }
+  }
+
+  std::cout << "Latency (us):\n";
+  TablePrinter lat({"N", "ours Nb=2", "ours Nb=4", "ours Nb=6", "MeNTT",
+                    "CryptoPIM", "x86 paper", "x86 here", "FPGA",
+                    "paper Nb=2"});
+  for (int i = 0; i < 5; ++i) {
+    const auto& designs = model::table3_designs();
+    const auto fmt = [&](const std::optional<double>& v) {
+      return v ? TablePrinter::num(*v) : std::string("-");
+    };
+    lat.add_row({std::to_string(sizes[i]), TablePrinter::num(sim_us[i][0]),
+                 TablePrinter::num(sim_us[i][1]),
+                 TablePrinter::num(sim_us[i][2]),
+                 fmt(designs[0].latency_at(sizes[i])),
+                 fmt(designs[1].latency_at(sizes[i])),
+                 fmt(designs[2].latency_at(sizes[i])),
+                 TablePrinter::num(
+                     model::measure_cpu_plain(sizes[i]).latency_us),
+                 fmt(designs[3].latency_at(sizes[i])),
+                 fmt(model::paper_nttpim(2).latency_at(sizes[i]))});
+  }
+  lat.print(std::cout);
+
+  std::cout << "\nEnergy (uJ):\n";
+  TablePrinter energy({"N", "ours Nb=2", "ours Nb=4", "MeNTT", "CryptoPIM",
+                       "x86 paper", "x86 here", "FPGA", "paper Nb=2"});
+  for (int i = 0; i < 5; ++i) {
+    const auto& designs = model::table3_designs();
+    const auto fmt = [&](const std::optional<double>& v) {
+      return v ? TablePrinter::num(*v) : std::string("-");
+    };
+    energy.add_row(
+        {std::to_string(sizes[i]), TablePrinter::num(sim_uj[i][0]),
+         TablePrinter::num(sim_uj[i][1]), fmt(designs[0].energy_at(sizes[i])),
+         fmt(designs[1].energy_at(sizes[i])),
+         fmt(designs[2].energy_at(sizes[i])),
+         TablePrinter::num(model::measure_cpu_plain(sizes[i]).energy_uj),
+         fmt(designs[3].energy_at(sizes[i])),
+         fmt(model::paper_nttpim(2).energy_at(sizes[i]))});
+  }
+  energy.print(std::cout);
+
+  std::cout << "\nSpeedup of ours (Nb=6) over related work (from reported "
+               "latencies):\n";
+  TablePrinter speedup({"N", "vs MeNTT", "vs CryptoPIM", "vs x86 paper",
+                        "vs FPGA"});
+  for (int i = 0; i < 5; ++i) {
+    const auto& designs = model::table3_designs();
+    const auto ratio = [&](const std::optional<double>& v) {
+      return v ? TablePrinter::num(*v / sim_us[i][2]) + "x"
+               : std::string("-");
+    };
+    speedup.add_row({std::to_string(sizes[i]),
+                     ratio(designs[0].latency_at(sizes[i])),
+                     ratio(designs[1].latency_at(sizes[i])),
+                     ratio(designs[2].latency_at(sizes[i])),
+                     ratio(designs[3].latency_at(sizes[i]))});
+  }
+  speedup.print(std::cout);
+  std::cout << "\nPaper claim: 1.7x ~ 17x over the previous best PIM NTT "
+               "accelerators, with no modulus/length restrictions.\n";
+  return 0;
+}

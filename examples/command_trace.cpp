@@ -1,0 +1,84 @@
+// Prints the NTT dataflow (paper Fig. 3) and an annotated DRAM command
+// trace (paper Figs. 4-5): how the memory controller turns one NTT call
+// into ACT / CU-read / C1 / C2 / CU-write / PARAM sequences across the
+// three mapping regimes.
+#include <iostream>
+#include <map>
+
+#include "common/table.h"
+#include "dram/command.h"
+#include "mapping/mapper.h"
+#include "mapping/trace.h"
+#include "ntt/params.h"
+
+namespace {
+
+void print_dataflow() {
+  std::cout <<
+      "NTT dataflow for N = 8 (Cooley-Tukey DIT, bit-reversed input):\n"
+      "\n"
+      "  x[0] --+--------+--------+--> X[0]     stage:   1     2     3\n"
+      "  x[4] --+w0      |        |--> X[1]     span m:  1     2     4\n"
+      "  x[2] --+--------+w0      |--> X[2]\n"
+      "  x[6] --+w0      +w2      |--> X[3]     butterfly (a, b):\n"
+      "  x[1] --+--------+--------+w0> X[4]       a' = a + w*b\n"
+      "  x[5] --+w0      |        +w1> X[5]       b' = a - w*b\n"
+      "  x[3] --+--------+w0      +w2> X[6]     w stepped by the TFG\n"
+      "  x[7] --+w0      +w2      +w3> X[7]\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nttpim;
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 1024;
+  const std::size_t nb = argc > 2 ? std::stoul(argv[2]) : 4;
+  const std::size_t max_lines = argc > 3 ? std::stoul(argv[3]) : 48;
+
+  print_dataflow();
+
+  const dram::DramGeometry geometry = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(n);
+  mapping::MapperConfig config;
+  config.num_buffers = nb;
+  const mapping::RowCentricMapper mapper(geometry, params, config);
+  const auto mapped = mapper.map(mapping::NttJob{});
+
+  std::cout << "Command trace for N=" << n << ", q=" << params.q()
+            << ", Nb=" << nb << " (" << mapped.trace.size()
+            << " commands; first " << max_lines << " shown):\n\n";
+
+  dram::Regime last = dram::Regime::kNone;
+  std::size_t shown = 0;
+  for (const auto& cmd : mapped.trace) {
+    if (cmd.regime != last) {
+      std::cout << "--- regime: " << dram::to_string(cmd.regime) << " ---\n";
+      last = cmd.regime;
+    }
+    if (shown < max_lines) {
+      std::cout << "  " << dram::describe(cmd) << '\n';
+      ++shown;
+    } else if (shown == max_lines) {
+      std::cout << "  ... (" << mapped.trace.size() - max_lines
+                << " more commands; regime markers continue)\n";
+      shown++;
+    }
+  }
+
+  const auto counts = mapping::count_commands(mapped.trace);
+  std::cout << "\nTrace summary:\n";
+  TablePrinter table({"command", "count"});
+  table.add_row({"ACT", std::to_string(counts.acts)});
+  table.add_row({"PRE", std::to_string(counts.pres)});
+  table.add_row({"CU read", std::to_string(counts.column_reads)});
+  table.add_row({"CU write", std::to_string(counts.column_writes)});
+  table.add_row({"C1", std::to_string(counts.c1_ops)});
+  table.add_row({"C2", std::to_string(counts.c2_ops)});
+  table.add_row({"PARAM", std::to_string(counts.params)});
+  table.print(std::cout);
+
+  std::cout << "\nActivations per regime:\n";
+  for (const auto& [regime, acts] : counts.acts_by_regime)
+    std::cout << "  " << dram::to_string(regime) << ": " << acts << '\n';
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Polynomial multiplication through NTT-PIM — the paper's Eq. (1):
+//   a * b = INTT( NTT(a) ⊙ NTT(b) )
+// with both forward transforms and the inverse transform executed as
+// simulated PIM command traces, and the result checked against the O(N^2)
+// schoolbook product. This is the core FHE primitive the paper targets.
+#include <cstdlib>
+#include <iostream>
+
+#include "common/random.h"
+#include "fhe/pim_backend.h"
+#include "ntt/params.h"
+#include "ntt/poly.h"
+
+int main(int argc, char** argv) {
+  using namespace nttpim;
+  const std::size_t n = argc > 1 ? std::stoul(argv[1]) : 1024;
+
+  const ntt::NttParams params = ntt::NttParams::create(n);
+  Rng rng(2024);
+  const auto a = rng.residues(n, params.q());
+  const auto b = rng.residues(n, params.q());
+
+  std::cout << "Negacyclic polynomial product in Z_" << params.q()
+            << "[X]/(X^" << n << " + 1) via NTT-PIM\n\n";
+
+  // Three transforms on the simulated PIM: NTT(a), NTT(b), INTT(product).
+  fhe::PimBackend pim(/*num_buffers=*/4);
+  auto fa = a;
+  auto fb = b;
+  pim.forward(fa, params);
+  pim.forward(fb, params);
+  auto fc = ntt::pointwise_mul(fa, fb, params.q());
+  pim.inverse(fc, params);
+
+  const auto expected =
+      ntt::negacyclic_convolution_schoolbook(a, b, params.q());
+  const bool ok = fc == expected;
+
+  std::cout << "  transforms on PIM : " << pim.transform_count() << "\n"
+            << "  simulated cycles  : " << pim.total_cycles() << "\n"
+            << "  simulated time    : " << pim.total_us() << " us\n"
+            << "  simulated energy  : " << pim.total_energy_nj() / 1e3
+            << " uJ\n"
+            << "  matches schoolbook: " << (ok ? "YES" : "NO") << "\n";
+
+  if (ok) {
+    std::cout << "\nFirst coefficients of a*b: ";
+    for (int i = 0; i < 6; ++i) std::cout << fc[i] << ' ';
+    std::cout << "...\n";
+  }
+  return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+}

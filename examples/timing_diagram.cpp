@@ -1,0 +1,73 @@
+// Reproduces the paper's Fig. 5/6 timing diagrams from actual simulation:
+// the same NTT run without (Nb=2) and with (Nb=6) pipelining, rendered as
+// ASCII lanes. With more buffers, reads of the next op overlap compute of
+// the current one, and same-row accesses group to remove ACTs.
+//
+// Legend: A=ACT P=PRE F=refresh r=CU-read w=CU-write 1=C1 2=C2 q=PARAM
+//         z=buffer-zero, '#'=overlap within one cell.
+#include <iostream>
+
+#include "common/random.h"
+#include "mapping/mapper.h"
+#include "ntt/params.h"
+#include "pim/host.h"
+#include "sim/engine.h"
+#include "sim/timeline.h"
+
+namespace {
+
+using namespace nttpim;
+
+sim::RunStats run_recorded(std::size_t n, std::size_t nb) {
+  const dram::DramGeometry geometry = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(n);
+  pim::PimDevice device(geometry, nb);
+  Rng rng(1);
+  pim::load_polynomial(device.bank(0), 0, rng.residues(n, params.q()));
+
+  mapping::MapperConfig config;
+  config.num_buffers = nb;
+  const mapping::RowCentricMapper mapper(geometry, params, config);
+  const auto mapped = mapper.map(mapping::NttJob{});
+
+  sim::EngineConfig ec;
+  ec.record_timeline = true;
+  ec.enable_refresh = false;  // keep the diagrams clean
+  return sim::Engine(ec).run(device, mapped.trace);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Intra-atom + intra-row regimes (N = 256, start of run):\n\n";
+  for (const std::size_t nb : {std::size_t{2}, std::size_t{6}}) {
+    const auto stats = run_recorded(256, nb);
+    std::cout << "Nb = " << nb << "  (total " << stats.cycles
+              << " cycles):\n"
+              << sim::render_timeline(stats.timeline,
+                                      {.from_cycle = 0,
+                                       .to_cycle = 720,
+                                       .cycles_per_char = 6})
+              << '\n';
+  }
+
+  std::cout << "Inter-row regime (N = 1024, window inside stage 9):\n\n";
+  for (const std::size_t nb : {std::size_t{2}, std::size_t{6}}) {
+    const auto stats = run_recorded(1024, nb);
+    // The inter-row regime occupies the tail of the run; show a slice.
+    const std::uint64_t from = stats.cycles * 3 / 4;
+    std::cout << "Nb = " << nb << "  (total " << stats.cycles
+              << " cycles):\n"
+              << sim::render_timeline(stats.timeline,
+                                      {.from_cycle = from,
+                                       .to_cycle = from + 1200,
+                                       .cycles_per_char = 10})
+              << '\n';
+  }
+
+  std::cout << "Observation: with Nb=6 the i/o and cu lanes stay dense\n"
+               "(reads for op k+S issue while op k computes) and the row\n"
+               "lane shows fewer A/P pairs per unit time — the two effects\n"
+               "of Sec. V's pipelining optimization.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Lightweight run-time checking for the NTT-PIM library.
+//
+// Two severity levels are provided:
+//  - NTTPIM_CHECK:   precondition / invariant violations that indicate misuse
+//                    of a public API. Always enabled; throws std::logic_error
+//                    so callers (and tests) can observe the failure.
+//  - NTTPIM_EXPECT:  argument validation that throws std::invalid_argument.
+//
+// Throwing (rather than aborting) follows the C++ Core Guidelines (E.2/I.5):
+// errors visible at the interface are reported with exceptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nttpim {
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NTTPIM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+[[noreturn]] inline void throw_expect_failure(const char* expr, const char* file,
+                                              int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invalid argument: (" << expr << ") violated at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace nttpim
+
+#define NTTPIM_CHECK(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::nttpim::detail::throw_check_failure(#expr, __FILE__, __LINE__, "");  \
+  } while (false)
+
+#define NTTPIM_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::nttpim::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                            (msg));                          \
+  } while (false)
+
+#define NTTPIM_EXPECT(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::nttpim::detail::throw_expect_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define NTTPIM_EXPECT_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::nttpim::detail::throw_expect_failure(#expr, __FILE__, __LINE__,      \
+                                             (msg));                         \
+  } while (false)

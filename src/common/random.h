@@ -1,0 +1,78 @@
+// Deterministic pseudo-random generation for tests, benches and examples.
+//
+// A small xoshiro256** implementation seeded via splitmix64 so results are
+// reproducible across platforms and standard-library versions (std::mt19937
+// distributions are not portable across implementations).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nttpim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // splitmix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound) via rejection-free multiply-shift.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // (Lemire's multiply-shift; slight modulo bias is irrelevant for tests.)
+    if (bound == 0) return 0;
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform 32-bit residue modulo q.
+  std::uint32_t next_mod(std::uint32_t q) noexcept {
+    return static_cast<std::uint32_t>(next_below(q));
+  }
+
+  /// Vector of `n` residues mod q.
+  std::vector<std::uint32_t> residues(std::size_t n, std::uint32_t q) {
+    NTTPIM_EXPECT(q != 0);
+    std::vector<std::uint32_t> v(n);
+    for (auto& x : v) x = next_mod(q);
+    return v;
+  }
+
+  /// Uniform signed value in [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace nttpim

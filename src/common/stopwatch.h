@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for host-side baseline measurements.
+#pragma once
+
+#include <chrono>
+
+namespace nttpim {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or last reset().
+  double elapsed_ns() const noexcept {
+    return std::chrono::duration<double, std::nano>(Clock::now() - start_)
+        .count();
+  }
+
+  double elapsed_us() const noexcept { return elapsed_ns() / 1e3; }
+  double elapsed_ms() const noexcept { return elapsed_ns() / 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nttpim

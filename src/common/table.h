@@ -1,0 +1,38 @@
+// ASCII table formatting for benchmark output.
+//
+// The benchmark binaries regenerate the paper's tables/figures as plain-text
+// rows; TablePrinter lines columns up and renders a compact bordered table.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nttpim {
+
+class TablePrinter {
+ public:
+  /// Create a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 2);
+
+  /// Render the table (headers, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Render to a string.
+  std::string to_string() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nttpim

@@ -1,0 +1,118 @@
+#include "dram/command.h"
+
+#include <sstream>
+
+namespace nttpim::dram {
+
+const char* to_string(CmdKind kind) {
+  switch (kind) {
+    case CmdKind::kAct: return "ACT";
+    case CmdKind::kPre: return "PRE";
+    case CmdKind::kRefresh: return "REF";
+    case CmdKind::kCuRead: return "CU_RD";
+    case CmdKind::kCuWrite: return "CU_WR";
+    case CmdKind::kC1: return "C1";
+    case CmdKind::kC2: return "C2";
+    case CmdKind::kParam: return "PARAM";
+    case CmdKind::kBufZero: return "BUF_ZERO";
+    case CmdKind::kScalarRead: return "S_RD";
+    case CmdKind::kScalarWrite: return "S_WR";
+    case CmdKind::kScalarBu: return "S_BU";
+  }
+  return "?";
+}
+
+const char* to_string(ParamReg reg) {
+  switch (reg) {
+    case ParamReg::kModulus: return "q";
+    case ParamReg::kTfgOmega0: return "tfg.omega0";
+    case ParamReg::kTfgStep: return "tfg.step";
+    case ParamReg::kC1Root: return "c1.root";
+  }
+  return "?";
+}
+
+const char* to_string(Regime regime) {
+  switch (regime) {
+    case Regime::kNone: return "-";
+    case Regime::kSetup: return "setup";
+    case Regime::kIntraAtom: return "intra-atom";
+    case Regime::kIntraRow: return "intra-row";
+    case Regime::kInterRow: return "inter-row";
+    case Regime::kScale: return "scale";
+  }
+  return "?";
+}
+
+std::string describe(const Command& cmd) {
+  std::ostringstream os;
+  os << to_string(cmd.kind);
+  switch (cmd.kind) {
+    case CmdKind::kAct:
+      os << " row=" << cmd.row;
+      break;
+    case CmdKind::kPre:
+    case CmdKind::kRefresh:
+      break;
+    case CmdKind::kCuRead:
+      os << " row=" << cmd.row << " atom=" << cmd.atom
+         << " -> buf" << int(cmd.buf);
+      break;
+    case CmdKind::kCuWrite:
+      os << " buf" << int(cmd.buf) << " -> row=" << cmd.row
+         << " atom=" << cmd.atom;
+      break;
+    case CmdKind::kC1:
+      os << " buf" << int(cmd.buf) << " stages=" << int(cmd.stages)
+         << (cmd.tfg_reset ? " [tfg-reset]" : "");
+      break;
+    case CmdKind::kC2:
+      os << " P=buf" << int(cmd.buf) << " S=buf" << int(cmd.buf2)
+         << (cmd.tfg_reset ? " [tfg-reset]" : "");
+      break;
+    case CmdKind::kParam:
+      os << ' ' << to_string(cmd.param_reg) << '=' << cmd.param_value;
+      break;
+    case CmdKind::kBufZero:
+      os << " buf" << int(cmd.buf);
+      break;
+    case CmdKind::kScalarRead:
+      os << " row=" << cmd.row << " atom=" << cmd.atom
+         << " lane=" << int(cmd.lane) << " -> r" << int(cmd.scalar_reg);
+      break;
+    case CmdKind::kScalarWrite:
+      os << " r" << int(cmd.scalar_reg) << " -> row=" << cmd.row
+         << " atom=" << cmd.atom << " lane=" << int(cmd.lane);
+      break;
+    case CmdKind::kScalarBu:
+      os << (cmd.tfg_reset ? " [tfg-reset]" : "");
+      break;
+  }
+  os << "  (" << to_string(cmd.regime) << ')';
+  return os.str();
+}
+
+bool is_column_command(CmdKind kind) {
+  switch (kind) {
+    case CmdKind::kCuRead:
+    case CmdKind::kCuWrite:
+    case CmdKind::kScalarRead:
+    case CmdKind::kScalarWrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_compute_command(CmdKind kind) {
+  switch (kind) {
+    case CmdKind::kC1:
+    case CmdKind::kC2:
+    case CmdKind::kScalarBu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace nttpim::dram

@@ -1,0 +1,49 @@
+#include "dram/config.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nttpim::dram {
+
+namespace {
+
+/// Rescale an analog (ns-fixed) timing given in cycles@from to cycles@to,
+/// rounding up (DRAM controllers must round up to whole cycles).
+unsigned rescale(unsigned cycles, double from_mhz, double to_mhz) {
+  const double ns = static_cast<double>(cycles) * 1e3 / from_mhz;
+  const double scaled = ns * to_mhz / 1e3;
+  const auto up = static_cast<unsigned>(std::ceil(scaled - 1e-9));
+  return up == 0 ? 1 : up;
+}
+
+}  // namespace
+
+DramTiming DramTiming::at_frequency(double mhz) const {
+  NTTPIM_EXPECT_MSG(mhz > 0, "frequency must be positive");
+  DramTiming t = *this;
+  t.freq_mhz = mhz;
+  t.cl = rescale(cl, freq_mhz, mhz);
+  t.cwl = rescale(cwl, freq_mhz, mhz);
+  t.tccd = rescale(tccd, freq_mhz, mhz);
+  t.trp = rescale(trp, freq_mhz, mhz);
+  t.tras = rescale(tras, freq_mhz, mhz);
+  t.trcd = rescale(trcd, freq_mhz, mhz);
+  t.twr = rescale(twr, freq_mhz, mhz);
+  t.burst = rescale(burst, freq_mhz, mhz);
+  t.trefi = rescale(trefi, freq_mhz, mhz);
+  t.trfc = rescale(trfc, freq_mhz, mhz);
+  // CU latencies are cycle-fixed: the logic slows down with the clock.
+  return t;
+}
+
+DramTiming hbm2e_timing() { return DramTiming{}; }
+
+DramGeometry hbm2e_geometry(std::size_t banks) {
+  DramGeometry g;
+  NTTPIM_EXPECT(banks >= 1);
+  g.banks = banks;
+  return g;
+}
+
+}  // namespace nttpim::dram

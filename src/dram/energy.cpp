@@ -1,0 +1,24 @@
+#include "dram/energy.h"
+
+namespace nttpim::dram {
+
+EnergyBreakdown compute_energy(const EnergyParams& params,
+                               const EnergyCounts& counts,
+                               double elapsed_ns) {
+  EnergyBreakdown out;
+  out.activation_nj =
+      static_cast<double>(counts.activations) * params.act_pre_pj / 1e3;
+  out.column_nj =
+      static_cast<double>(counts.column_transfers) * params.column_pj / 1e3;
+  out.compute_nj =
+      static_cast<double>(counts.butterflies) * params.bu_op_pj / 1e3;
+  out.param_nj =
+      static_cast<double>(counts.param_loads) * params.param_pj / 1e3;
+  out.refresh_nj =
+      static_cast<double>(counts.refreshes) * params.refresh_pj / 1e3;
+  // mW * ns = pJ; divide by 1e3 for nJ.
+  out.background_nj = params.background_mw * elapsed_ns / 1e3;
+  return out;
+}
+
+}  // namespace nttpim::dram

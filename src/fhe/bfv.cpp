@@ -1,0 +1,233 @@
+#include "fhe/bfv.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "ntt/modular.h"
+#include "ntt/poly.h"
+#include "ntt/primes.h"
+
+namespace nttpim::fhe {
+
+namespace {
+
+/// Round-to-nearest division of a signed 128-bit value by a positive one.
+std::int64_t round_div(__int128 num, __int128 den) {
+  if (num >= 0) return static_cast<std::int64_t>((num + den / 2) / den);
+  return -static_cast<std::int64_t>((-num + den / 2) / den);
+}
+
+/// Negacyclic convolution of centered-lift integer polynomials (exact, no
+/// modular reduction) — the tensor step of BFV multiplication.
+std::vector<__int128> integer_negacyclic(const std::vector<std::int64_t>& a,
+                                         const std::vector<std::int64_t>& b) {
+  const std::size_t n = a.size();
+  std::vector<__int128> c(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      const __int128 prod = static_cast<__int128>(a[i]) * b[j];
+      const std::size_t k = (i + j) % n;
+      if (i + j < n)
+        c[k] += prod;
+      else
+        c[k] -= prod;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Bfv::Bfv(const BfvParams& params, NttBackend& backend, std::uint64_t seed)
+    : ntt_(params.n,
+           params.q != 0 ? params.q : ntt::find_ntt_prime(params.n, 30)),
+      backend_(&backend),
+      t_(params.t),
+      noise_bound_(params.noise_bound),
+      rng_(seed) {
+  NTTPIM_EXPECT_MSG(t_ >= 2, "plaintext modulus must be >= 2");
+  NTTPIM_EXPECT_MSG(t_ < ntt_.q() / 4, "t must be far smaller than q");
+  delta_ = ntt_.q() / t_;
+  keygen();
+}
+
+void Bfv::keygen() {
+  secret_ = random_ternary();
+  pk_a_ = random_uniform();
+  const Poly e = random_noise();
+  // b = -(a*s + e) mod q.
+  const Poly as = mul_mod_q(pk_a_, secret_);
+  pk_b_.assign(ntt_.n(), 0);
+  const std::uint32_t q = ntt_.q();
+  for (std::size_t i = 0; i < ntt_.n(); ++i)
+    pk_b_[i] = static_cast<std::uint32_t>(
+        ntt::neg_mod(ntt::add_mod(as[i], e[i], q), q));
+  keys_ready_ = true;
+}
+
+Bfv::Poly Bfv::mul_mod_q(const Poly& a, const Poly& b) const {
+  auto fa = a;
+  auto fb = b;
+  backend_->forward(fa, ntt_);
+  backend_->forward(fb, ntt_);
+  auto fc = ntt::pointwise_mul(fa, fb, ntt_.q());
+  backend_->inverse(fc, ntt_);
+  return fc;
+}
+
+Bfv::Poly Bfv::random_ternary() {
+  Poly p(ntt_.n());
+  const std::uint32_t q = ntt_.q();
+  for (auto& x : p) {
+    const std::int64_t v = rng_.next_in(-1, 1);
+    x = static_cast<std::uint32_t>((v + q) % q);
+  }
+  return p;
+}
+
+Bfv::Poly Bfv::random_noise() {
+  Poly p(ntt_.n());
+  const std::uint32_t q = ntt_.q();
+  for (auto& x : p) {
+    const std::int64_t v = rng_.next_in(-noise_bound_, noise_bound_);
+    x = static_cast<std::uint32_t>((v + q) % q);
+  }
+  return p;
+}
+
+Bfv::Poly Bfv::random_uniform() {
+  Poly p(ntt_.n());
+  for (auto& x : p) x = rng_.next_mod(ntt_.q());
+  return p;
+}
+
+std::vector<std::int64_t> Bfv::centered(const Poly& a) const {
+  const std::int64_t q = ntt_.q();
+  std::vector<std::int64_t> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int64_t v = a[i];
+    out[i] = v > q / 2 ? v - q : v;
+  }
+  return out;
+}
+
+BfvCiphertext Bfv::encrypt(const std::vector<std::uint32_t>& message) {
+  NTTPIM_EXPECT(message.size() == ntt_.n());
+  NTTPIM_CHECK(keys_ready_);
+  for (const auto m : message)
+    NTTPIM_EXPECT_MSG(m < t_, "plaintext coefficients must be in [0, t)");
+
+  const Poly u = random_ternary();
+  const Poly e1 = random_noise();
+  const Poly e2 = random_noise();
+  const std::uint32_t q = ntt_.q();
+
+  Poly c0 = mul_mod_q(pk_b_, u);
+  Poly c1 = mul_mod_q(pk_a_, u);
+  for (std::size_t i = 0; i < ntt_.n(); ++i) {
+    const std::uint64_t dm = ntt::mul_mod(delta_, message[i], q);
+    c0[i] = static_cast<std::uint32_t>(
+        ntt::add_mod(ntt::add_mod(c0[i], e1[i], q), dm, q));
+    c1[i] = static_cast<std::uint32_t>(ntt::add_mod(c1[i], e2[i], q));
+  }
+  return BfvCiphertext{{std::move(c0), std::move(c1)}};
+}
+
+Bfv::Poly Bfv::phase(const BfvCiphertext& ct) const {
+  NTTPIM_EXPECT(ct.parts.size() >= 2 && ct.parts.size() <= 3);
+  const std::uint32_t q = ntt_.q();
+  Poly acc = ct.parts[0];
+  const Poly c1s = mul_mod_q(ct.parts[1], secret_);
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    acc[i] = static_cast<std::uint32_t>(ntt::add_mod(acc[i], c1s[i], q));
+  if (ct.parts.size() == 3) {
+    const Poly s2 = mul_mod_q(secret_, secret_);
+    const Poly c2s2 = mul_mod_q(ct.parts[2], s2);
+    for (std::size_t i = 0; i < acc.size(); ++i)
+      acc[i] = static_cast<std::uint32_t>(ntt::add_mod(acc[i], c2s2[i], q));
+  }
+  return acc;
+}
+
+std::vector<std::uint32_t> Bfv::decrypt(const BfvCiphertext& ct) const {
+  NTTPIM_CHECK(keys_ready_);
+  const auto lifted = centered(phase(ct));
+  std::vector<std::uint32_t> out(lifted.size());
+  const std::int64_t t = t_;
+  const std::int64_t q = ntt_.q();
+  for (std::size_t i = 0; i < lifted.size(); ++i) {
+    const std::int64_t r = round_div(static_cast<__int128>(lifted[i]) * t, q);
+    out[i] = static_cast<std::uint32_t>(((r % t) + t) % t);
+  }
+  return out;
+}
+
+BfvCiphertext Bfv::add(const BfvCiphertext& a, const BfvCiphertext& b) const {
+  NTTPIM_EXPECT(a.parts.size() == b.parts.size());
+  const std::uint32_t q = ntt_.q();
+  BfvCiphertext out;
+  out.parts.resize(a.parts.size());
+  for (std::size_t p = 0; p < a.parts.size(); ++p) {
+    out.parts[p].resize(ntt_.n());
+    for (std::size_t i = 0; i < ntt_.n(); ++i)
+      out.parts[p][i] = static_cast<std::uint32_t>(
+          ntt::add_mod(a.parts[p][i], b.parts[p][i], q));
+  }
+  return out;
+}
+
+BfvCiphertext Bfv::multiply(const BfvCiphertext& a,
+                            const BfvCiphertext& b) const {
+  NTTPIM_EXPECT_MSG(a.degree() == 1 && b.degree() == 1,
+                    "multiply expects fresh (degree-1) ciphertexts");
+  // Tensor over the integers on centered lifts, then scale by t/q with
+  // rounding — the textbook BFV multiplication (no relinearization).
+  const auto a0 = centered(a.parts[0]);
+  const auto a1 = centered(a.parts[1]);
+  const auto b0 = centered(b.parts[0]);
+  const auto b1 = centered(b.parts[1]);
+
+  const auto d0 = integer_negacyclic(a0, b0);
+  auto d1 = integer_negacyclic(a0, b1);
+  const auto d1b = integer_negacyclic(a1, b0);
+  for (std::size_t i = 0; i < d1.size(); ++i) d1[i] += d1b[i];
+  const auto d2 = integer_negacyclic(a1, b1);
+
+  const std::int64_t q = ntt_.q();
+  const auto scale = [&](const std::vector<__int128>& d) {
+    Poly out(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      const std::int64_t r = round_div(d[i] * static_cast<__int128>(t_), q);
+      out[i] = static_cast<std::uint32_t>(((r % q) + q) % q);
+    }
+    return out;
+  };
+  return BfvCiphertext{{scale(d0), scale(d1), scale(d2)}};
+}
+
+std::vector<std::uint32_t> Bfv::plaintext_multiply(
+    const std::vector<std::uint32_t>& a,
+    const std::vector<std::uint32_t>& b) const {
+  return ntt::negacyclic_convolution_schoolbook(a, b, t_);
+}
+
+std::uint64_t Bfv::noise_magnitude(const BfvCiphertext& ct,
+                                   const std::vector<std::uint32_t>& m) const {
+  // noise = phase - Delta*m (centered); budget remains while |noise| < q/2t.
+  const std::uint32_t q = ntt_.q();
+  Poly expected(ntt_.n());
+  for (std::size_t i = 0; i < ntt_.n(); ++i)
+    expected[i] = static_cast<std::uint32_t>(ntt::mul_mod(delta_, m[i], q));
+  const auto ph = phase(ct);
+  std::uint64_t worst = 0;
+  for (std::size_t i = 0; i < ntt_.n(); ++i) {
+    const auto diff = static_cast<std::uint32_t>(
+        ntt::sub_mod(ph[i], expected[i], q));
+    const std::uint64_t mag = std::min<std::uint64_t>(diff, q - diff);
+    worst = std::max(worst, mag);
+  }
+  return worst;
+}
+
+}  // namespace nttpim::fhe

@@ -1,0 +1,98 @@
+// A compact educational BFV scheme (Fan–Vercauteren) over R_q.
+//
+// This is the FHE workload that motivates NTT-PIM (paper Sec. I–II): every
+// homomorphic operation is dominated by negacyclic polynomial products,
+// which route through the NttBackend — i.e. optionally through the full
+// simulated PIM. Implemented: key generation, encryption, decryption,
+// homomorphic addition and one tensor-style multiplication (degree-2
+// ciphertext output, decrypted directly with s^2 — relinearization keys are
+// out of scope for this reproduction and not needed by any experiment).
+//
+// Single-prime ciphertext modulus q (NTT-friendly, ~30 bits); plaintext
+// modulus t with Delta = floor(q/t). Noise is uniform in [-B, B]; secrets
+// and encryption randomness are ternary. Parameters are sized for
+// correctness of one multiplication at the depths the examples use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "fhe/pim_backend.h"
+#include "ntt/params.h"
+
+namespace nttpim::fhe {
+
+struct BfvParams {
+  std::size_t n = 256;        ///< ring dimension
+  std::uint32_t q = 0;        ///< ciphertext modulus (0 = auto 30-bit prime)
+  std::uint32_t t = 17;       ///< plaintext modulus
+  std::int64_t noise_bound = 3;  ///< uniform noise amplitude B
+};
+
+/// Ciphertext: a polynomial vector (c0, c1[, c2]) over Z_q.
+struct BfvCiphertext {
+  std::vector<std::vector<std::uint32_t>> parts;
+  std::size_t degree() const noexcept { return parts.size() - 1; }
+};
+
+class Bfv {
+ public:
+  /// `backend` must outlive the scheme object.
+  Bfv(const BfvParams& params, NttBackend& backend, std::uint64_t seed = 7);
+
+  const ntt::NttParams& ntt_params() const noexcept { return ntt_; }
+  std::uint32_t plaintext_modulus() const noexcept { return t_; }
+  std::uint32_t delta() const noexcept { return delta_; }
+
+  /// (Re)generate secret and public keys.
+  void keygen();
+
+  /// Encrypt a plaintext polynomial with coefficients in [0, t).
+  BfvCiphertext encrypt(const std::vector<std::uint32_t>& message);
+
+  /// Decrypt a degree-1 or degree-2 ciphertext.
+  std::vector<std::uint32_t> decrypt(const BfvCiphertext& ct) const;
+
+  /// Homomorphic addition (degrees must match).
+  BfvCiphertext add(const BfvCiphertext& a, const BfvCiphertext& b) const;
+
+  /// Homomorphic multiplication of two degree-1 ciphertexts; returns a
+  /// degree-2 ciphertext (tensor product with t/q rounding).
+  BfvCiphertext multiply(const BfvCiphertext& a,
+                         const BfvCiphertext& b) const;
+
+  /// Plaintext-space product (for test oracles): a*b mod (X^N+1, t).
+  std::vector<std::uint32_t> plaintext_multiply(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b) const;
+
+  /// Infinity-norm of the decryption noise of `ct` given message `m` —
+  /// the remaining noise budget diagnostic used in tests/examples.
+  std::uint64_t noise_magnitude(const BfvCiphertext& ct,
+                                const std::vector<std::uint32_t>& m) const;
+
+ private:
+  using Poly = std::vector<std::uint32_t>;
+
+  Poly mul_mod_q(const Poly& a, const Poly& b) const;
+  Poly random_ternary();
+  Poly random_noise();
+  Poly random_uniform();
+  /// Centered lift of a residue vector to signed representatives.
+  std::vector<std::int64_t> centered(const Poly& a) const;
+  /// Phase c0 + c1 s (+ c2 s^2) mod q.
+  Poly phase(const BfvCiphertext& ct) const;
+
+  ntt::NttParams ntt_;
+  NttBackend* backend_;
+  std::uint32_t t_;
+  std::uint32_t delta_;
+  std::int64_t noise_bound_;
+  mutable Rng rng_;
+  Poly secret_;      // ternary secret key (as residues mod q)
+  Poly pk_b_, pk_a_; // public key pair
+  bool keys_ready_ = false;
+};
+
+}  // namespace nttpim::fhe

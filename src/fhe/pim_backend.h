@@ -1,0 +1,72 @@
+// NTT execution backends for the FHE layer.
+//
+// Ring operations are expressed against the NttBackend interface so the
+// same FHE code can run its transforms either on the host CPU or through
+// the full NTT-PIM stack (host interface -> mapper -> cycle simulator),
+// demonstrating the paper's deployment model: the application issues NTT
+// "write requests" and the PIM executes them in-memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dram/config.h"
+#include "ntt/params.h"
+
+namespace nttpim::fhe {
+
+class NttBackend {
+ public:
+  virtual ~NttBackend() = default;
+
+  /// In-place forward negacyclic NTT, natural order.
+  virtual void forward(std::vector<std::uint32_t>& a,
+                       const ntt::NttParams& params) = 0;
+  /// In-place inverse negacyclic NTT, natural order.
+  virtual void inverse(std::vector<std::uint32_t>& a,
+                       const ntt::NttParams& params) = 0;
+
+  /// Number of transforms executed so far.
+  std::uint64_t transform_count() const noexcept { return transforms_; }
+
+ protected:
+  std::uint64_t transforms_ = 0;
+};
+
+/// Host-CPU reference backend.
+class CpuBackend final : public NttBackend {
+ public:
+  void forward(std::vector<std::uint32_t>& a,
+               const ntt::NttParams& params) override;
+  void inverse(std::vector<std::uint32_t>& a,
+               const ntt::NttParams& params) override;
+};
+
+/// Backend that executes every transform on the simulated NTT-PIM device
+/// and accumulates the simulated cycle/energy cost.
+class PimBackend final : public NttBackend {
+ public:
+  explicit PimBackend(std::size_t num_buffers = 4,
+                      double freq_mhz = 1200.0);
+
+  void forward(std::vector<std::uint32_t>& a,
+               const ntt::NttParams& params) override;
+  void inverse(std::vector<std::uint32_t>& a,
+               const ntt::NttParams& params) override;
+
+  std::uint64_t total_cycles() const noexcept { return cycles_; }
+  double total_energy_nj() const noexcept { return energy_nj_; }
+  double total_us() const;
+
+ private:
+  void transform(std::vector<std::uint32_t>& a, const ntt::NttParams& params,
+                 bool inverse_direction);
+
+  std::size_t num_buffers_;
+  double freq_mhz_;
+  std::uint64_t cycles_ = 0;
+  double energy_nj_ = 0;
+};
+
+}  // namespace nttpim::fhe

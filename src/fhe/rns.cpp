@@ -1,0 +1,86 @@
+#include "fhe/rns.h"
+
+#include "common/check.h"
+#include "ntt/modular.h"
+#include "ntt/primes.h"
+
+namespace nttpim::fhe {
+
+RnsBasis::RnsBasis(std::size_t n, std::size_t limbs, unsigned bits) : n_(n) {
+  NTTPIM_EXPECT_MSG(limbs >= 1 && limbs <= 4,
+                    "1..4 limbs supported (products must fit 128 bits)");
+  const auto primes = ntt::find_ntt_primes(n, bits, limbs);
+  params_.reserve(limbs);
+  for (const auto q : primes) params_.emplace_back(n, q);
+  finalize();
+}
+
+RnsBasis::RnsBasis(std::size_t n, const std::vector<std::uint32_t>& primes)
+    : n_(n) {
+  NTTPIM_EXPECT(primes.size() >= 1 && primes.size() <= 4);
+  params_.reserve(primes.size());
+  for (const auto q : primes) params_.emplace_back(n, q);
+  finalize();
+}
+
+void RnsBasis::finalize() {
+  product_ = 1;
+  for (const auto& p : params_) {
+    for (const auto& other : params_)
+      NTTPIM_EXPECT_MSG(&p == &other || p.q() != other.q(),
+                        "RNS primes must be distinct");
+    product_ *= p.q();
+  }
+  big_m_.resize(params_.size());
+  inv_m_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const std::uint32_t q = params_[i].q();
+    big_m_[i] = product_ / q;
+    const auto m_mod_q = static_cast<std::uint64_t>(big_m_[i] % q);
+    inv_m_[i] = static_cast<std::uint32_t>(ntt::inv_mod(m_mod_q, q));
+  }
+}
+
+const ntt::NttParams& RnsBasis::params(std::size_t limb) const {
+  NTTPIM_EXPECT(limb < params_.size());
+  return params_[limb];
+}
+
+std::uint32_t RnsBasis::prime(std::size_t limb) const {
+  return params(limb).q();
+}
+
+std::vector<std::vector<std::uint32_t>> RnsBasis::to_rns(
+    const std::vector<unsigned __int128>& coeffs) const {
+  std::vector<std::vector<std::uint32_t>> out(limb_count());
+  for (std::size_t i = 0; i < limb_count(); ++i) {
+    out[i].resize(coeffs.size());
+    const std::uint32_t q = params_[i].q();
+    for (std::size_t j = 0; j < coeffs.size(); ++j)
+      out[i][j] = static_cast<std::uint32_t>(coeffs[j] % q);
+  }
+  return out;
+}
+
+std::vector<unsigned __int128> RnsBasis::from_rns(
+    const std::vector<std::vector<std::uint32_t>>& residues) const {
+  NTTPIM_EXPECT(residues.size() == limb_count());
+  const std::size_t count = residues[0].size();
+  for (const auto& limb : residues) NTTPIM_EXPECT(limb.size() == count);
+
+  std::vector<unsigned __int128> out(count, 0);
+  for (std::size_t j = 0; j < count; ++j) {
+    unsigned __int128 acc = 0;
+    for (std::size_t i = 0; i < limb_count(); ++i) {
+      const std::uint32_t q = params_[i].q();
+      // term = (r * y_i mod q_i) * M_i, each term < q_i * M_i = Q < 2^124.
+      const auto scaled = static_cast<std::uint64_t>(
+          ntt::mul_mod(residues[i][j], inv_m_[i], q));
+      acc = (acc + scaled * big_m_[i]) % product_;
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+}  // namespace nttpim::fhe

@@ -1,0 +1,53 @@
+// Residue number system (RNS) over a chain of NTT-friendly primes.
+//
+// FHE implementations decompose a wide ciphertext modulus Q = q1*q2*...*qk
+// into machine-word residues; every limb then runs its own NTT — which is
+// exactly the bank-level parallelism the paper exploits ("running different
+// NTT functions in each bank"). Up to four 31-bit limbs are supported
+// (products fit unsigned __int128).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ntt/params.h"
+
+namespace nttpim::fhe {
+
+class RnsBasis {
+ public:
+  /// Basis with `limbs` distinct NTT-friendly primes of ~`bits` bits for
+  /// ring dimension n.
+  RnsBasis(std::size_t n, std::size_t limbs, unsigned bits = 30);
+
+  /// Basis over explicitly chosen primes.
+  RnsBasis(std::size_t n, const std::vector<std::uint32_t>& primes);
+
+  std::size_t limb_count() const noexcept { return params_.size(); }
+  std::size_t n() const noexcept { return n_; }
+  const ntt::NttParams& params(std::size_t limb) const;
+  std::uint32_t prime(std::size_t limb) const;
+
+  /// Q = product of all limb primes (must fit in 128 bits).
+  unsigned __int128 modulus_product() const noexcept { return product_; }
+
+  /// Decompose coefficients (in [0, Q)) into per-limb residue vectors.
+  std::vector<std::vector<std::uint32_t>> to_rns(
+      const std::vector<unsigned __int128>& coeffs) const;
+
+  /// CRT-reconstruct coefficients in [0, Q) from per-limb residues.
+  std::vector<unsigned __int128> from_rns(
+      const std::vector<std::vector<std::uint32_t>>& residues) const;
+
+ private:
+  void finalize();
+
+  std::size_t n_;
+  std::vector<ntt::NttParams> params_;
+  unsigned __int128 product_ = 1;
+  // CRT precomputation: M_i = Q / q_i and y_i = M_i^{-1} mod q_i.
+  std::vector<unsigned __int128> big_m_;
+  std::vector<std::uint32_t> inv_m_;
+};
+
+}  // namespace nttpim::fhe

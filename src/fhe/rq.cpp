@@ -1,0 +1,101 @@
+#include "fhe/rq.h"
+
+#include "common/check.h"
+#include "ntt/modular.h"
+#include "ntt/poly.h"
+
+namespace nttpim::fhe {
+
+RqPoly::RqPoly(const RnsBasis& basis) : basis_(&basis) {
+  limbs_.resize(basis.limb_count());
+  for (auto& limb : limbs_) limb.assign(basis.n(), 0);
+}
+
+RqPoly RqPoly::from_signed(const RnsBasis& basis,
+                           const std::vector<std::int64_t>& coeffs) {
+  NTTPIM_EXPECT(coeffs.size() == basis.n());
+  RqPoly out(basis);
+  for (std::size_t i = 0; i < basis.limb_count(); ++i) {
+    const std::int64_t q = basis.prime(i);
+    for (std::size_t j = 0; j < coeffs.size(); ++j) {
+      const std::int64_t r = ((coeffs[j] % q) + q) % q;
+      out.limbs_[i][j] = static_cast<std::uint32_t>(r);
+    }
+  }
+  return out;
+}
+
+RqPoly RqPoly::from_wide(const RnsBasis& basis,
+                         const std::vector<unsigned __int128>& coeffs) {
+  NTTPIM_EXPECT(coeffs.size() == basis.n());
+  RqPoly out(basis);
+  out.limbs_ = basis.to_rns(coeffs);
+  return out;
+}
+
+const std::vector<std::uint32_t>& RqPoly::limb(std::size_t i) const {
+  NTTPIM_EXPECT(i < limbs_.size());
+  return limbs_[i];
+}
+
+std::vector<std::uint32_t>& RqPoly::limb(std::size_t i) {
+  NTTPIM_EXPECT(i < limbs_.size());
+  return limbs_[i];
+}
+
+std::vector<unsigned __int128> RqPoly::to_wide() const {
+  return basis_->from_rns(limbs_);
+}
+
+RqPoly RqPoly::operator+(const RqPoly& other) const {
+  NTTPIM_EXPECT(basis_ == other.basis_);
+  RqPoly out(*basis_);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint32_t q = basis_->prime(i);
+    for (std::size_t j = 0; j < limbs_[i].size(); ++j)
+      out.limbs_[i][j] = static_cast<std::uint32_t>(
+          ntt::add_mod(limbs_[i][j], other.limbs_[i][j], q));
+  }
+  return out;
+}
+
+RqPoly RqPoly::operator-(const RqPoly& other) const {
+  NTTPIM_EXPECT(basis_ == other.basis_);
+  RqPoly out(*basis_);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint32_t q = basis_->prime(i);
+    for (std::size_t j = 0; j < limbs_[i].size(); ++j)
+      out.limbs_[i][j] = static_cast<std::uint32_t>(
+          ntt::sub_mod(limbs_[i][j], other.limbs_[i][j], q));
+  }
+  return out;
+}
+
+RqPoly RqPoly::negate() const {
+  RqPoly out(*basis_);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const std::uint32_t q = basis_->prime(i);
+    for (std::size_t j = 0; j < limbs_[i].size(); ++j)
+      out.limbs_[i][j] =
+          static_cast<std::uint32_t>(ntt::neg_mod(limbs_[i][j], q));
+  }
+  return out;
+}
+
+RqPoly RqPoly::multiply(const RqPoly& other, NttBackend& backend) const {
+  NTTPIM_EXPECT(basis_ == other.basis_);
+  RqPoly out(*basis_);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const auto& params = basis_->params(i);
+    auto fa = limbs_[i];
+    auto fb = other.limbs_[i];
+    backend.forward(fa, params);
+    backend.forward(fb, params);
+    auto fc = ntt::pointwise_mul(fa, fb, params.q());
+    backend.inverse(fc, params);
+    out.limbs_[i] = std::move(fc);
+  }
+  return out;
+}
+
+}  // namespace nttpim::fhe

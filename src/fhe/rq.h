@@ -1,0 +1,54 @@
+// Ring elements of R_q = Z_q[X]/(X^N + 1), RNS-decomposed.
+//
+// The paper's target ring (Sec. II.B): polynomials of power-of-two length
+// with negacyclic wraparound. Elements are stored per RNS limb in natural
+// coefficient order; multiplication routes each limb's transforms through
+// an NttBackend (CPU or simulated PIM).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fhe/pim_backend.h"
+#include "fhe/rns.h"
+
+namespace nttpim::fhe {
+
+class RqPoly {
+ public:
+  /// Zero element over `basis` (which must outlive the polynomial).
+  explicit RqPoly(const RnsBasis& basis);
+
+  /// From signed "small" coefficients (secrets/noise), centered lift.
+  static RqPoly from_signed(const RnsBasis& basis,
+                            const std::vector<std::int64_t>& coeffs);
+
+  /// From unsigned wide coefficients in [0, Q).
+  static RqPoly from_wide(const RnsBasis& basis,
+                          const std::vector<unsigned __int128>& coeffs);
+
+  const RnsBasis& basis() const noexcept { return *basis_; }
+  std::size_t n() const noexcept { return basis_->n(); }
+
+  /// Residues of one limb (natural coefficient order).
+  const std::vector<std::uint32_t>& limb(std::size_t i) const;
+  std::vector<std::uint32_t>& limb(std::size_t i);
+
+  /// CRT-reconstructed coefficients in [0, Q).
+  std::vector<unsigned __int128> to_wide() const;
+
+  RqPoly operator+(const RqPoly& other) const;
+  RqPoly operator-(const RqPoly& other) const;
+  RqPoly negate() const;
+
+  /// Negacyclic product; limb transforms run on `backend`.
+  RqPoly multiply(const RqPoly& other, NttBackend& backend) const;
+
+  bool operator==(const RqPoly& other) const = default;
+
+ private:
+  const RnsBasis* basis_;
+  std::vector<std::vector<std::uint32_t>> limbs_;
+};
+
+}  // namespace nttpim::fhe

@@ -1,0 +1,4 @@
+#include "mapping/act_model.h"
+
+// Header-only today; this translation unit pins the header's symbols into
+// the mapping library and is the anchor for future out-of-line additions.

@@ -1,0 +1,49 @@
+#include "mapping/controller.h"
+
+#include "common/check.h"
+#include "ntt/modular.h"
+
+namespace nttpim::mapping {
+
+MemoryController::Response MemoryController::submit(
+    const pim::NttRequest& request) {
+  NTTPIM_EXPECT_MSG(request.n >= 2, "request needs a transform size");
+  NTTPIM_EXPECT_MSG(request.q != 0, "request needs a modulus");
+  NTTPIM_EXPECT(request.bank < geometry_.banks);
+
+  // Derive the full parameter set from (n, q); if the host supplied an
+  // omega, it must be consistent with the derived root order.
+  const ntt::NttParams params(request.n, request.q);
+  if (request.omega != 0) {
+    NTTPIM_EXPECT_MSG(
+        ntt::pow_mod(request.omega, request.n, request.q) == 1,
+        "host-supplied omega is not an n-th root of unity mod q");
+  }
+
+  mapping::MapperConfig config = config_;
+  config.bank = request.bank;
+  const mapping::RowCentricMapper mapper(geometry_, params, config);
+
+  mapping::NttJob job;
+  job.base_row = request.base_row;
+  job.direction = request.inverse ? mapping::Direction::kInverse
+                                  : mapping::Direction::kForward;
+  auto mapped = mapper.map(job);
+
+  Response response;
+  response.bank = request.bank;
+  response.result_base_row = mapped.result_base_row;
+  response.n = request.n;
+  response.first_command = trace_.size();
+  response.command_count = mapped.trace.size();
+  trace_.insert(trace_.end(), mapped.trace.begin(), mapped.trace.end());
+  responses_.push_back(response);
+  return response;
+}
+
+void MemoryController::clear() {
+  trace_.clear();
+  responses_.clear();
+}
+
+}  // namespace nttpim::mapping

@@ -1,0 +1,62 @@
+// Memory-controller front end (paper Fig. 1 and Sec. IV.A).
+//
+// Software invokes the NTT as a *write request* whose payload is the
+// parameter set (N, q, address, direction); the input polynomial is already
+// resident in memory. The controller resolves each request's NTT parameters
+// (deriving roots of unity from q), runs the row-centric mapping, and
+// appends the resulting command sequence to its pending trace. Multiple
+// requests — to the same bank back-to-back or to different banks — may be
+// queued before executing; per-request PARAM prologues re-configure the CU
+// between calls, so moduli can change on every request (the flexibility the
+// paper highlights over MeNTT/CryptoPIM).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/config.h"
+#include "mapping/mapper.h"
+#include "mapping/trace.h"
+#include "ntt/params.h"
+#include "pim/host.h"
+
+namespace nttpim::mapping {
+
+class MemoryController {
+ public:
+  MemoryController(const dram::DramGeometry& geometry,
+                   mapping::MapperConfig config)
+      : geometry_(geometry), config_(config) {}
+
+  struct Response {
+    std::uint16_t bank = 0;
+    std::uint32_t result_base_row = 0;
+    std::size_t n = 0;
+    std::size_t first_command = 0;  ///< offsets into the pending trace
+    std::size_t command_count = 0;
+  };
+
+  /// Queue one NTT request; returns the response descriptor the host will
+  /// use to locate the result after execution.
+  Response submit(const pim::NttRequest& request);
+
+  /// All queued commands, in submission order (per bank).
+  const std::vector<dram::Command>& pending_trace() const noexcept {
+    return trace_;
+  }
+
+  const std::vector<Response>& responses() const noexcept {
+    return responses_;
+  }
+
+  /// Drop all queued commands and responses.
+  void clear();
+
+ private:
+  dram::DramGeometry geometry_;
+  mapping::MapperConfig config_;
+  std::vector<dram::Command> trace_;
+  std::vector<Response> responses_;
+};
+
+}  // namespace nttpim::mapping

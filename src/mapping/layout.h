@@ -1,0 +1,87 @@
+// Physical placement of a polynomial inside a bank.
+//
+// A length-N polynomial (already bit-reversed by the host) occupies
+// consecutive words starting at a row-aligned base. Word index i (relative
+// to the polynomial) lives at:
+//   row  = base_row + i / words_per_row
+//   atom = (i mod words_per_row) / words_per_atom
+//   lane = i mod words_per_atom
+// DIT stage s pairs words (i, i + 2^(s-1)); for spans >= one atom the two
+// words share their lane, which is what makes the Na-way vectorized C2
+// butterfly line up (paper Sec. IV.B).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "dram/config.h"
+
+namespace nttpim::mapping {
+
+struct WordPlace {
+  std::uint32_t row;
+  std::uint16_t atom;
+  std::uint8_t lane;
+};
+
+class DataLayout {
+ public:
+  DataLayout(const dram::DramGeometry& geometry, std::uint32_t base_row,
+             std::size_t n)
+      : geometry_(&geometry), base_row_(base_row), n_(n) {
+    NTTPIM_EXPECT(is_pow2(n) && n >= 2);
+    NTTPIM_EXPECT_MSG(base_row + rows_used() <= geometry.rows_per_bank,
+                      "polynomial does not fit in the bank");
+  }
+
+  const dram::DramGeometry& geometry() const noexcept { return *geometry_; }
+  std::uint32_t base_row() const noexcept { return base_row_; }
+  std::size_t n() const noexcept { return n_; }
+  unsigned log2n() const noexcept { return exact_log2(n_); }
+
+  std::size_t words_per_row() const noexcept {
+    return geometry_->words_per_row();
+  }
+  std::size_t words_per_atom() const noexcept {
+    return geometry_->words_per_atom();
+  }
+
+  /// Number of (possibly partially used) rows the polynomial occupies.
+  std::uint32_t rows_used() const noexcept {
+    return static_cast<std::uint32_t>(div_ceil(n_, words_per_row()));
+  }
+
+  /// Atoms used within row `row_index` (relative row; all but a trailing
+  /// partial row use every atom the polynomial covers).
+  std::uint32_t atoms_in_row(std::uint32_t row_index) const {
+    NTTPIM_EXPECT(row_index < rows_used());
+    const std::size_t remaining = n_ - std::size_t{row_index} * words_per_row();
+    const std::size_t words = std::min(remaining, words_per_row());
+    return static_cast<std::uint32_t>(div_ceil(words, words_per_atom()));
+  }
+
+  WordPlace place(std::size_t word_index) const {
+    NTTPIM_EXPECT(word_index < n_);
+    const std::size_t wpr = words_per_row();
+    const std::size_t wpa = words_per_atom();
+    return WordPlace{
+        .row = base_row_ + static_cast<std::uint32_t>(word_index / wpr),
+        .atom = static_cast<std::uint16_t>((word_index % wpr) / wpa),
+        .lane = static_cast<std::uint8_t>(word_index % wpa),
+    };
+  }
+
+  /// Word index of (relative row, atom, lane 0).
+  std::size_t word_of(std::uint32_t rel_row, std::uint32_t atom) const {
+    return std::size_t{rel_row} * words_per_row() +
+           std::size_t{atom} * words_per_atom();
+  }
+
+ private:
+  const dram::DramGeometry* geometry_;
+  std::uint32_t base_row_;
+  std::size_t n_;
+};
+
+}  // namespace nttpim::mapping

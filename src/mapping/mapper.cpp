@@ -1,0 +1,537 @@
+#include "mapping/mapper.h"
+
+#include <optional>
+
+#include "common/check.h"
+#include "ntt/modular.h"
+#include "pim/buffer.h"
+
+namespace nttpim::mapping {
+
+using dram::CmdKind;
+using dram::Command;
+using dram::ParamReg;
+using dram::Regime;
+
+std::size_t c2_slots(const MapperConfig& config) {
+  if (!config.pipelined) return 1;
+  return std::max<std::size_t>(1, config.num_buffers / 2);
+}
+
+std::size_t c1_slots(const MapperConfig& config) {
+  if (!config.pipelined) return 1;
+  return std::max<std::size_t>(1, config.num_buffers);
+}
+
+unsigned writeback_delay(std::size_t slots) { return slots >= 3 ? 1 : 0; }
+
+namespace {
+
+/// One CU operation plus its buffer traffic; all accesses hit the row that
+/// is open when the op is emitted (the builder switches rows around calls).
+struct CuOp {
+  bool is_c2 = true;
+  bool zero_p = false;     ///< clear the P-side buffer first (scale pass)
+  bool tfg_reset = false;  ///< reset bit on the compute command
+  std::uint8_t stages = 3; ///< C1 stage count
+  std::uint32_t row = 0;
+  std::uint16_t atom_a = 0;  ///< C1 atom / C2 P-side atom
+  std::uint16_t atom_b = 0;  ///< C2 S-side atom
+  bool read_a = true;
+  bool read_b = true;
+  bool write_a = true;
+  bool write_b = true;
+};
+
+enum class SlotMode { kSingleBuffer, kBufferPair };
+
+class Builder {
+ public:
+  Builder(const dram::DramGeometry& geometry, const ntt::NttParams& params,
+          const MapperConfig& config, const NttJob& job)
+      : geometry_(geometry),
+        params_(params),
+        config_(config),
+        job_(job),
+        layout_(geometry, job.base_row, params.n()),
+        q_(params.q()),
+        twiddle_base_(job.direction == Direction::kForward
+                          ? params.omega()
+                          : params.omega_inv()) {
+    NTTPIM_EXPECT_MSG(geometry.words_per_atom() == pim::kAtomWords,
+                      "CU datapath requires 8-word atoms");
+    log_n_ = layout_.log2n();
+    log_wpa_ = exact_log2(geometry.words_per_atom());
+    log_wpr_ = exact_log2(geometry.words_per_row());
+    cur_base_ = job.base_row;
+    if (!config_.in_place) {
+      shadow_base_ = job.base_row + layout_.rows_used();
+      NTTPIM_EXPECT_MSG(
+          shadow_base_ + layout_.rows_used() <= geometry.rows_per_bank,
+          "shadow region for the no-in-place ablation does not fit");
+    }
+    if (has_inter_atom_stages()) {
+      NTTPIM_EXPECT_MSG(config_.num_buffers >= 2,
+                        "inter-atom stages need Nb >= 2 "
+                        "(use NaiveMapper for the single-buffer fallback)");
+    }
+  }
+
+  MappedNtt build() {
+    emit_setup();
+    if (config_.row_centric)
+      emit_row_blocks();
+    else
+      emit_stage_major_blocks();
+    for (unsigned s = log_wpr_ + 1; s <= log_n_; ++s) emit_inter_row_stage(s);
+    if (job_.direction == Direction::kInverse && job_.scale_output)
+      emit_scale_pass();
+    // Leave the bank precharged: the NTT call is complete (the MC sends the
+    // write response), and traces of consecutive requests concatenate.
+    if (open_row_.has_value()) emit({.kind = CmdKind::kPre});
+    MappedNtt out;
+    out.trace = std::move(trace_);
+    out.result_base_row = cur_base_;
+    return out;
+  }
+
+ private:
+  bool has_inter_atom_stages() const { return log_n_ > log_wpa_; }
+
+  unsigned c1_stage_count() const {
+    return std::min(log_n_, log_wpa_);
+  }
+
+  // ------------------------------------------------------------- emission
+
+  void emit(Command cmd) {
+    cmd.bank = config_.bank;
+    cmd.regime = regime_;
+    trace_.push_back(cmd);
+  }
+
+  /// Open `row`, precharging first if another row is open.
+  void set_row(std::uint32_t row) {
+    if (open_row_ == row) return;
+    if (open_row_.has_value()) emit({.kind = CmdKind::kPre});
+    emit({.kind = CmdKind::kAct, .row = row});
+    open_row_ = row;
+  }
+
+  void param(ParamReg reg, std::uint32_t value) {
+    emit({.kind = CmdKind::kParam, .param_reg = reg, .param_value = value});
+  }
+
+  /// Deduplicated TFG parameter loads.
+  void tfg_params(std::uint32_t omega0, std::uint32_t step) {
+    if (cached_omega0_ != omega0) {
+      param(ParamReg::kTfgOmega0, omega0);
+      cached_omega0_ = omega0;
+    }
+    if (cached_step_ != step) {
+      param(ParamReg::kTfgStep, step);
+      cached_step_ = step;
+    }
+  }
+
+  std::uint32_t base_pow(std::uint64_t e) const {
+    return static_cast<std::uint32_t>(ntt::pow_mod(twiddle_base_, e, q_));
+  }
+
+  /// Twiddle step w_s = base^(N / 2^s) of DIT stage s.
+  std::uint32_t stage_step(unsigned s) const {
+    return base_pow(params_.n() >> s);
+  }
+
+  void emit_setup() {
+    regime_ = Regime::kSetup;
+    param(ParamReg::kModulus, q_);
+    const unsigned c1s = c1_stage_count();
+    // C1's twiddle logic needs a root of order 2^c1s.
+    param(ParamReg::kC1Root, base_pow(params_.n() >> c1s));
+  }
+
+  // ------------------------------------------- software-pipelined emission
+
+  void emit_ops(const std::vector<CuOp>& ops, SlotMode mode) {
+    const std::size_t slots =
+        mode == SlotMode::kSingleBuffer ? c1_slots(config_) : c2_slots(config_);
+    const unsigned delay = writeback_delay(slots);
+    const std::size_t n = ops.size();
+
+    const auto p_buf = [&](std::size_t k) -> std::uint8_t {
+      const std::size_t slot = k % slots;
+      return static_cast<std::uint8_t>(
+          mode == SlotMode::kSingleBuffer ? slot : 2 * slot);
+    };
+    const auto s_buf = [&](std::size_t k) -> std::uint8_t {
+      NTTPIM_CHECK(mode == SlotMode::kBufferPair);
+      return static_cast<std::uint8_t>(2 * (k % slots) + 1);
+    };
+
+    const auto reads = [&](std::size_t k) {
+      if (k >= n) return;
+      const CuOp& op = ops[k];
+      NTTPIM_CHECK_MSG(open_row_ == op.row,
+                       "pipelined op targets a row that is not open");
+      if (op.zero_p) emit({.kind = CmdKind::kBufZero, .buf = p_buf(k)});
+      if (op.read_a)
+        emit({.kind = CmdKind::kCuRead,
+              .row = op.row,
+              .atom = op.atom_a,
+              .buf = p_buf(k)});
+      if (op.read_b)
+        emit({.kind = CmdKind::kCuRead,
+              .row = op.row,
+              .atom = op.atom_b,
+              .buf = s_buf(k)});
+    };
+    const auto compute = [&](std::size_t k) {
+      const CuOp& op = ops[k];
+      if (op.is_c2) {
+        emit({.kind = CmdKind::kC2,
+              .buf = p_buf(k),
+              .buf2 = s_buf(k),
+              .tfg_reset = op.tfg_reset});
+      } else {
+        emit({.kind = CmdKind::kC1, .buf = p_buf(k), .stages = op.stages});
+      }
+    };
+    const auto writes = [&](std::size_t k) {
+      if (k >= n) return;
+      const CuOp& op = ops[k];
+      if (op.write_a)
+        emit({.kind = CmdKind::kCuWrite,
+              .row = op.row,
+              .atom = op.atom_a,
+              .buf = p_buf(k)});
+      if (op.write_b)
+        emit({.kind = CmdKind::kCuWrite,
+              .row = op.row,
+              .atom = op.atom_b,
+              .buf = s_buf(k)});
+    };
+
+    // Prologue: prime the first slots.
+    for (std::size_t k = 0; k + delay < slots && k < n; ++k) reads(k);
+    // Steady state: compute op k, drain op k-delay, refill its slot for
+    // op k+slots-delay.
+    for (std::size_t k = 0; k < n; ++k) {
+      compute(k);
+      if (k >= delay) writes(k - delay);
+      reads(k + slots - delay);
+    }
+    // Epilogue: drain the delayed tail.
+    for (std::size_t k = n; k < n + delay; ++k)
+      if (k >= delay) writes(k - delay);
+  }
+
+  // --------------------------------------------------- row-block regime(s)
+
+  /// Stages 1..log R, processed one row at a time (vertical partitioning).
+  ///
+  /// With the no-in-place ablation, each row's data ping-pongs between the
+  /// two regions per stage. The alternation is tracked with row-local
+  /// src/dst bases so every row sees the identical sequence; the global
+  /// region swap happens once, after all rows finished an (identical) odd
+  /// or even number of out-of-place stages.
+  void emit_row_blocks() {
+    const std::uint32_t region_a = cur_base_;
+    const std::uint32_t region_b = shadow_base_;
+    const unsigned last = std::min(log_n_, log_wpr_);
+    const unsigned ping_pong_stages =
+        last > log_wpa_ ? last - log_wpa_ : 0;
+
+    for (std::uint32_t r = 0; r < layout_.rows_used(); ++r) {
+      // Intra-atom: C1 per atom, always in place within region A.
+      regime_ = Regime::kIntraAtom;
+      set_row(region_a + r);
+      const unsigned c1s = c1_stage_count();
+      std::vector<CuOp> ops;
+      ops.reserve(layout_.atoms_in_row(r));
+      for (std::uint32_t a = 0; a < layout_.atoms_in_row(r); ++a) {
+        ops.push_back(CuOp{.is_c2 = false,
+                           .stages = static_cast<std::uint8_t>(c1s),
+                           .row = region_a + r,
+                           .atom_a = static_cast<std::uint16_t>(a),
+                           .read_b = false,
+                           .write_b = false});
+      }
+      emit_ops(ops, SlotMode::kSingleBuffer);
+
+      // Intra-row: C2 on atom pairs within this row.
+      regime_ = Regime::kIntraRow;
+      std::uint32_t src_base = region_a;
+      std::uint32_t dst_base = region_b;
+      for (unsigned s = log_wpa_ + 1; s <= last; ++s) {
+        emit_intra_row_stage(r, s, src_base,
+                             config_.in_place ? src_base : dst_base);
+        if (!config_.in_place) std::swap(src_base, dst_base);
+      }
+    }
+
+    if (!config_.in_place && ping_pong_stages % 2 == 1) swap_regions();
+  }
+
+  /// Stage-wise ("horizontal") division of the first log R stages — the
+  /// strawman the paper's vertical row blocks beat: each stage sweeps all
+  /// rows, so every row is re-activated once per stage instead of once
+  /// total. Used for the mapping-ablation bench; supports in-place only.
+  void emit_stage_major_blocks() {
+    NTTPIM_EXPECT_MSG(config_.in_place,
+                      "stage-major ablation supports in-place mapping only");
+    const unsigned c1s = c1_stage_count();
+    regime_ = Regime::kIntraAtom;
+    for (std::uint32_t r = 0; r < layout_.rows_used(); ++r) {
+      set_row(cur_base_ + r);
+      std::vector<CuOp> ops;
+      ops.reserve(layout_.atoms_in_row(r));
+      for (std::uint32_t a = 0; a < layout_.atoms_in_row(r); ++a) {
+        ops.push_back(CuOp{.is_c2 = false,
+                           .stages = static_cast<std::uint8_t>(c1s),
+                           .row = cur_base_ + r,
+                           .atom_a = static_cast<std::uint16_t>(a),
+                           .read_b = false,
+                           .write_b = false});
+      }
+      emit_ops(ops, SlotMode::kSingleBuffer);
+    }
+    // Horizontal: one full row sweep per stage.
+    regime_ = Regime::kIntraRow;
+    const unsigned last = std::min(log_n_, log_wpr_);
+    for (unsigned s = log_wpa_ + 1; s <= last; ++s)
+      for (std::uint32_t r = 0; r < layout_.rows_used(); ++r)
+        emit_intra_row_stage(r, s, cur_base_, cur_base_);
+  }
+
+  void emit_intra_row_stage(std::uint32_t rel_row, unsigned s,
+                            std::uint32_t src_base, std::uint32_t dst_base) {
+    const std::size_t m = std::size_t{1} << (s - 1);         // span in words
+    const std::size_t da = m >> log_wpa_;                    // span in atoms
+    const std::uint32_t atoms = layout_.atoms_in_row(rel_row);
+    NTTPIM_CHECK(atoms % (2 * da) == 0);
+
+    tfg_params(/*omega0=*/1, stage_step(s));
+
+    const std::uint32_t src_row = src_base + rel_row;
+    std::vector<CuOp> ops;
+    ops.reserve(atoms / 2);
+    for (std::size_t g = 0; g < atoms / (2 * da); ++g) {
+      for (std::size_t t = 0; t < da; ++t) {
+        const auto a = static_cast<std::uint16_t>(g * 2 * da + t);
+        ops.push_back(CuOp{.tfg_reset = (t == 0),
+                           .row = src_row,
+                           .atom_a = a,
+                           .atom_b = static_cast<std::uint16_t>(a + da)});
+      }
+    }
+
+    if (src_base == dst_base) {
+      set_row(src_row);
+      emit_ops(ops, SlotMode::kBufferPair);
+    } else {
+      emit_ping_pong_rounds(ops, src_row, dst_base + rel_row);
+    }
+  }
+
+  // ------------------------------------------------------ inter-row regime
+
+  void emit_inter_row_stage(unsigned s) {
+    regime_ = Regime::kInterRow;
+    const std::size_t wpr = geometry_.words_per_row();
+    const std::size_t m = std::size_t{1} << (s - 1);
+    const std::uint32_t dr = static_cast<std::uint32_t>(m / wpr);
+    const std::uint32_t rows = layout_.rows_used();
+    NTTPIM_CHECK(dr >= 1 && rows % (2 * dr) == 0);
+
+    tfg_params(/*omega0=*/1, stage_step(s));
+    const std::uint32_t w_s = stage_step(s);
+
+    for (std::uint32_t block = 0; block < rows; block += 2 * dr) {
+      for (std::uint32_t rp = 0; rp < dr; ++rp) {
+        const std::uint32_t lo = block + rp;       // relative rows
+        const std::uint32_t hi = lo + dr;
+        // In-group word offset of this row pair's first word.
+        const std::uint32_t omega0 = static_cast<std::uint32_t>(ntt::pow_mod(
+            w_s, static_cast<std::uint64_t>(rp) * wpr, q_));
+        tfg_params(omega0, w_s);
+        emit_row_pair(lo, hi);
+      }
+    }
+    if (!config_.in_place) swap_regions();
+  }
+
+  /// All 32 atom pairs of one inter-row pair, in rounds of g = #pair-slots
+  /// atoms so same-row reads/writes group together (Fig. 6c).
+  void emit_row_pair(std::uint32_t rel_lo, std::uint32_t rel_hi) {
+    const std::uint32_t atoms = layout_.atoms_in_row(rel_lo);
+    const std::size_t g = c2_slots(config_);
+    const std::uint32_t src_lo = cur_base_ + rel_lo;
+    const std::uint32_t src_hi = cur_base_ + rel_hi;
+    const std::uint32_t dst_lo =
+        config_.in_place ? src_lo : shadow_row(rel_lo);
+    const std::uint32_t dst_hi =
+        config_.in_place ? src_hi : shadow_row(rel_hi);
+
+    bool first_c2 = true;
+    for (std::uint32_t t0 = 0; t0 < atoms;
+         t0 += static_cast<std::uint32_t>(g)) {
+      const std::uint32_t t1 =
+          std::min(atoms, t0 + static_cast<std::uint32_t>(g));
+      // Reads from the low row (a hit after round 0: the round ends with
+      // this row open).
+      set_row(src_lo);
+      for (std::uint32_t t = t0; t < t1; ++t)
+        emit({.kind = CmdKind::kCuRead,
+              .row = src_lo,
+              .atom = static_cast<std::uint16_t>(t),
+              .buf = pair_p(t - t0)});
+      set_row(src_hi);
+      for (std::uint32_t t = t0; t < t1; ++t)
+        emit({.kind = CmdKind::kCuRead,
+              .row = src_hi,
+              .atom = static_cast<std::uint16_t>(t),
+              .buf = pair_s(t - t0)});
+      for (std::uint32_t t = t0; t < t1; ++t) {
+        emit({.kind = CmdKind::kC2,
+              .buf = pair_p(t - t0),
+              .buf2 = pair_s(t - t0),
+              .tfg_reset = first_c2});
+        first_c2 = false;
+      }
+      // S-side writebacks hit the still-open high row.
+      set_row(dst_hi);
+      for (std::uint32_t t = t0; t < t1; ++t)
+        emit({.kind = CmdKind::kCuWrite,
+              .row = dst_hi,
+              .atom = static_cast<std::uint16_t>(t),
+              .buf = pair_s(t - t0)});
+      set_row(dst_lo);
+      for (std::uint32_t t = t0; t < t1; ++t)
+        emit({.kind = CmdKind::kCuWrite,
+              .row = dst_lo,
+              .atom = static_cast<std::uint16_t>(t),
+              .buf = pair_p(t - t0)});
+    }
+  }
+
+  std::uint8_t pair_p(std::size_t slot) const {
+    return static_cast<std::uint8_t>(2 * (slot % c2_slots(config_)));
+  }
+  std::uint8_t pair_s(std::size_t slot) const {
+    return static_cast<std::uint8_t>(2 * (slot % c2_slots(config_)) + 1);
+  }
+
+  // -------------------------------------------- no-in-place ablation paths
+
+  std::uint32_t shadow_row(std::uint32_t rel_row) const {
+    return shadow_base_ + rel_row;
+  }
+
+  /// Round-based out-of-place emission for an intra-row stage: read a batch
+  /// from the source row, compute, switch to the shadow row to write.
+  void emit_ping_pong_rounds(const std::vector<CuOp>& ops,
+                             std::uint32_t src_row, std::uint32_t dst_row) {
+    const std::size_t g = c2_slots(config_);
+    for (std::size_t k0 = 0; k0 < ops.size(); k0 += g) {
+      const std::size_t k1 = std::min(ops.size(), k0 + g);
+      set_row(src_row);
+      for (std::size_t k = k0; k < k1; ++k) {
+        emit({.kind = CmdKind::kCuRead,
+              .row = src_row,
+              .atom = ops[k].atom_a,
+              .buf = pair_p(k - k0)});
+        emit({.kind = CmdKind::kCuRead,
+              .row = src_row,
+              .atom = ops[k].atom_b,
+              .buf = pair_s(k - k0)});
+      }
+      for (std::size_t k = k0; k < k1; ++k)
+        emit({.kind = CmdKind::kC2,
+              .buf = pair_p(k - k0),
+              .buf2 = pair_s(k - k0),
+              .tfg_reset = ops[k].tfg_reset});
+      set_row(dst_row);
+      for (std::size_t k = k0; k < k1; ++k) {
+        emit({.kind = CmdKind::kCuWrite,
+              .row = dst_row,
+              .atom = ops[k].atom_a,
+              .buf = pair_p(k - k0)});
+        emit({.kind = CmdKind::kCuWrite,
+              .row = dst_row,
+              .atom = ops[k].atom_b,
+              .buf = pair_s(k - k0)});
+      }
+    }
+  }
+
+  void swap_regions() { std::swap(cur_base_, shadow_base_); }
+
+  // ----------------------------------------------------------- scale pass
+
+  /// Elementwise multiply by scale0 * step^i over storage order, using the
+  /// zero-operand C2 trick: clear P, read the atom into S, C2 leaves
+  /// w_i * S[i] in P, write P back (our documented INTT extension).
+  void emit_scale_pass() {
+    regime_ = Regime::kScale;
+    const std::uint32_t scale0 = params_.n_inv();
+    const std::uint32_t step =
+        job_.negacyclic ? params_.psi_inv() : std::uint32_t{1};
+    tfg_params(scale0, step);
+
+    bool first = true;
+    for (std::uint32_t r = 0; r < layout_.rows_used(); ++r) {
+      set_row(cur_base_ + r);
+      std::vector<CuOp> ops;
+      ops.reserve(layout_.atoms_in_row(r));
+      for (std::uint32_t a = 0; a < layout_.atoms_in_row(r); ++a) {
+        ops.push_back(CuOp{.zero_p = true,
+                           .tfg_reset = first,
+                           .row = cur_base_ + r,
+                           .atom_a = static_cast<std::uint16_t>(a),
+                           .atom_b = static_cast<std::uint16_t>(a),
+                           .read_a = false,  // P side is zeroed, not read
+                           .write_b = false});
+        first = false;
+      }
+      emit_ops(ops, SlotMode::kBufferPair);
+    }
+  }
+
+  // ----------------------------------------------------------------- state
+
+  const dram::DramGeometry& geometry_;
+  const ntt::NttParams& params_;
+  const MapperConfig& config_;
+  const NttJob& job_;
+  DataLayout layout_;
+  std::uint32_t q_;
+  std::uint64_t twiddle_base_;
+  unsigned log_n_ = 0;
+  unsigned log_wpa_ = 0;
+  unsigned log_wpr_ = 0;
+
+  std::vector<Command> trace_;
+  Regime regime_ = Regime::kNone;
+  std::optional<std::uint32_t> open_row_;
+  std::optional<std::uint32_t> cached_omega0_;
+  std::optional<std::uint32_t> cached_step_;
+  std::uint32_t cur_base_ = 0;
+  std::uint32_t shadow_base_ = 0;
+};
+
+}  // namespace
+
+RowCentricMapper::RowCentricMapper(const dram::DramGeometry& geometry,
+                                   const ntt::NttParams& params,
+                                   MapperConfig config)
+    : geometry_(&geometry), params_(&params), config_(config) {
+  NTTPIM_EXPECT(config.num_buffers >= 1);
+}
+
+MappedNtt RowCentricMapper::map(const NttJob& job) const {
+  Builder builder(*geometry_, *params_, config_, job);
+  return builder.build();
+}
+
+}  // namespace nttpim::mapping

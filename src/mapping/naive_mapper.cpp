@@ -1,0 +1,216 @@
+#include "mapping/naive_mapper.h"
+
+#include <optional>
+
+#include "common/check.h"
+#include "ntt/modular.h"
+#include "pim/buffer.h"
+
+namespace nttpim::mapping {
+
+using dram::CmdKind;
+using dram::Command;
+using dram::ParamReg;
+using dram::Regime;
+
+namespace {
+
+class Builder {
+ public:
+  Builder(const dram::DramGeometry& geometry, const ntt::NttParams& params,
+          std::uint16_t bank, const NttJob& job)
+      : geometry_(geometry),
+        params_(params),
+        bank_(bank),
+        layout_(geometry, job.base_row, params.n()),
+        q_(params.q()) {
+    NTTPIM_EXPECT_MSG(job.direction == Direction::kForward && !job.negacyclic,
+                      "the single-buffer fallback supports forward cyclic "
+                      "transforms only (as evaluated in the paper)");
+    NTTPIM_EXPECT_MSG(geometry.words_per_atom() == pim::kAtomWords,
+                      "CU datapath requires 8-word atoms");
+    log_n_ = layout_.log2n();
+    log_wpa_ = exact_log2(geometry.words_per_atom());
+    log_wpr_ = exact_log2(geometry.words_per_row());
+    base_row_ = job.base_row;
+  }
+
+  MappedNtt build() {
+    emit_setup();
+    emit_c1_phase();
+    for (unsigned s = log_wpa_ + 1; s <= log_n_; ++s) emit_scalar_stage(s);
+    // Leave the bank precharged (see RowCentricMapper::build).
+    if (open_row_.has_value()) emit({.kind = CmdKind::kPre});
+    MappedNtt out;
+    out.trace = std::move(trace_);
+    out.result_base_row = base_row_;
+    return out;
+  }
+
+ private:
+  void emit(Command cmd) {
+    cmd.bank = bank_;
+    cmd.regime = regime_;
+    trace_.push_back(cmd);
+  }
+
+  void set_row(std::uint32_t row) {
+    if (open_row_ == row) return;
+    if (open_row_.has_value()) emit({.kind = CmdKind::kPre});
+    emit({.kind = CmdKind::kAct, .row = row});
+    open_row_ = row;
+  }
+
+  void param(ParamReg reg, std::uint32_t value) {
+    emit({.kind = CmdKind::kParam, .param_reg = reg, .param_value = value});
+  }
+
+  std::uint32_t omega_pow(std::uint64_t e) const {
+    return static_cast<std::uint32_t>(
+        ntt::pow_mod(params_.omega(), e, q_));
+  }
+
+  void emit_setup() {
+    regime_ = Regime::kSetup;
+    param(ParamReg::kModulus, q_);
+    const unsigned c1s = std::min(log_n_, log_wpa_);
+    param(ParamReg::kC1Root, omega_pow(params_.n() >> c1s));
+  }
+
+  /// Intra-atom stages still use C1 through the GSA (buffer 0).
+  void emit_c1_phase() {
+    regime_ = Regime::kIntraAtom;
+    const unsigned c1s = std::min(log_n_, log_wpa_);
+    for (std::uint32_t r = 0; r < layout_.rows_used(); ++r) {
+      set_row(base_row_ + r);
+      for (std::uint32_t a = 0; a < layout_.atoms_in_row(r); ++a) {
+        const auto atom = static_cast<std::uint16_t>(a);
+        emit({.kind = CmdKind::kCuRead,
+              .row = base_row_ + r,
+              .atom = atom,
+              .buf = 0});
+        emit({.kind = CmdKind::kC1,
+              .buf = 0,
+              .stages = static_cast<std::uint8_t>(c1s)});
+        emit({.kind = CmdKind::kCuWrite,
+              .row = base_row_ + r,
+              .atom = atom,
+              .buf = 0});
+      }
+    }
+  }
+
+  /// One element-serial butterfly on the word pair (lo_row, atom, lane) x
+  /// (hi_row, atom', lane): 3 column reads + 2 column writes + 1 scalar BU.
+  void emit_scalar_bu(std::uint32_t row_a, std::uint16_t atom_a,
+                      std::uint32_t row_b, std::uint16_t atom_b,
+                      std::uint8_t lane, bool tfg_reset) {
+    set_row(row_a);
+    emit({.kind = CmdKind::kScalarRead,
+          .row = row_a,
+          .atom = atom_a,
+          .lane = lane,
+          .scalar_reg = 0});
+    set_row(row_b);
+    emit({.kind = CmdKind::kScalarRead,
+          .row = row_b,
+          .atom = atom_b,
+          .lane = lane,
+          .scalar_reg = 1});
+    emit({.kind = CmdKind::kScalarBu, .tfg_reset = tfg_reset});
+    // The GSA holds atom B after the second read: write its lane first.
+    emit({.kind = CmdKind::kScalarWrite,
+          .row = row_b,
+          .atom = atom_b,
+          .lane = lane,
+          .scalar_reg = 1});
+    // Re-fetch atom A into the GSA for the read-modify-write of register 0
+    // (the latch into scratch register 1 is a harmless side effect).
+    set_row(row_a);
+    emit({.kind = CmdKind::kScalarRead,
+          .row = row_a,
+          .atom = atom_a,
+          .lane = lane,
+          .scalar_reg = 1});
+    emit({.kind = CmdKind::kScalarWrite,
+          .row = row_a,
+          .atom = atom_a,
+          .lane = lane,
+          .scalar_reg = 0});
+  }
+
+  void emit_scalar_stage(unsigned s) {
+    const std::size_t m = std::size_t{1} << (s - 1);  // span in words
+    const std::size_t wpa = geometry_.words_per_atom();
+    const std::size_t wpr = geometry_.words_per_row();
+    param(ParamReg::kTfgStep, omega_pow(params_.n() >> s));
+
+    if (s <= log_wpr_) {
+      // Intra-row: both operands in the same row; all accesses are hits.
+      regime_ = Regime::kIntraRow;
+      param(ParamReg::kTfgOmega0, 1);
+      for (std::uint32_t r = 0; r < layout_.rows_used(); ++r) {
+        const std::uint32_t row = base_row_ + r;
+        const std::size_t row_words =
+            std::size_t{layout_.atoms_in_row(r)} * wpa;
+        for (std::size_t g = 0; g < row_words / (2 * m); ++g) {
+          for (std::size_t j = 0; j < m; ++j) {
+            const std::size_t off = g * 2 * m + j;
+            emit_scalar_bu(row, static_cast<std::uint16_t>(off / wpa),
+                           row, static_cast<std::uint16_t>((off + m) / wpa),
+                           static_cast<std::uint8_t>(off % wpa),
+                           /*tfg_reset=*/j == 0);
+          }
+        }
+      }
+    } else {
+      // Inter-row: operands dr rows apart; ~2 activations per butterfly.
+      regime_ = Regime::kInterRow;
+      const auto dr = static_cast<std::uint32_t>(m / wpr);
+      const std::uint32_t rows = layout_.rows_used();
+      const std::uint32_t w_s = omega_pow(params_.n() >> s);
+      for (std::uint32_t block = 0; block < rows; block += 2 * dr) {
+        for (std::uint32_t rp = 0; rp < dr; ++rp) {
+          const std::uint32_t lo = base_row_ + block + rp;
+          const std::uint32_t hi = lo + dr;
+          param(ParamReg::kTfgOmega0,
+                static_cast<std::uint32_t>(ntt::pow_mod(
+                    w_s, static_cast<std::uint64_t>(rp) * wpr, q_)));
+          for (std::size_t off = 0; off < wpr; ++off) {
+            emit_scalar_bu(lo, static_cast<std::uint16_t>(off / wpa),
+                           hi, static_cast<std::uint16_t>(off / wpa),
+                           static_cast<std::uint8_t>(off % wpa),
+                           /*tfg_reset=*/off == 0);
+          }
+        }
+      }
+    }
+  }
+
+  const dram::DramGeometry& geometry_;
+  const ntt::NttParams& params_;
+  std::uint16_t bank_;
+  DataLayout layout_;
+  std::uint32_t q_;
+  unsigned log_n_ = 0;
+  unsigned log_wpa_ = 0;
+  unsigned log_wpr_ = 0;
+  std::uint32_t base_row_ = 0;
+
+  std::vector<Command> trace_;
+  Regime regime_ = Regime::kNone;
+  std::optional<std::uint32_t> open_row_;
+};
+
+}  // namespace
+
+NaiveMapper::NaiveMapper(const dram::DramGeometry& geometry,
+                         const ntt::NttParams& params, std::uint16_t bank)
+    : geometry_(&geometry), params_(&params), bank_(bank) {}
+
+MappedNtt NaiveMapper::map(const NttJob& job) const {
+  Builder builder(*geometry_, *params_, bank_, job);
+  return builder.build();
+}
+
+}  // namespace nttpim::mapping

@@ -1,0 +1,34 @@
+// Single-buffer (Nb = 1) fallback mapping — the paper's strawman
+// (Sec. III.B "Necessity of An Auxiliary Buffer", the "Nb = 1" series of
+// Fig. 7).
+//
+// With only the GSA available, C2 is impossible: beyond the intra-atom
+// stages every butterfly runs element-serially through the CU's two scalar
+// registers. Each butterfly costs three column reads (operand A, operand B,
+// and a re-read of A's atom for the read-modify-write) plus two column
+// writes, and in the inter-row regime two row activations — which is why a
+// single-buffer PIM is no faster than plain software.
+#pragma once
+
+#include "dram/config.h"
+#include "mapping/mapper.h"
+#include "mapping/trace.h"
+#include "ntt/params.h"
+
+namespace nttpim::mapping {
+
+class NaiveMapper {
+ public:
+  NaiveMapper(const dram::DramGeometry& geometry,
+              const ntt::NttParams& params, std::uint16_t bank = 0);
+
+  /// Forward cyclic transforms only (the paper's Nb=1 comparison point).
+  MappedNtt map(const NttJob& job) const;
+
+ private:
+  const dram::DramGeometry* geometry_;
+  const ntt::NttParams* params_;
+  std::uint16_t bank_;
+};
+
+}  // namespace nttpim::mapping

@@ -1,0 +1,156 @@
+#include "mapping/trace.h"
+
+#include <optional>
+
+#include "common/check.h"
+
+namespace nttpim::mapping {
+
+TraceCounts count_commands(std::span<const dram::Command> trace) {
+  using dram::CmdKind;
+  TraceCounts counts;
+  counts.total = trace.size();
+  for (const auto& cmd : trace) {
+    switch (cmd.kind) {
+      case CmdKind::kAct:
+        ++counts.acts;
+        ++counts.acts_by_regime[cmd.regime];
+        break;
+      case CmdKind::kPre: ++counts.pres; break;
+      case CmdKind::kCuRead: ++counts.column_reads; break;
+      case CmdKind::kCuWrite: ++counts.column_writes; break;
+      case CmdKind::kScalarRead: ++counts.column_reads; break;
+      case CmdKind::kScalarWrite: ++counts.column_writes; break;
+      case CmdKind::kC1: ++counts.c1_ops; break;
+      case CmdKind::kC2: ++counts.c2_ops; break;
+      case CmdKind::kScalarBu: ++counts.scalar_bus; break;
+      case CmdKind::kParam: ++counts.params; break;
+      case CmdKind::kBufZero: ++counts.buf_zeros; break;
+      case CmdKind::kRefresh:
+        NTTPIM_CHECK_MSG(false, "traces must not contain refresh commands");
+    }
+  }
+  return counts;
+}
+
+namespace {
+
+struct BankCheckState {
+  std::optional<std::uint32_t> open_row;
+  std::vector<bool> buffer_valid;
+  // The atom whose contents currently sit in the GSA (buffer 0), used to
+  // validate scalar read-modify-write sequences.
+  std::optional<std::pair<std::uint32_t, std::uint16_t>> gsa_atom;
+  bool scalar_valid[2] = {false, false};
+  bool params_seen = false;
+};
+
+}  // namespace
+
+void validate_trace(std::span<const dram::Command> trace,
+                    const dram::DramGeometry& geometry,
+                    std::size_t num_buffers) {
+  using dram::CmdKind;
+  std::map<std::uint16_t, BankCheckState> banks;
+
+  auto state_of = [&](std::uint16_t bank) -> BankCheckState& {
+    auto [it, inserted] = banks.try_emplace(bank);
+    if (inserted) it->second.buffer_valid.assign(num_buffers, false);
+    return it->second;
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& cmd = trace[i];
+    auto& st = state_of(cmd.bank);
+
+    const auto check_open_row = [&](std::uint32_t row) {
+      NTTPIM_CHECK_MSG(st.open_row.has_value(),
+                       "column command with bank closed");
+      NTTPIM_CHECK_MSG(*st.open_row == row,
+                       "column command targets a row that is not open");
+      NTTPIM_CHECK_MSG(row < geometry.rows_per_bank, "row out of range");
+    };
+    const auto check_buf = [&](std::uint8_t b) {
+      NTTPIM_CHECK_MSG(b < num_buffers, "buffer index beyond Nb");
+    };
+
+    switch (cmd.kind) {
+      case CmdKind::kAct:
+        NTTPIM_CHECK_MSG(!st.open_row.has_value(),
+                         "ACT while another row is open (missing PRE)");
+        NTTPIM_CHECK_MSG(cmd.row < geometry.rows_per_bank,
+                         "ACT row out of range");
+        st.open_row = cmd.row;
+        break;
+      case CmdKind::kPre:
+        NTTPIM_CHECK_MSG(st.open_row.has_value(), "PRE with no open row");
+        st.open_row.reset();
+        break;
+      case CmdKind::kCuRead:
+        check_open_row(cmd.row);
+        check_buf(cmd.buf);
+        NTTPIM_CHECK_MSG(cmd.atom < geometry.atoms_per_row,
+                         "atom out of range");
+        st.buffer_valid[cmd.buf] = true;
+        if (cmd.buf == 0) st.gsa_atom = {{cmd.row, cmd.atom}};
+        break;
+      case CmdKind::kCuWrite:
+        check_open_row(cmd.row);
+        check_buf(cmd.buf);
+        NTTPIM_CHECK_MSG(st.buffer_valid[cmd.buf],
+                         "CU_WR from a buffer that was never loaded");
+        break;
+      case CmdKind::kC1:
+        check_buf(cmd.buf);
+        NTTPIM_CHECK_MSG(st.params_seen, "compute before PARAM setup");
+        NTTPIM_CHECK_MSG(st.buffer_valid[cmd.buf],
+                         "C1 on a buffer that was never loaded");
+        break;
+      case CmdKind::kC2:
+        check_buf(cmd.buf);
+        check_buf(cmd.buf2);
+        NTTPIM_CHECK_MSG(cmd.buf != cmd.buf2, "C2 operands must differ");
+        NTTPIM_CHECK_MSG(st.params_seen, "compute before PARAM setup");
+        NTTPIM_CHECK_MSG(
+            st.buffer_valid[cmd.buf] && st.buffer_valid[cmd.buf2],
+            "C2 on a buffer that was never loaded");
+        break;
+      case CmdKind::kParam:
+        st.params_seen = true;
+        break;
+      case CmdKind::kBufZero:
+        check_buf(cmd.buf);
+        st.buffer_valid[cmd.buf] = true;
+        break;
+      case CmdKind::kScalarRead:
+        check_open_row(cmd.row);
+        NTTPIM_CHECK_MSG(cmd.lane < geometry.words_per_atom(),
+                         "lane out of range");
+        NTTPIM_CHECK_MSG(cmd.scalar_reg < 2, "scalar register out of range");
+        st.buffer_valid[0] = true;
+        st.gsa_atom = {{cmd.row, cmd.atom}};
+        st.scalar_valid[cmd.scalar_reg] = true;
+        break;
+      case CmdKind::kScalarWrite:
+        check_open_row(cmd.row);
+        NTTPIM_CHECK_MSG(cmd.scalar_reg < 2, "scalar register out of range");
+        NTTPIM_CHECK_MSG(st.scalar_valid[cmd.scalar_reg],
+                         "scalar write from an empty register");
+        NTTPIM_CHECK_MSG(
+            st.gsa_atom.has_value() && st.gsa_atom->first == cmd.row &&
+                st.gsa_atom->second == cmd.atom,
+            "scalar write requires the GSA to hold the target atom "
+            "(read-modify-write violated)");
+        break;
+      case CmdKind::kScalarBu:
+        NTTPIM_CHECK_MSG(st.params_seen, "compute before PARAM setup");
+        NTTPIM_CHECK_MSG(st.scalar_valid[0] && st.scalar_valid[1],
+                         "scalar BU with unloaded operand registers");
+        break;
+      case CmdKind::kRefresh:
+        NTTPIM_CHECK_MSG(false, "traces must not contain refresh commands");
+    }
+  }
+}
+
+}  // namespace nttpim::mapping

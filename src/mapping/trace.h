@@ -1,0 +1,51 @@
+// Command trace: the mapper's output, consumed by the simulation engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "dram/command.h"
+#include "dram/config.h"
+
+namespace nttpim::mapping {
+
+struct TraceCounts {
+  std::uint64_t acts = 0;
+  std::uint64_t pres = 0;
+  std::uint64_t column_reads = 0;
+  std::uint64_t column_writes = 0;
+  std::uint64_t c1_ops = 0;
+  std::uint64_t c2_ops = 0;
+  std::uint64_t scalar_bus = 0;
+  std::uint64_t params = 0;
+  std::uint64_t buf_zeros = 0;
+  std::uint64_t total = 0;
+
+  /// ACT count per mapping regime.
+  std::map<dram::Regime, std::uint64_t> acts_by_regime;
+};
+
+/// Tally command kinds (and ACTs per regime) in a trace.
+TraceCounts count_commands(std::span<const dram::Command> trace);
+
+/// Static validity check of a mapped trace, independent of the timing
+/// engine: tracks open-row state and buffer data-validity per bank and
+/// throws std::logic_error on the first violation (column access to a
+/// closed/mismatched row, compute on a never-loaded buffer, C2 with
+/// identical operands, buffer index beyond Nb, scalar write without a
+/// preceding GSA load of that atom, ...).
+void validate_trace(std::span<const dram::Command> trace,
+                    const dram::DramGeometry& geometry,
+                    std::size_t num_buffers);
+
+/// Result of mapping one NTT invocation.
+struct MappedNtt {
+  std::vector<dram::Command> trace;
+  /// Where the result lives (== input base row unless the in-place-update
+  /// ablation ping-pongs into a shadow region).
+  std::uint32_t result_base_row = 0;
+};
+
+}  // namespace nttpim::mapping

@@ -1,0 +1,228 @@
+#include "mapping/trace_io.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nttpim::mapping {
+
+using dram::CmdKind;
+using dram::Command;
+using dram::ParamReg;
+using dram::Regime;
+
+namespace {
+
+const char* mnemonic(CmdKind kind) {
+  switch (kind) {
+    case CmdKind::kAct: return "ACT";
+    case CmdKind::kPre: return "PRE";
+    case CmdKind::kRefresh: return "REF";
+    case CmdKind::kCuRead: return "CU_RD";
+    case CmdKind::kCuWrite: return "CU_WR";
+    case CmdKind::kC1: return "C1";
+    case CmdKind::kC2: return "C2";
+    case CmdKind::kParam: return "PARAM";
+    case CmdKind::kBufZero: return "BUF0";
+    case CmdKind::kScalarRead: return "S_RD";
+    case CmdKind::kScalarWrite: return "S_WR";
+    case CmdKind::kScalarBu: return "S_BU";
+  }
+  return "?";
+}
+
+const std::map<std::string, CmdKind>& mnemonic_table() {
+  static const std::map<std::string, CmdKind> table = {
+      {"ACT", CmdKind::kAct},        {"PRE", CmdKind::kPre},
+      {"REF", CmdKind::kRefresh},    {"CU_RD", CmdKind::kCuRead},
+      {"CU_WR", CmdKind::kCuWrite},  {"C1", CmdKind::kC1},
+      {"C2", CmdKind::kC2},          {"PARAM", CmdKind::kParam},
+      {"BUF0", CmdKind::kBufZero},   {"S_RD", CmdKind::kScalarRead},
+      {"S_WR", CmdKind::kScalarWrite}, {"S_BU", CmdKind::kScalarBu},
+  };
+  return table;
+}
+
+const std::map<std::string, Regime>& regime_table() {
+  static const std::map<std::string, Regime> table = {
+      {"-", Regime::kNone},          {"setup", Regime::kSetup},
+      {"intra-atom", Regime::kIntraAtom}, {"intra-row", Regime::kIntraRow},
+      {"inter-row", Regime::kInterRow},   {"scale", Regime::kScale},
+  };
+  return table;
+}
+
+const std::map<std::string, ParamReg>& param_reg_table() {
+  static const std::map<std::string, ParamReg> table = {
+      {"q", ParamReg::kModulus},
+      {"tfg.omega0", ParamReg::kTfgOmega0},
+      {"tfg.step", ParamReg::kTfgStep},
+      {"c1.root", ParamReg::kC1Root},
+  };
+  return table;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, std::span<const dram::Command> trace) {
+  for (const auto& cmd : trace) {
+    os << mnemonic(cmd.kind) << ' ' << cmd.bank;
+    switch (cmd.kind) {
+      case CmdKind::kAct:
+        os << ' ' << cmd.row;
+        break;
+      case CmdKind::kPre:
+      case CmdKind::kRefresh:
+        break;
+      case CmdKind::kCuRead:
+      case CmdKind::kCuWrite:
+        os << ' ' << cmd.row << ' ' << cmd.atom << ' ' << int(cmd.buf);
+        break;
+      case CmdKind::kC1:
+        os << ' ' << int(cmd.buf) << ' ' << int(cmd.stages) << ' '
+           << int(cmd.tfg_reset);
+        break;
+      case CmdKind::kC2:
+        os << ' ' << int(cmd.buf) << ' ' << int(cmd.buf2) << ' '
+           << int(cmd.tfg_reset);
+        break;
+      case CmdKind::kParam:
+        os << ' ' << dram::to_string(cmd.param_reg) << ' '
+           << cmd.param_value;
+        break;
+      case CmdKind::kBufZero:
+        os << ' ' << int(cmd.buf);
+        break;
+      case CmdKind::kScalarRead:
+      case CmdKind::kScalarWrite:
+        os << ' ' << cmd.row << ' ' << cmd.atom << ' ' << int(cmd.lane)
+           << ' ' << int(cmd.scalar_reg);
+        break;
+      case CmdKind::kScalarBu:
+        os << ' ' << int(cmd.tfg_reset);
+        break;
+    }
+    os << " # " << dram::to_string(cmd.regime) << '\n';
+  }
+}
+
+std::string trace_to_string(std::span<const dram::Command> trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+std::vector<Command> read_trace(std::istream& is) {
+  std::vector<Command> trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments; remember a trailing regime annotation if present.
+    Regime regime = Regime::kNone;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      std::istringstream comment(line.substr(hash + 1));
+      std::string word;
+      if (comment >> word) {
+        const auto it = regime_table().find(word);
+        if (it != regime_table().end()) regime = it->second;
+      }
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op)) continue;  // blank / comment-only line
+
+    const auto kind_it = mnemonic_table().find(op);
+    NTTPIM_EXPECT_MSG(kind_it != mnemonic_table().end(),
+                      "unknown mnemonic at line " + std::to_string(line_no));
+    Command cmd;
+    cmd.kind = kind_it->second;
+    cmd.regime = regime;
+
+    const auto read_u = [&](auto& field) {
+      std::uint64_t value = 0;
+      NTTPIM_EXPECT_MSG(static_cast<bool>(ls >> value),
+                        "missing operand at line " + std::to_string(line_no));
+      field = static_cast<std::remove_reference_t<decltype(field)>>(value);
+    };
+
+    read_u(cmd.bank);
+    switch (cmd.kind) {
+      case CmdKind::kAct:
+        read_u(cmd.row);
+        break;
+      case CmdKind::kPre:
+      case CmdKind::kRefresh:
+        break;
+      case CmdKind::kCuRead:
+      case CmdKind::kCuWrite:
+        read_u(cmd.row);
+        read_u(cmd.atom);
+        read_u(cmd.buf);
+        break;
+      case CmdKind::kC1: {
+        read_u(cmd.buf);
+        read_u(cmd.stages);
+        unsigned reset = 0;
+        NTTPIM_EXPECT_MSG(static_cast<bool>(ls >> reset),
+                          "missing reset flag at line " +
+                              std::to_string(line_no));
+        cmd.tfg_reset = reset != 0;
+        break;
+      }
+      case CmdKind::kC2: {
+        read_u(cmd.buf);
+        read_u(cmd.buf2);
+        unsigned reset = 0;
+        NTTPIM_EXPECT_MSG(static_cast<bool>(ls >> reset),
+                          "missing reset flag at line " +
+                              std::to_string(line_no));
+        cmd.tfg_reset = reset != 0;
+        break;
+      }
+      case CmdKind::kParam: {
+        std::string reg;
+        NTTPIM_EXPECT_MSG(static_cast<bool>(ls >> reg),
+                          "missing PARAM register at line " +
+                              std::to_string(line_no));
+        const auto reg_it = param_reg_table().find(reg);
+        NTTPIM_EXPECT_MSG(reg_it != param_reg_table().end(),
+                          "unknown PARAM register at line " +
+                              std::to_string(line_no));
+        cmd.param_reg = reg_it->second;
+        read_u(cmd.param_value);
+        break;
+      }
+      case CmdKind::kBufZero:
+        read_u(cmd.buf);
+        break;
+      case CmdKind::kScalarRead:
+      case CmdKind::kScalarWrite:
+        read_u(cmd.row);
+        read_u(cmd.atom);
+        read_u(cmd.lane);
+        read_u(cmd.scalar_reg);
+        break;
+      case CmdKind::kScalarBu: {
+        unsigned reset = 0;
+        NTTPIM_EXPECT_MSG(static_cast<bool>(ls >> reset),
+                          "missing reset flag at line " +
+                              std::to_string(line_no));
+        cmd.tfg_reset = reset != 0;
+        break;
+      }
+    }
+    trace.push_back(cmd);
+  }
+  return trace;
+}
+
+std::vector<Command> trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+}  // namespace nttpim::mapping

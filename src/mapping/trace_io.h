@@ -1,0 +1,41 @@
+// Command-trace serialization.
+//
+// Writes the mapper's DRAM command sequence in a line-oriented text format
+// (one command per line, akin to the "DRAM cmd seq" of paper Fig. 1) and
+// parses it back. Useful for diffing mappings, replaying traces through the
+// simulator without re-running the mapper, and debugging.
+//
+// Format (whitespace-separated):
+//   ACT    bank row
+//   PRE    bank
+//   REF    bank                   (engine-inserted; accepted on parse)
+//   CU_RD  bank row atom buf
+//   CU_WR  bank row atom buf
+//   C1     bank buf stages reset
+//   C2     bank bufP bufS reset
+//   PARAM  bank reg value
+//   BUF0   bank buf
+//   S_RD   bank row atom lane reg
+//   S_WR   bank row atom lane reg
+//   S_BU   bank reset
+// Lines starting with '#' are comments; regime annotations are emitted as
+// trailing "# <regime>" comments and restored on parse.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dram/command.h"
+
+namespace nttpim::mapping {
+
+void write_trace(std::ostream& os, std::span<const dram::Command> trace);
+std::string trace_to_string(std::span<const dram::Command> trace);
+
+/// Parses a trace; throws std::invalid_argument on malformed input.
+std::vector<dram::Command> read_trace(std::istream& is);
+std::vector<dram::Command> trace_from_string(const std::string& text);
+
+}  // namespace nttpim::mapping

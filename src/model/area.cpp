@@ -1,0 +1,52 @@
+#include "model/area.h"
+
+#include "common/check.h"
+
+namespace nttpim::model {
+
+namespace {
+
+// 65 nm standard-cell NAND2-equivalent area (um^2), routed.
+constexpr double kNand2Um2 = 1.41;
+
+// Gate-count estimates for the CU logic blocks (32-bit datapath, fully
+// pipelined Montgomery multiplier per Sec. VI.B).
+constexpr double kModMultGates = 7000;  // 32x32 mult + Montgomery reduce
+constexpr double kModAddSubGates = 2 * 850;
+constexpr double kTfgGates = 4200;      // shared-style mult + 3 x 32b regs
+constexpr double kLsuCtrlGates = 2206;  // LSU, decode, base crossbar
+
+double gates_to_mm2(double gates) { return gates * kNand2Um2 / 1e6; }
+
+// Marginal cost of each additional atom buffer (SRAM macro + crossbar
+// ports), calibrated to Table II's increments: synthesis shows decreasing
+// marginal cost as decode/control amortizes.
+//   Nb: 1 -> 2 : +0.0019 mm^2
+//   Nb: 2 -> 4 : +0.00155 mm^2 each
+//   Nb: 4 -> 6 : +0.0011 mm^2 each (and beyond)
+double buffer_increment(std::size_t buffer_index) {
+  if (buffer_index <= 1) return 0.0;      // primary buffer is the GSA: free
+  if (buffer_index == 2) return 0.0019;
+  if (buffer_index <= 4) return 0.00155;
+  return 0.0011;
+}
+
+}  // namespace
+
+AreaBreakdown AreaModel::nttpim_area(std::size_t num_buffers) const {
+  NTTPIM_EXPECT_MSG(num_buffers >= 1, "at least the GSA must exist");
+  AreaBreakdown out;
+  out.modmult_mm2 = gates_to_mm2(kModMultGates);
+  out.modaddsub_mm2 = gates_to_mm2(kModAddSubGates);
+  out.tfg_mm2 = gates_to_mm2(kTfgGates);
+  out.lsu_ctrl_mm2 = gates_to_mm2(kLsuCtrlGates);
+  out.buffers_mm2 = 0;
+  for (std::size_t b = 2; b <= num_buffers; ++b)
+    out.buffers_mm2 += buffer_increment(b);
+  out.total_mm2 = out.modmult_mm2 + out.modaddsub_mm2 + out.tfg_mm2 +
+                  out.lsu_ctrl_mm2 + out.buffers_mm2;
+  out.percent_of_bank = out.total_mm2 / kBankAreaMm2 * 100.0;
+  return out;
+}
+
+}  // namespace nttpim::model

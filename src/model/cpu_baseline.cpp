@@ -1,0 +1,52 @@
+#include "model/cpu_baseline.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "ntt/params.h"
+#include "ntt/reference.h"
+
+namespace nttpim::model {
+
+namespace {
+
+template <typename Fn>
+CpuMeasurement measure(std::size_t n, int reps, Fn&& transform) {
+  const ntt::NttParams params = ntt::NttParams::create(n);
+  Rng rng(0xba5e11e);
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  volatile std::uint32_t sink = 0;  // defeat dead-code elimination
+  for (int r = 0; r < reps; ++r) {
+    auto data = rng.residues(n, params.q());
+    Stopwatch sw;
+    transform(data, params);
+    samples.push_back(sw.elapsed_us());
+    sink = sink ^ data[0];
+  }
+  std::sort(samples.begin(), samples.end());
+  CpuMeasurement m;
+  m.latency_us = samples[samples.size() / 2];
+  m.energy_uj = m.latency_us * kCpuPowerW;  // W * us = uJ
+  return m;
+}
+
+}  // namespace
+
+CpuMeasurement measure_cpu_plain(std::size_t n, int reps) {
+  return measure(n, reps,
+                 [](std::vector<std::uint32_t>& a, const ntt::NttParams& p) {
+                   ntt::forward_ntt_plain_mod(a, p.q(), p.omega());
+                 });
+}
+
+CpuMeasurement measure_cpu_montgomery(std::size_t n, int reps) {
+  return measure(n, reps,
+                 [](std::vector<std::uint32_t>& a, const ntt::NttParams& p) {
+                   ntt::forward_ntt_montgomery(a, p);
+                 });
+}
+
+}  // namespace nttpim::model

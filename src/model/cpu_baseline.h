@@ -1,0 +1,33 @@
+// Measured x86 software baseline (the "x86 CPU" series of Figs. 7-8 and
+// Table III).
+//
+// Two implementations are timed on the build host:
+//  - "plain":      64-bit `%` reduction, on-the-fly twiddles — comparable in
+//                  spirit to the unoptimized software the paper measured;
+//  - "montgomery": precomputed tables + Montgomery arithmetic — what a tuned
+//                  host library achieves (reported for context; absolute CPU
+//                  numbers are host-dependent, see EXPERIMENTS.md).
+//
+// Energy is estimated as time x an effective package power calibrated to
+// the power implied by the paper's own x86 rows (~6.7 W).
+#pragma once
+
+#include <cstddef>
+
+namespace nttpim::model {
+
+struct CpuMeasurement {
+  double latency_us = 0;
+  double energy_uj = 0;
+};
+
+/// Implied package power of the paper's x86 rows (570.6 uJ / 84.81 us).
+inline constexpr double kCpuPowerW = 6.7;
+
+/// Median-of-`reps` wall-clock of the plain (mod-operator) NTT.
+CpuMeasurement measure_cpu_plain(std::size_t n, int reps = 7);
+
+/// Median-of-`reps` wall-clock of the Montgomery table-based NTT.
+CpuMeasurement measure_cpu_montgomery(std::size_t n, int reps = 7);
+
+}  // namespace nttpim::model

@@ -1,0 +1,44 @@
+// Barrett reduction for 32-bit moduli — the alternative reduction evaluated
+// in the kernel ablation benchmarks (bench_ntt_kernels).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace nttpim::ntt {
+
+/// Barrett context for a modulus 1 < q < 2^31.
+///
+/// Precomputes mu = floor(2^64 / q); reduce(x) then needs only one 128-bit
+/// multiply-high and at most two conditional subtractions.
+class Barrett32 {
+ public:
+  explicit Barrett32(std::uint32_t q) : q_(q) {
+    NTTPIM_EXPECT_MSG(q > 1 && q < (1u << 31), "modulus must be in (1, 2^31)");
+    mu_ = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(1) << 64) / q);
+  }
+
+  std::uint32_t modulus() const noexcept { return q_; }
+
+  /// x mod q for any 64-bit x < 2^62 (covers products of residues).
+  std::uint32_t reduce(std::uint64_t x) const noexcept {
+    const std::uint64_t approx_quotient = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * mu_) >> 64);
+    std::uint64_t r = x - approx_quotient * q_;
+    if (r >= q_) r -= q_;
+    if (r >= q_) r -= q_;
+    return static_cast<std::uint32_t>(r);
+  }
+
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const noexcept {
+    return reduce(static_cast<std::uint64_t>(a) * b);
+  }
+
+ private:
+  std::uint32_t q_;
+  std::uint64_t mu_;
+};
+
+}  // namespace nttpim::ntt

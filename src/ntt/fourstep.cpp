@@ -1,0 +1,67 @@
+#include "ntt/fourstep.h"
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "ntt/modular.h"
+#include "ntt/reference.h"
+
+namespace nttpim::ntt {
+
+std::vector<std::uint32_t> ntt_four_step(std::span<const std::uint32_t> a,
+                                         const NttParams& params) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  const std::size_t n = params.n();
+  const std::uint64_t q = params.q();
+  if (n < 4) {
+    std::vector<std::uint32_t> out(a.begin(), a.end());
+    forward_ntt(out, params);
+    return out;
+  }
+
+  // Near-square split n = n1 * n2 (n1 <= n2, both powers of two); the
+  // sub-transform roots omega^{n2} (order n1) and omega^{n1} (order n2)
+  // come from the *same* omega so the composition equals the size-n NTT.
+  const unsigned log_n = exact_log2(n);
+  const std::size_t n1 = std::size_t{1} << (log_n / 2);
+  const std::size_t n2 = n / n1;
+  const std::uint64_t omega = params.omega();
+  const std::uint64_t omega1 = pow_mod(omega, n2, q);  // order n1
+  const std::uint64_t omega2 = pow_mod(omega, n1, q);  // order n2
+
+  // Step 1: column NTTs. Element (i, j) of the matrix is a[i*n2 + j]; the
+  // column-j subsequence has stride n2. Sub-transforms must share the
+  // parent's root (omega^{n2}, omega^{n1}), so use the explicit-root
+  // kernel rather than the sub-parameters' own derived roots.
+  std::vector<std::vector<std::uint32_t>> columns(n2);
+  for (std::size_t j = 0; j < n2; ++j) {
+    columns[j].resize(n1);
+    for (std::size_t i = 0; i < n1; ++i) columns[j][i] = a[i * n2 + j];
+    forward_ntt_with_root(columns[j], static_cast<std::uint32_t>(q),
+                          static_cast<std::uint32_t>(omega1));
+  }
+
+  // Step 2: twiddle scaling by omega^{k1 * j} (geometric in k1 per column).
+  for (std::size_t j = 0; j < n2; ++j) {
+    const std::uint64_t wj = pow_mod(omega, j, q);
+    std::uint64_t w = 1;
+    for (std::size_t k1 = 0; k1 < n1; ++k1) {
+      columns[j][k1] =
+          static_cast<std::uint32_t>(mul_mod(columns[j][k1], w, q));
+      w = mul_mod(w, wj, q);
+    }
+  }
+
+  // Step 3: row NTTs (row k1 gathers the j-th entries), then
+  // Step 4: transpose into the output: X[k1 + k2*n1] = row_k1[k2].
+  std::vector<std::uint32_t> out(n);
+  std::vector<std::uint32_t> row(n2);
+  for (std::size_t k1 = 0; k1 < n1; ++k1) {
+    for (std::size_t j = 0; j < n2; ++j) row[j] = columns[j][k1];
+    forward_ntt_with_root(row, static_cast<std::uint32_t>(q),
+                          static_cast<std::uint32_t>(omega2));
+    for (std::size_t k2 = 0; k2 < n2; ++k2) out[k1 + k2 * n1] = row[k2];
+  }
+  return out;
+}
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,23 @@
+// Four-step (Bailey) NTT: natural -> natural.
+//
+// Views the length-N input as an n1 x n2 matrix and computes
+//   column NTTs (size n1)  ->  twiddle scaling by omega^{ij}  ->
+//   row NTTs (size n2)     ->  transpose.
+// The blocked structure is the classical locality transformation for deep
+// memory hierarchies — the software analogue of what NTT-PIM's row-block
+// mapping achieves inside DRAM; included as a CPU baseline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ntt/params.h"
+
+namespace nttpim::ntt {
+
+/// Four-step NTT with an (automatically chosen) near-square factorization.
+std::vector<std::uint32_t> ntt_four_step(std::span<const std::uint32_t> a,
+                                         const NttParams& params);
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,60 @@
+// Specialized reduction for the Goldilocks prime p = 2^64 - 2^32 + 1.
+//
+// The workhorse modulus of modern 64-bit NTT implementations: reduction
+// needs only shifts and adds because 2^64 ≡ 2^32 - 1 and 2^96 ≡ -1 (mod p).
+// Included to round out the host-side arithmetic library next to
+// Montgomery/Barrett (the PIM datapath itself is 32-bit, per the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+
+inline constexpr std::uint64_t kGoldilocksPrime =
+    0xffffffff00000001ULL;  // 2^64 - 2^32 + 1
+
+/// Reduce a 128-bit product modulo the Goldilocks prime.
+///
+/// Split x = lo + 2^64 * mid + 2^96 * hi (mid = low 32 bits of the upper
+/// word, hi = high 32 bits). Using 2^64 ≡ 2^32 - 1 and 2^96 ≡ -1:
+///   x ≡ lo + (2^32 - 1) * mid - hi (mod p).
+constexpr std::uint64_t goldilocks_reduce(unsigned __int128 x) noexcept {
+  const std::uint64_t lo = static_cast<std::uint64_t>(x);
+  const std::uint64_t upper = static_cast<std::uint64_t>(x >> 64);
+  const std::uint64_t mid = upper & 0xffffffffULL;
+  const std::uint64_t hi = upper >> 32;
+
+  // t = lo - hi (mod p); borrow handled by adding p.
+  std::uint64_t t = lo - hi;
+  if (lo < hi) t += kGoldilocksPrime;
+
+  // u = (2^32 - 1) * mid never overflows 64 bits (mid < 2^32).
+  const std::uint64_t u = (mid << 32) - mid;
+
+  // result = t + u (mod p); at most one correction step is needed after
+  // handling the single possible carry.
+  std::uint64_t result = t + u;
+  if (result < t) result += 0xffffffffULL;  // carry: add 2^64 mod p
+  if (result >= kGoldilocksPrime) result -= kGoldilocksPrime;
+  return result;
+}
+
+/// Multiply modulo the Goldilocks prime via the specialized reduction.
+constexpr std::uint64_t goldilocks_mul(std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  return goldilocks_reduce(static_cast<unsigned __int128>(a) * b);
+}
+
+constexpr std::uint64_t goldilocks_add(std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  return add_mod(a, b, kGoldilocksPrime);
+}
+
+constexpr std::uint64_t goldilocks_sub(std::uint64_t a,
+                                       std::uint64_t b) noexcept {
+  return sub_mod(a, b, kGoldilocksPrime);
+}
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,93 @@
+// Montgomery multiplication for 32-bit odd moduli (R = 2^32).
+//
+// The paper's butterfly unit "supports ModAdd/Sub and ModMult for arbitrary
+// modulo values using the Montgomery reduction algorithm" (Sec. VI.B). This
+// is the functional model of that datapath, and also the fast reduction used
+// by the optimized CPU baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+
+/// Montgomery context for an odd modulus q < 2^31.
+///
+/// Values in "Montgomery domain" represent a·R mod q with R = 2^32.
+/// REDC(T) computes T·R^{-1} mod q for T < q·R, so
+/// mul(aR, bR) = abR — the domain is closed under mul().
+class Montgomery32 {
+ public:
+  explicit Montgomery32(std::uint32_t q) : q_(q) {
+    NTTPIM_EXPECT_MSG(q % 2 == 1, "Montgomery modulus must be odd");
+    NTTPIM_EXPECT_MSG(q > 1 && q < (1u << 31), "modulus must be in (1, 2^31)");
+    // Newton iteration for -q^{-1} mod 2^32: x_{k+1} = x_k (2 - q x_k)
+    // doubles the number of correct low bits; q itself is correct mod 2^3.
+    std::uint32_t inv = q;
+    for (int i = 0; i < 4; ++i) inv *= 2 - q * inv;
+    neg_q_inv_ = ~inv + 1;  // -q^{-1} mod 2^32
+    // R^2 mod q, used to enter the Montgomery domain.
+    r2_ = static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(1) << 64) % q);
+    one_ = to_mont(1);
+  }
+
+  std::uint32_t modulus() const noexcept { return q_; }
+  std::uint32_t one() const noexcept { return one_; }
+
+  /// Montgomery reduction: returns T·R^{-1} mod q for T < q·2^32.
+  std::uint32_t redc(std::uint64_t t) const noexcept {
+    const std::uint32_t m =
+        static_cast<std::uint32_t>(t) * neg_q_inv_;  // mod 2^32
+    const std::uint64_t sum = t + static_cast<std::uint64_t>(m) * q_;
+    std::uint32_t r = static_cast<std::uint32_t>(sum >> 32);
+    if (r >= q_) r -= q_;
+    return r;
+  }
+
+  /// a (plain) -> aR mod q (Montgomery domain).
+  std::uint32_t to_mont(std::uint32_t a) const noexcept {
+    return redc(static_cast<std::uint64_t>(a) * r2_);
+  }
+
+  /// aR (Montgomery domain) -> a (plain).
+  std::uint32_t from_mont(std::uint32_t a) const noexcept {
+    return redc(a);
+  }
+
+  /// Product in the Montgomery domain: (aR)·(bR) -> abR.
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const noexcept {
+    return redc(static_cast<std::uint64_t>(a) * b);
+  }
+
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const noexcept {
+    const std::uint32_t s = a + b;
+    return s >= q_ ? s - q_ : s;
+  }
+
+  std::uint32_t sub(std::uint32_t a, std::uint32_t b) const noexcept {
+    return a >= b ? a - b : a + q_ - b;
+  }
+
+  /// a^e in the Montgomery domain (a is Montgomery-form, result too).
+  std::uint32_t pow(std::uint32_t a, std::uint64_t e) const noexcept {
+    std::uint32_t result = one_;
+    std::uint32_t base = a;
+    while (e != 0) {
+      if (e & 1) result = mul(result, base);
+      base = mul(base, base);
+      e >>= 1;
+    }
+    return result;
+  }
+
+ private:
+  std::uint32_t q_;
+  std::uint32_t neg_q_inv_;  // -q^{-1} mod 2^32
+  std::uint32_t r2_;         // R^2 mod q
+  std::uint32_t one_;        // R mod q
+};
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,85 @@
+// Montgomery multiplication for 64-bit odd moduli (R = 2^64).
+//
+// The PIM datapath is 32-bit (the paper's bitwidth); 64-bit arithmetic is
+// provided for the host side: CRT reconstruction, wide-modulus parameter
+// search, and FHE schemes whose ciphertext moduli exceed one machine word
+// before RNS decomposition.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+
+class Montgomery64 {
+ public:
+  explicit Montgomery64(std::uint64_t q) : q_(q) {
+    NTTPIM_EXPECT_MSG(q % 2 == 1, "Montgomery modulus must be odd");
+    NTTPIM_EXPECT_MSG(q > 1 && q < (1ULL << 63),
+                      "modulus must be in (1, 2^63)");
+    // Newton iteration: 6 steps lift q^{-1} mod 2^64 from 3 correct bits.
+    std::uint64_t inv = q;
+    for (int i = 0; i < 5; ++i) inv *= 2 - q * inv;
+    neg_q_inv_ = ~inv + 1;
+    // R^2 mod q via repeated doubling of R mod q (avoids 256-bit division):
+    // R mod q = ((2^64 - 1) mod q) + 1, wrapped if it hits q.
+    std::uint64_t r_mod_q = (~0ULL % q) + 1;
+    if (r_mod_q == q) r_mod_q = 0;
+    std::uint64_t r2 = r_mod_q;
+    for (int i = 0; i < 64; ++i) r2 = add_mod(r2, r2, q);  // * 2^64
+    r2_ = r2;
+    one_ = to_mont(1);
+  }
+
+  std::uint64_t modulus() const noexcept { return q_; }
+  std::uint64_t one() const noexcept { return one_; }
+
+  /// Montgomery reduction: T * R^{-1} mod q for T < q * 2^64.
+  std::uint64_t redc(unsigned __int128 t) const noexcept {
+    const std::uint64_t m = static_cast<std::uint64_t>(t) * neg_q_inv_;
+    const unsigned __int128 sum =
+        t + static_cast<unsigned __int128>(m) * q_;
+    std::uint64_t r = static_cast<std::uint64_t>(sum >> 64);
+    if (r >= q_) r -= q_;
+    return r;
+  }
+
+  std::uint64_t to_mont(std::uint64_t a) const noexcept {
+    return redc(static_cast<unsigned __int128>(a % q_) * r2_);
+  }
+
+  std::uint64_t from_mont(std::uint64_t a) const noexcept { return redc(a); }
+
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const noexcept {
+    return redc(static_cast<unsigned __int128>(a) * b);
+  }
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const noexcept {
+    return add_mod(a, b, q_);
+  }
+
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const noexcept {
+    return sub_mod(a, b, q_);
+  }
+
+  std::uint64_t pow(std::uint64_t a, std::uint64_t e) const noexcept {
+    std::uint64_t result = one_;
+    std::uint64_t base = a;
+    while (e != 0) {
+      if (e & 1) result = mul(result, base);
+      base = mul(base, base);
+      e >>= 1;
+    }
+    return result;
+  }
+
+ private:
+  std::uint64_t q_;
+  std::uint64_t neg_q_inv_;
+  std::uint64_t r2_;
+  std::uint64_t one_;
+};
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,32 @@
+#include "ntt/negacyclic.h"
+
+#include "common/check.h"
+#include "ntt/modular.h"
+#include "ntt/reference.h"
+
+namespace nttpim::ntt {
+
+void geometric_scale(std::vector<std::uint32_t>& a, std::uint32_t base,
+                     std::uint32_t scale0, std::uint32_t q) {
+  std::uint64_t factor = scale0 % q;
+  for (auto& x : a) {
+    x = static_cast<std::uint32_t>(mul_mod(x, factor, q));
+    factor = mul_mod(factor, base, q);
+  }
+}
+
+void forward_negacyclic_ntt(std::vector<std::uint32_t>& a,
+                            const NttParams& params) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  geometric_scale(a, params.psi(), 1, params.q());
+  forward_ntt(a, params);
+}
+
+void inverse_negacyclic_ntt(std::vector<std::uint32_t>& a,
+                            const NttParams& params) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  inverse_ntt(a, params);
+  geometric_scale(a, params.psi_inv(), 1, params.q());
+}
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,29 @@
+// Negacyclic (psi-scaled) NTT over Z_q[X]/(X^N + 1).
+//
+// FHE schemes use the ring R_q = Z_q[X]/(X^N + 1) (paper Sec. II.B); the
+// negacyclic transform is the cyclic NTT with psi^i pre-scaling (psi a
+// primitive 2N-th root, psi^2 = omega), making the pointwise product
+// correspond to polynomial multiplication modulo X^N + 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ntt/params.h"
+
+namespace nttpim::ntt {
+
+/// Elementwise a[i] *= base^i (geometric scaling — the same operation the
+/// PIM realizes with the zero-operand C2 trick; see mapping/mapper.h).
+void geometric_scale(std::vector<std::uint32_t>& a, std::uint32_t base,
+                     std::uint32_t scale0, std::uint32_t q);
+
+/// Forward negacyclic NTT, natural -> natural.
+void forward_negacyclic_ntt(std::vector<std::uint32_t>& a,
+                            const NttParams& params);
+
+/// Inverse negacyclic NTT, natural -> natural.
+void inverse_negacyclic_ntt(std::vector<std::uint32_t>& a,
+                            const NttParams& params);
+
+}  // namespace nttpim::ntt

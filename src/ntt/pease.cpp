@@ -1,0 +1,58 @@
+#include "ntt/pease.h"
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+
+std::vector<std::uint32_t> ntt_pease_natural_to_bitrev(
+    std::span<const std::uint32_t> a, const NttParams& params) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  const std::size_t n = params.n();
+  const std::uint64_t q = params.q();
+  const unsigned stages = params.log2n();
+
+  std::vector<std::uint32_t> cur(a.begin(), a.end());
+  std::vector<std::uint32_t> nxt(n);
+  // idx[slot] = the standard-layout index whose value currently sits in
+  // `slot`. Tracking it makes the constant-geometry twiddle selection
+  // transparently correct: each constant-geometry pair (j, j + n/2) holds a
+  // standard DIF pair (i, i + h), and we look its twiddle up directly.
+  std::vector<std::uint32_t> idx(n);
+  std::vector<std::uint32_t> idx_nxt(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<std::uint32_t>(i);
+
+  std::size_t h = n / 2;  // span of the standard DIF stage being performed
+  for (unsigned s = 0; s < stages; ++s, h >>= 1) {
+    const std::uint64_t step = params.omega_pow(n / (2 * h));
+    for (std::size_t j = 0; j < n / 2; ++j) {
+      const std::uint32_t i = idx[j];
+      NTTPIM_CHECK_MSG(idx[j + n / 2] == i + h,
+                       "constant-geometry pairing invariant broken");
+      const std::uint64_t u = cur[j];
+      const std::uint64_t v = cur[j + n / 2];
+      const std::uint64_t w = pow_mod(step, i % (2 * h), q);
+      nxt[2 * j] = static_cast<std::uint32_t>(add_mod(u, v, q));
+      nxt[2 * j + 1] =
+          static_cast<std::uint32_t>(mul_mod(sub_mod(u, v, q), w, q));
+      idx_nxt[2 * j] = i;
+      idx_nxt[2 * j + 1] = i + static_cast<std::uint32_t>(h);
+    }
+    cur.swap(nxt);
+    idx.swap(idx_nxt);
+  }
+
+  // The interleaving performed by the stages lands the results exactly in
+  // the bit-reversed positions of the standard DIF output; undo the tracking
+  // permutation so the function's contract matches ntt_dif_natural_to_bitrev.
+  std::vector<std::uint32_t> out(n);
+  for (std::size_t slot = 0; slot < n; ++slot) out[idx[slot]] = cur[slot];
+  return out;
+}
+
+unsigned pease_shuffle_passes(const NttParams& params) {
+  return params.log2n();
+}
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,28 @@
+// Pease constant-geometry NTT.
+//
+// The paper (Sec. II.B) discusses Pease's parallel FFT as an alternative to
+// Cooley–Tukey: every stage performs the same adjacent-pair butterfly pattern
+// followed by a perfect-shuffle data movement, which suits ASIC/FPGA
+// pipelines but requires log N shuffling passes — the very cost the paper's
+// row-centric mapping avoids. We implement it as a baseline and to quantify
+// that data-movement penalty in the kernel benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ntt/params.h"
+
+namespace nttpim::ntt {
+
+/// Constant-geometry (Pease) NTT: natural input -> bit-reversed output.
+/// Mathematically identical to the Gentleman–Sande DIF transform.
+std::vector<std::uint32_t> ntt_pease_natural_to_bitrev(
+    std::span<const std::uint32_t> a, const NttParams& params);
+
+/// Number of whole-array shuffle passes Pease performs (= log2 N); used by
+/// benches to report data movement.
+unsigned pease_shuffle_passes(const NttParams& params);
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,190 @@
+#include "ntt/primes.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+
+namespace {
+
+// Strong-probable-prime test to base a; n odd, n-1 = d * 2^r.
+bool sprp(std::uint64_t n, std::uint64_t a, std::uint64_t d, unsigned r) {
+  std::uint64_t x = pow_mod(a % n, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (unsigned i = 1; i < r; ++i) {
+    x = mul_mod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+std::uint64_t pollard_rho(std::uint64_t n, std::uint64_t c) {
+  // Brent's cycle-finding variant.
+  auto f = [n, c](std::uint64_t x) { return add_mod(mul_mod(x, x, n), c, n); };
+  std::uint64_t x = 2, y = 2, d = 1;
+  std::uint64_t saved_y = y;
+  for (std::uint64_t limit = 1; d == 1; limit *= 2) {
+    x = y;
+    saved_y = y;
+    std::uint64_t product = 1;
+    for (std::uint64_t i = 0; i < limit && d == 1; ++i) {
+      y = f(y);
+      const std::uint64_t diff = x > y ? x - y : y - x;
+      if (diff == 0) return 0;  // cycle without factor; caller retries
+      product = mul_mod(product, diff, n);
+      if ((i & 127) == 127 || i + 1 == limit) {
+        d = std::gcd(product, n);
+        product = 1;
+      }
+    }
+  }
+  if (d != n && d != 1) return d;
+  // Backtrack one step at a time if the batched gcd overshot.
+  std::uint64_t z = saved_y;
+  while (true) {
+    z = f(z);
+    const std::uint64_t diff = x > z ? x - z : z - x;
+    const std::uint64_t g = std::gcd(diff, n);
+    if (g == 0 || g == n) return 0;
+    if (g != 1) return g;
+  }
+}
+
+void factor_into(std::uint64_t n, std::vector<std::uint64_t>& out) {
+  if (n == 1) return;
+  if (is_prime(n)) {
+    out.push_back(n);
+    return;
+  }
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+    if (n % p == 0) {
+      out.push_back(p);
+      while (n % p == 0) n /= p;
+      factor_into(n, out);
+      return;
+    }
+  }
+  std::uint64_t d = 0;
+  for (std::uint64_t c = 1; d == 0 || d == n; ++c) d = pollard_rho(n, c);
+  factor_into(d, out);
+  std::uint64_t rest = n;
+  while (rest % d == 0) rest /= d;
+  factor_into(rest, out);
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This base set is deterministic for all n < 2^64 (Sorenson–Webster).
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!sprp(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime_congruent_one(std::uint64_t floor,
+                                       std::uint64_t modulus_step) {
+  NTTPIM_EXPECT(modulus_step != 0);
+  std::uint64_t k = floor / modulus_step + 1;
+  while (true) {
+    const std::uint64_t candidate = k * modulus_step + 1;
+    NTTPIM_CHECK_MSG(candidate < (1ULL << 62),
+                     "prime search exceeded 2^62 — bad parameters");
+    if (candidate > floor && is_prime(candidate)) return candidate;
+    ++k;
+  }
+}
+
+std::uint32_t find_ntt_prime(std::size_t n, unsigned bits) {
+  NTTPIM_EXPECT(is_pow2(n));
+  NTTPIM_EXPECT_MSG(bits >= 4 && bits <= 31, "bits must be in [4, 31]");
+  const std::uint64_t step = 2 * static_cast<std::uint64_t>(n);
+  const std::uint64_t top = 1ULL << bits;
+  NTTPIM_EXPECT_MSG(step < top, "N too large for the requested bit width");
+  // Search downward from 2^bits for the largest q = k*2N + 1 that is prime.
+  for (std::uint64_t k = (top - 1) / step; k >= 1; --k) {
+    const std::uint64_t candidate = k * step + 1;
+    if (candidate < top && is_prime(candidate))
+      return static_cast<std::uint32_t>(candidate);
+  }
+  throw std::runtime_error("no NTT-friendly prime found for given N/bits");
+}
+
+std::vector<std::uint32_t> find_ntt_primes(std::size_t n, unsigned bits,
+                                           std::size_t count) {
+  NTTPIM_EXPECT(is_pow2(n));
+  NTTPIM_EXPECT(count >= 1);
+  const std::uint64_t step = 2 * static_cast<std::uint64_t>(n);
+  const std::uint64_t top = 1ULL << bits;
+  NTTPIM_EXPECT_MSG(step < top, "N too large for the requested bit width");
+  std::vector<std::uint32_t> primes;
+  for (std::uint64_t k = (top - 1) / step; k >= 1 && primes.size() < count;
+       --k) {
+    const std::uint64_t candidate = k * step + 1;
+    if (candidate < top && is_prime(candidate))
+      primes.push_back(static_cast<std::uint32_t>(candidate));
+  }
+  NTTPIM_CHECK_MSG(primes.size() == count,
+                   "not enough NTT-friendly primes below 2^bits");
+  return primes;
+}
+
+std::vector<std::uint64_t> prime_factors(std::uint64_t n) {
+  NTTPIM_EXPECT(n >= 1);
+  std::vector<std::uint64_t> out;
+  factor_into(n, out);
+  return out;
+}
+
+bool has_order(std::uint64_t w, std::uint64_t n, std::uint64_t q) {
+  if (w % q == 0) return false;
+  if (pow_mod(w, n, q) != 1) return false;
+  for (const std::uint64_t p : prime_factors(n)) {
+    if (pow_mod(w, n / p, q) == 1) return false;
+  }
+  return true;
+}
+
+std::uint64_t find_generator(std::uint64_t q) {
+  NTTPIM_EXPECT(is_prime(q));
+  const std::uint64_t group_order = q - 1;
+  const auto factors = prime_factors(group_order);
+  for (std::uint64_t g = 2; g < q; ++g) {
+    bool generator = true;
+    for (const std::uint64_t p : factors) {
+      if (pow_mod(g, group_order / p, q) == 1) {
+        generator = false;
+        break;
+      }
+    }
+    if (generator) return g;
+  }
+  throw std::runtime_error("no generator found (q not prime?)");
+}
+
+std::uint64_t primitive_root_of_unity(std::uint64_t q, std::uint64_t n) {
+  NTTPIM_EXPECT_MSG((q - 1) % n == 0, "n must divide q-1");
+  const std::uint64_t g = find_generator(q);
+  const std::uint64_t w = pow_mod(g, (q - 1) / n, q);
+  NTTPIM_CHECK(has_order(w, n, q));
+  return w;
+}
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,42 @@
+// NTT parameter search: primality testing, NTT-friendly prime generation and
+// primitive roots of unity.
+//
+// The paper stresses that NTT-PIM "can support arbitrary polynomial length
+// and modulo values"; this module supplies valid (q, omega, psi) triples for
+// any power-of-two N, which the host passes to the PIM as parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nttpim::ntt {
+
+/// Deterministic Miller–Rabin, exact for all n < 2^64.
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime q > floor with q ≡ 1 (mod modulus_step).
+/// Throws std::runtime_error if none exists below 2^62.
+std::uint64_t next_prime_congruent_one(std::uint64_t floor,
+                                       std::uint64_t modulus_step);
+
+/// Find an NTT-friendly prime q ≡ 1 (mod 2N) with approximately `bits` bits
+/// (the largest such prime below 2^bits). N must be a power of two.
+std::uint32_t find_ntt_prime(std::size_t n, unsigned bits = 31);
+
+/// Find several distinct NTT-friendly primes (for RNS moduli chains).
+std::vector<std::uint32_t> find_ntt_primes(std::size_t n, unsigned bits,
+                                           std::size_t count);
+
+/// Distinct prime factors of n (trial division + Pollard rho; n < 2^62).
+std::vector<std::uint64_t> prime_factors(std::uint64_t n);
+
+/// Smallest generator of Z_q^* for prime q.
+std::uint64_t find_generator(std::uint64_t q);
+
+/// A primitive n-th root of unity mod prime q; requires n | q-1.
+std::uint64_t primitive_root_of_unity(std::uint64_t q, std::uint64_t n);
+
+/// True iff w has exact multiplicative order n mod q.
+bool has_order(std::uint64_t w, std::uint64_t n, std::uint64_t q);
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,24 @@
+// Radix-4 NTT (recursive), natural -> natural.
+//
+// Radix-4 halves the stage count relative to radix-2 at the cost of a more
+// complex butterfly — a common FPGA/ASIC design point (cf. the vector-radix
+// discussion in paper Sec. II.B). Requires N to be a power of four; kernel
+// benchmarks compare it against the radix-2 variants.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ntt/params.h"
+
+namespace nttpim::ntt {
+
+/// True iff n is a power of four (the radix-4 applicability condition).
+bool is_pow4(std::size_t n);
+
+/// Recursive radix-4 NTT; requires is_pow4(params.n()).
+std::vector<std::uint32_t> ntt_radix4(std::span<const std::uint32_t> a,
+                                      const NttParams& params);
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,216 @@
+#include "ntt/reference.h"
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "ntt/modular.h"
+#include "ntt/montgomery.h"
+
+namespace nttpim::ntt {
+
+std::vector<std::uint32_t> naive_dft(std::span<const std::uint32_t> a,
+                                     const NttParams& params) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  const std::uint64_t q = params.q();
+  const std::size_t n = params.n();
+  std::vector<std::uint32_t> x(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::uint64_t acc = 0;
+    const std::uint64_t wk = params.omega_pow(k);
+    std::uint64_t w = 1;  // omega^{ik}, stepped by omega^k per i
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = add_mod(acc, mul_mod(a[i], w, q), q);
+      w = mul_mod(w, wk, q);
+    }
+    x[k] = static_cast<std::uint32_t>(acc);
+  }
+  return x;
+}
+
+std::vector<std::uint32_t> naive_idft(std::span<const std::uint32_t> x,
+                                      const NttParams& params) {
+  NTTPIM_EXPECT(x.size() == params.n());
+  const std::uint64_t q = params.q();
+  const std::size_t n = params.n();
+  std::vector<std::uint32_t> a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t acc = 0;
+    const std::uint64_t wi = pow_mod(params.omega_inv(), i, q);
+    std::uint64_t w = 1;
+    for (std::size_t k = 0; k < n; ++k) {
+      acc = add_mod(acc, mul_mod(x[k], w, q), q);
+      w = mul_mod(w, wi, q);
+    }
+    a[i] = static_cast<std::uint32_t>(mul_mod(acc, params.n_inv(), q));
+  }
+  return a;
+}
+
+namespace {
+
+// Shared DIT kernel over an explicit modulus and twiddle base (omega for
+// forward, omega^-1 for unscaled inverse).
+void dit_kernel_raw(std::span<std::uint32_t> a, std::uint64_t q,
+                    std::uint64_t twiddle_base) {
+  const std::size_t n = a.size();
+  for (std::size_t m = 1; m < n; m <<= 1) {
+    // Stage with span m: butterfly pairs (k+j, k+j+m); twiddle step
+    // w_s = base^(n/(2m)), twiddles w_s^j reset at each group.
+    const std::uint64_t step = pow_mod(twiddle_base, n / (2 * m), q);
+    for (std::size_t k = 0; k < n; k += 2 * m) {
+      std::uint64_t w = 1;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint64_t u = a[k + j];
+        const std::uint64_t t = mul_mod(a[k + j + m], w, q);
+        a[k + j] = static_cast<std::uint32_t>(add_mod(u, t, q));
+        a[k + j + m] = static_cast<std::uint32_t>(sub_mod(u, t, q));
+        w = mul_mod(w, step, q);
+      }
+    }
+  }
+}
+
+void dit_kernel(std::span<std::uint32_t> a, const NttParams& params,
+                std::uint32_t twiddle_base) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  dit_kernel_raw(a, params.q(), twiddle_base);
+}
+
+}  // namespace
+
+void ntt_dit_bitrev_to_natural(std::span<std::uint32_t> a,
+                               const NttParams& params) {
+  dit_kernel(a, params, params.omega());
+}
+
+void intt_dit_bitrev_to_natural(std::span<std::uint32_t> a,
+                                const NttParams& params) {
+  dit_kernel(a, params, params.omega_inv());
+}
+
+void forward_ntt_with_root(std::vector<std::uint32_t>& a, std::uint32_t q,
+                           std::uint32_t omega) {
+  NTTPIM_EXPECT(is_pow2(a.size()));
+  NTTPIM_EXPECT_MSG(pow_mod(omega, a.size(), q) == 1,
+                    "omega must be an |a|-th root of unity mod q");
+  bit_reverse_permute(a);
+  dit_kernel_raw(a, q, omega);
+}
+
+void ntt_dif_natural_to_bitrev(std::span<std::uint32_t> a,
+                               const NttParams& params) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  const std::uint64_t q = params.q();
+  const std::size_t n = params.n();
+  for (std::size_t m = n / 2; m >= 1; m >>= 1) {
+    const std::uint64_t step = params.omega_pow(n / (2 * m));
+    for (std::size_t k = 0; k < n; k += 2 * m) {
+      std::uint64_t w = 1;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint64_t u = a[k + j];
+        const std::uint64_t v = a[k + j + m];
+        a[k + j] = static_cast<std::uint32_t>(add_mod(u, v, q));
+        a[k + j + m] =
+            static_cast<std::uint32_t>(mul_mod(sub_mod(u, v, q), w, q));
+        w = mul_mod(w, step, q);
+      }
+    }
+  }
+}
+
+std::vector<std::uint32_t> ntt_recursive(std::span<const std::uint32_t> a,
+                                         const NttParams& params) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  const std::uint64_t q = params.q();
+
+  // Recursive even/odd (DIT) split over an explicit stride view.
+  struct Impl {
+    std::uint64_t q;
+    std::span<const std::uint32_t> data;
+
+    std::vector<std::uint32_t> run(std::size_t offset, std::size_t stride,
+                                   std::size_t n, std::uint64_t omega) const {
+      if (n == 1) return {data[offset]};
+      const std::uint64_t omega2 = mul_mod(omega, omega, q);
+      const auto even = run(offset, stride * 2, n / 2, omega2);
+      const auto odd = run(offset + stride, stride * 2, n / 2, omega2);
+      std::vector<std::uint32_t> out(n);
+      std::uint64_t w = 1;
+      for (std::size_t k = 0; k < n / 2; ++k) {
+        const std::uint64_t t = mul_mod(odd[k], w, q);
+        out[k] = static_cast<std::uint32_t>(add_mod(even[k], t, q));
+        out[k + n / 2] = static_cast<std::uint32_t>(sub_mod(even[k], t, q));
+        w = mul_mod(w, omega, q);
+      }
+      return out;
+    }
+  };
+
+  return Impl{q, a}.run(0, 1, params.n(), params.omega());
+}
+
+void forward_ntt(std::vector<std::uint32_t>& a, const NttParams& params) {
+  bit_reverse_permute(a);
+  ntt_dit_bitrev_to_natural(a, params);
+}
+
+void inverse_ntt(std::vector<std::uint32_t>& a, const NttParams& params) {
+  bit_reverse_permute(a);
+  intt_dit_bitrev_to_natural(a, params);
+  const std::uint64_t q = params.q();
+  for (auto& x : a)
+    x = static_cast<std::uint32_t>(mul_mod(x, params.n_inv(), q));
+}
+
+void forward_ntt_plain_mod(std::vector<std::uint32_t>& a, std::uint32_t q,
+                           std::uint32_t omega) {
+  NTTPIM_EXPECT(is_pow2(a.size()));
+  bit_reverse_permute(a);
+  const std::size_t n = a.size();
+  for (std::size_t m = 1; m < n; m <<= 1) {
+    // Twiddle step computed on the fly by repeated squaring-free powmod —
+    // deliberately unoptimized, mirroring plain software.
+    std::uint64_t step = omega;
+    for (std::size_t h = 2 * m; h < n; h <<= 1) step = step * step % q;
+    for (std::size_t k = 0; k < n; k += 2 * m) {
+      std::uint64_t w = 1;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint64_t u = a[k + j];
+        const std::uint64_t t = a[k + j + m] * w % q;
+        a[k + j] = static_cast<std::uint32_t>((u + t) % q);
+        a[k + j + m] = static_cast<std::uint32_t>((u + q - t) % q);
+        w = w * step % q;
+      }
+    }
+  }
+}
+
+void forward_ntt_montgomery(std::vector<std::uint32_t>& a,
+                            const NttParams& params) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  const Montgomery32 mont(params.q());
+  const std::size_t n = params.n();
+
+  // Twiddle table in Montgomery form, ordered for sequential stage access.
+  const auto& tw = params.twiddles();
+  std::vector<std::uint32_t> mtw(tw.size());
+  for (std::size_t i = 0; i < tw.size(); ++i) mtw[i] = mont.to_mont(tw[i]);
+
+  bit_reverse_permute(a);
+  for (auto& x : a) x = mont.to_mont(x);
+
+  for (std::size_t m = 1; m < n; m <<= 1) {
+    const std::size_t exponent_step = n / (2 * m);
+    for (std::size_t k = 0; k < n; k += 2 * m) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint32_t w = mtw[j * exponent_step];
+        const std::uint32_t u = a[k + j];
+        const std::uint32_t t = mont.mul(a[k + j + m], w);
+        a[k + j] = mont.add(u, t);
+        a[k + j + m] = mont.sub(u, t);
+      }
+    }
+  }
+  for (auto& x : a) x = mont.from_mont(x);
+}
+
+}  // namespace nttpim::ntt

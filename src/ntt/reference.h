@@ -1,0 +1,74 @@
+// Reference NTT implementations (golden models and CPU baselines).
+//
+// Conventions. All functions operate on vectors of residues in [0, q).
+//  - "bitrev -> natural": expects input permuted by bit reversal, produces
+//    output in natural index order (Cooley–Tukey / DIT dataflow, the one the
+//    PIM mapping uses; the paper assumes host software performs the bit
+//    reversal).
+//  - "natural -> bitrev": Gentleman–Sande / DIF dataflow.
+//  - forward_ntt / inverse_ntt are the natural->natural conveniences.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ntt/params.h"
+
+namespace nttpim::ntt {
+
+/// O(N^2) DFT over Z_q: X[k] = sum_i a[i] * omega^{ik}. Golden model.
+std::vector<std::uint32_t> naive_dft(std::span<const std::uint32_t> a,
+                                     const NttParams& params);
+
+/// O(N^2) inverse DFT: a[i] = n^{-1} * sum_k X[k] * omega^{-ik}.
+std::vector<std::uint32_t> naive_idft(std::span<const std::uint32_t> x,
+                                      const NttParams& params);
+
+/// In-place iterative Cooley–Tukey (DIT): bit-reversed input -> natural
+/// output. Butterfly: (a, b) -> (a + w*b, a - w*b); stage s in [1, log N]
+/// uses twiddles w_s^j, w_s = omega^(N / 2^s), j = in-group offset.
+void ntt_dit_bitrev_to_natural(std::span<std::uint32_t> a,
+                               const NttParams& params);
+
+/// In-place DIT with inverse twiddles (no final scaling): bit-reversed input
+/// -> natural output of the *unscaled* inverse transform.
+void intt_dit_bitrev_to_natural(std::span<std::uint32_t> a,
+                                const NttParams& params);
+
+/// In-place iterative Gentleman–Sande (DIF): natural input -> bit-reversed
+/// output. Butterfly: (a, b) -> (a + b, (a - b) * w).
+void ntt_dif_natural_to_bitrev(std::span<std::uint32_t> a,
+                               const NttParams& params);
+
+/// Recursive Cooley–Tukey (even/odd split), natural -> natural. Slower, used
+/// to cross-check and to mirror the paper's recursive-decomposition argument
+/// (Sec. III.A).
+std::vector<std::uint32_t> ntt_recursive(std::span<const std::uint32_t> a,
+                                         const NttParams& params);
+
+/// Natural -> natural forward NTT (bit-reverse + DIT).
+void forward_ntt(std::vector<std::uint32_t>& a, const NttParams& params);
+
+/// Natural -> natural forward NTT over an explicit primitive |a|-th root —
+/// used by composed algorithms (e.g. the four-step NTT) whose
+/// sub-transforms must share the parent transform's root rather than a
+/// freshly derived one.
+void forward_ntt_with_root(std::vector<std::uint32_t>& a, std::uint32_t q,
+                           std::uint32_t omega);
+
+/// Natural -> natural inverse NTT (bit-reverse + DIT(omega^-1) + scale 1/N).
+void inverse_ntt(std::vector<std::uint32_t>& a, const NttParams& params);
+
+/// Deliberately plain NTT used as the "x86 CPU software" baseline: 64-bit
+/// `%` reduction, twiddles by repeated multiplication, no precomputed tables.
+/// This approximates the unoptimized software the paper compares against.
+void forward_ntt_plain_mod(std::vector<std::uint32_t>& a, std::uint32_t q,
+                           std::uint32_t omega);
+
+/// Optimized CPU NTT: Montgomery arithmetic with precomputed tables (what a
+/// performance-conscious host implementation looks like).
+void forward_ntt_montgomery(std::vector<std::uint32_t>& a,
+                            const NttParams& params);
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,42 @@
+#include "ntt/stockham.h"
+
+#include "common/check.h"
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+
+std::vector<std::uint32_t> ntt_stockham(std::span<const std::uint32_t> a,
+                                        const NttParams& params) {
+  NTTPIM_EXPECT(a.size() == params.n());
+  const std::size_t n = params.n();
+  const std::uint64_t q = params.q();
+
+  // Invariant after the stage with sub-transform length L (r = n/L
+  // interleaved transforms): cur[l*r + i] = DFT_L(x[i], x[i+r], ...)[l].
+  // The update merges pairs of interleaved length-L transforms into
+  // length-2L ones; output lands in natural order with no sorting pass.
+  std::vector<std::uint32_t> cur(a.begin(), a.end());
+  std::vector<std::uint32_t> nxt(n);
+
+  for (std::size_t sub_len = 1, r = n; sub_len < n; sub_len *= 2) {
+    const std::size_t half_r = r / 2;
+    const std::uint64_t w_step = params.omega_pow(half_r);  // omega_{2L}
+    std::uint64_t w = 1;
+    for (std::size_t l = 0; l < sub_len; ++l) {
+      for (std::size_t i = 0; i < half_r; ++i) {
+        const std::uint64_t even = cur[l * r + i];
+        const std::uint64_t odd = mul_mod(cur[l * r + i + half_r], w, q);
+        nxt[l * half_r + i] =
+            static_cast<std::uint32_t>(add_mod(even, odd, q));
+        nxt[(l + sub_len) * half_r + i] =
+            static_cast<std::uint32_t>(sub_mod(even, odd, q));
+      }
+      w = mul_mod(w, w_step, q);
+    }
+    cur.swap(nxt);
+    r = half_r;
+  }
+  return cur;
+}
+
+}  // namespace nttpim::ntt

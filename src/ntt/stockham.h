@@ -1,0 +1,21 @@
+// Stockham self-sorting NTT.
+//
+// Discussed in the paper (Sec. II.B) as the self-sorting alternative: no bit
+// reversal is needed, but every stage streams the whole array through a
+// double buffer — log N full-array passes of data movement. Implemented as a
+// baseline for the kernel benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ntt/params.h"
+
+namespace nttpim::ntt {
+
+/// Stockham autosort NTT: natural input -> natural output, double-buffered.
+std::vector<std::uint32_t> ntt_stockham(std::span<const std::uint32_t> a,
+                                        const NttParams& params);
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,48 @@
+// Software model of the on-the-fly twiddle factor generator (TFG).
+//
+// The hardware CU keeps a current-twiddle register and a step register and
+// produces one twiddle per butterfly via a single modular multiply
+// (omega <- omega * step), mirroring the scheme of Aysu et al. [21] that the
+// paper adopts. The memory controller loads (omega0, step) via PARAM
+// commands; C2 commands carry a 1-bit reset that reloads omega0.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+
+class TwiddleGenerator {
+ public:
+  explicit TwiddleGenerator(std::uint32_t q) : q_(q) {
+    NTTPIM_EXPECT(q > 1);
+  }
+
+  /// PARAM: load the sequence start value (does not reset the current value).
+  void set_omega0(std::uint32_t omega0) noexcept { omega0_ = omega0 % q_; }
+  /// PARAM: load the per-butterfly step.
+  void set_step(std::uint32_t step) noexcept { step_ = step % q_; }
+  /// TFG reset bit on a compute command: current <- omega0.
+  void reset() noexcept { current_ = omega0_; }
+
+  std::uint32_t omega0() const noexcept { return omega0_; }
+  std::uint32_t step() const noexcept { return step_; }
+  std::uint32_t current() const noexcept { return current_; }
+
+  /// Produce the twiddle for the next butterfly and advance the sequence.
+  std::uint32_t next() noexcept {
+    const std::uint32_t value = current_;
+    current_ = static_cast<std::uint32_t>(mul_mod(current_, step_, q_));
+    return value;
+  }
+
+ private:
+  std::uint32_t q_;
+  std::uint32_t omega0_ = 1;
+  std::uint32_t step_ = 1;
+  std::uint32_t current_ = 1;
+};
+
+}  // namespace nttpim::ntt

@@ -1,0 +1,23 @@
+// Atom buffers (paper Fig. 2).
+//
+// Buffer 0 is the primary atom buffer P — the bank's existing global sense
+// amplifiers. Buffers 1..Nb-1 are the secondary atom buffers S implemented
+// with 6T SRAM cells + inverters. Each holds exactly one DRAM atom
+// (Na = 8 32-bit words) and is single-ported; concurrency limits are
+// enforced by the timing engine, not here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace nttpim::pim {
+
+inline constexpr std::size_t kAtomWords = 8;  ///< Na (32 B / 32-bit words)
+
+struct AtomBuffer {
+  std::array<std::uint32_t, kAtomWords> words{};
+
+  void clear() noexcept { words.fill(0); }
+};
+
+}  // namespace nttpim::pim

@@ -1,0 +1,92 @@
+#include "pim/cu.h"
+
+#include "common/check.h"
+#include "ntt/modular.h"
+
+namespace nttpim::pim {
+
+using ntt::add_mod;
+using ntt::mul_mod;
+using ntt::pow_mod;
+using ntt::sub_mod;
+
+void ComputeUnit::load_param(dram::ParamReg reg, std::uint32_t value) {
+  switch (reg) {
+    case dram::ParamReg::kModulus:
+      NTTPIM_EXPECT_MSG(value > 1, "modulus must exceed 1");
+      q_ = value;
+      tfg_ = ntt::TwiddleGenerator(q_);
+      break;
+    case dram::ParamReg::kTfgOmega0:
+      tfg_.set_omega0(value);
+      break;
+    case dram::ParamReg::kTfgStep:
+      tfg_.set_step(value);
+      break;
+    case dram::ParamReg::kC1Root:
+      c1_root_ = value % q_;
+      break;
+  }
+}
+
+void ComputeUnit::exec_c1(AtomBuffer& buf, unsigned stages) {
+  NTTPIM_EXPECT_MSG(stages >= 1 && stages <= 3,
+                    "C1 supports 1..log2(Na) stages");
+  const std::size_t points = std::size_t{1} << stages;
+  NTTPIM_CHECK(points <= kAtomWords);
+  // `stages` DIT stages over the first 2^stages words. The per-stage twiddle
+  // step is c1_root^(2^(stages-s)): squaring the root register per stage —
+  // exactly what the tiny C1 twiddle logic does in hardware.
+  for (unsigned s = 1; s <= stages; ++s) {
+    const std::size_t m = std::size_t{1} << (s - 1);
+    const std::uint64_t step =
+        pow_mod(c1_root_, std::uint64_t{1} << (stages - s), q_);
+    for (std::size_t k = 0; k < points; k += 2 * m) {
+      std::uint64_t w = 1;
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::uint64_t u = buf.words[k + j];
+        const std::uint64_t t = mul_mod(buf.words[k + j + m], w, q_);
+        buf.words[k + j] = static_cast<std::uint32_t>(add_mod(u, t, q_));
+        buf.words[k + j + m] =
+            static_cast<std::uint32_t>(sub_mod(u, t, q_));
+        w = mul_mod(w, step, q_);
+        ++butterflies_;
+      }
+    }
+  }
+}
+
+void ComputeUnit::exec_c2(AtomBuffer& p, AtomBuffer& s, bool tfg_reset) {
+  NTTPIM_EXPECT_MSG(&p != &s, "C2 operand buffers must be distinct");
+  if (tfg_reset) tfg_.reset();
+  for (std::size_t j = 0; j < kAtomWords; ++j) {
+    const std::uint64_t w = tfg_.next();
+    const std::uint64_t a = p.words[j];
+    const std::uint64_t t = mul_mod(s.words[j], w, q_);
+    p.words[j] = static_cast<std::uint32_t>(add_mod(a, t, q_));
+    s.words[j] = static_cast<std::uint32_t>(sub_mod(a, t, q_));
+    ++butterflies_;
+  }
+}
+
+void ComputeUnit::set_scalar_reg(unsigned index, std::uint32_t value) {
+  NTTPIM_EXPECT(index < 2);
+  scalar_[index] = value % q_;
+}
+
+std::uint32_t ComputeUnit::scalar_reg(unsigned index) const {
+  NTTPIM_EXPECT(index < 2);
+  return scalar_[index];
+}
+
+void ComputeUnit::exec_scalar_bu(bool tfg_reset) {
+  if (tfg_reset) tfg_.reset();
+  const std::uint64_t w = tfg_.next();
+  const std::uint64_t a = scalar_[0];
+  const std::uint64_t t = mul_mod(scalar_[1], w, q_);
+  scalar_[0] = static_cast<std::uint32_t>(add_mod(a, t, q_));
+  scalar_[1] = static_cast<std::uint32_t>(sub_mod(a, t, q_));
+  ++butterflies_;
+}
+
+}  // namespace nttpim::pim

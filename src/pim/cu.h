@@ -1,0 +1,60 @@
+// Compute Unit (CU) functional model — paper Fig. 2 (right), Algorithms 1–2.
+//
+// The CU contains: a fully pipelined butterfly unit (two ModAdd/Sub, one
+// ModMult with Montgomery reduction), the twiddle factor generator (TFG),
+// two scalar operand registers, parameter registers loaded via PARAM
+// commands, and a crossbar connecting buffers to the BU registers.
+//
+// This class implements the *functional* semantics; latencies live in
+// DramTiming and are accounted by the simulation engine. Arithmetic is
+// computed directly in Z_q (the hardware's Montgomery pipeline is
+// bit-exact with this; montgomery.h is cross-checked in the tests).
+#pragma once
+
+#include <cstdint>
+
+#include "dram/command.h"
+#include "ntt/twiddle.h"
+#include "pim/buffer.h"
+
+namespace nttpim::pim {
+
+class ComputeUnit {
+ public:
+  ComputeUnit() : tfg_(2) {}
+
+  /// PARAM command: load a parameter register.
+  void load_param(dram::ParamReg reg, std::uint32_t value);
+
+  std::uint32_t modulus() const noexcept { return q_; }
+  const ntt::TwiddleGenerator& tfg() const noexcept { return tfg_; }
+
+  /// C1: in-buffer NTT of one atom — `stages` DIT stages (bit-reversed
+  /// layout within the atom), using the C1 root parameter register.
+  /// Counts 4*stages butterflies.
+  void exec_c1(AtomBuffer& buf, unsigned stages);
+
+  /// C2: Na-way vectorized DIT butterfly across two buffers:
+  ///   (p[j], s[j]) <- (p[j] + w_j * s[j],  p[j] - w_j * s[j])
+  /// with w_j produced by the TFG (reset first if `tfg_reset`).
+  void exec_c2(AtomBuffer& p, AtomBuffer& s, bool tfg_reset);
+
+  /// Scalar path (single-buffer fallback): registers.
+  void set_scalar_reg(unsigned index, std::uint32_t value);
+  std::uint32_t scalar_reg(unsigned index) const;
+
+  /// One scalar butterfly on (r0, r1) with a TFG twiddle.
+  void exec_scalar_bu(bool tfg_reset);
+
+  /// Total butterfly operations executed (for the energy model).
+  std::uint64_t butterfly_count() const noexcept { return butterflies_; }
+
+ private:
+  std::uint32_t q_ = 3;  ///< placeholder modulus until PARAM arrives
+  std::uint32_t c1_root_ = 1;
+  ntt::TwiddleGenerator tfg_;
+  std::uint32_t scalar_[2] = {0, 0};
+  std::uint64_t butterflies_ = 0;
+};
+
+}  // namespace nttpim::pim

@@ -1,0 +1,112 @@
+#include "pim/device.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nttpim::pim {
+
+PimBank::PimBank(const dram::DramGeometry& geometry, std::size_t num_buffers)
+    : array_(geometry), buffers_(num_buffers) {
+  NTTPIM_EXPECT_MSG(num_buffers >= 1, "at least the GSA buffer must exist");
+  NTTPIM_EXPECT_MSG(geometry.words_per_atom() == kAtomWords,
+                    "geometry atom size must match the CU datapath");
+}
+
+const AtomBuffer& PimBank::buffer(std::size_t index) const {
+  NTTPIM_EXPECT(index < buffers_.size());
+  return buffers_[index];
+}
+
+AtomBuffer& PimBank::buffer_ref(std::size_t index) {
+  NTTPIM_EXPECT_MSG(index < buffers_.size(),
+                    "command references a buffer beyond Nb");
+  return buffers_[index];
+}
+
+void PimBank::apply(const dram::Command& cmd) {
+  using dram::CmdKind;
+  switch (cmd.kind) {
+    case CmdKind::kAct:
+      NTTPIM_CHECK_MSG(open_row_ == -1, "functional ACT on open bank");
+      open_row_ = cmd.row;
+      break;
+    case CmdKind::kPre:
+      NTTPIM_CHECK_MSG(open_row_ != -1, "functional PRE on closed bank");
+      open_row_ = -1;
+      break;
+    case CmdKind::kCuRead: {
+      NTTPIM_CHECK_MSG(open_row_ == cmd.row, "CU_RD row mismatch");
+      const auto atom = array_.read_atom(cmd.row, cmd.atom);
+      auto& buf = buffer_ref(cmd.buf);
+      std::copy(atom.begin(), atom.end(), buf.words.begin());
+      break;
+    }
+    case CmdKind::kCuWrite: {
+      NTTPIM_CHECK_MSG(open_row_ == cmd.row, "CU_WR row mismatch");
+      const auto& buf = buffer_ref(cmd.buf);
+      array_.write_atom(cmd.row, cmd.atom, buf.words);
+      break;
+    }
+    case CmdKind::kC1:
+      cu_.exec_c1(buffer_ref(cmd.buf), cmd.stages);
+      break;
+    case CmdKind::kC2:
+      NTTPIM_EXPECT_MSG(cmd.buf != cmd.buf2,
+                        "C2 requires two distinct buffers");
+      cu_.exec_c2(buffer_ref(cmd.buf), buffer_ref(cmd.buf2), cmd.tfg_reset);
+      break;
+    case CmdKind::kParam:
+      cu_.load_param(cmd.param_reg, cmd.param_value);
+      break;
+    case CmdKind::kBufZero:
+      buffer_ref(cmd.buf).clear();
+      break;
+    case CmdKind::kScalarRead: {
+      NTTPIM_CHECK_MSG(open_row_ == cmd.row, "S_RD row mismatch");
+      // The column read lands the atom in the GSA (buffer 0); the LSU then
+      // latches one word into a scalar register.
+      const auto atom = array_.read_atom(cmd.row, cmd.atom);
+      auto& gsa = buffer_ref(0);
+      std::copy(atom.begin(), atom.end(), gsa.words.begin());
+      cu_.set_scalar_reg(cmd.scalar_reg, gsa.words[cmd.lane]);
+      break;
+    }
+    case CmdKind::kScalarWrite: {
+      NTTPIM_CHECK_MSG(open_row_ == cmd.row, "S_WR row mismatch");
+      // Read-modify-write through the GSA: the mapper guarantees the GSA
+      // already holds this atom's contents (it issued an S_RD earlier).
+      auto& gsa = buffer_ref(0);
+      gsa.words[cmd.lane] = cu_.scalar_reg(cmd.scalar_reg);
+      array_.write_atom(cmd.row, cmd.atom, gsa.words);
+      break;
+    }
+    case CmdKind::kScalarBu:
+      cu_.exec_scalar_bu(cmd.tfg_reset);
+      break;
+    case CmdKind::kRefresh:
+      // Cell contents are retained; nothing to do functionally.
+      break;
+  }
+}
+
+PimDevice::PimDevice(const dram::DramGeometry& geometry,
+                     std::size_t num_buffers)
+    : geometry_(geometry), num_buffers_(num_buffers) {
+  NTTPIM_EXPECT(geometry.banks >= 1);
+  banks_.reserve(geometry.banks);
+  for (std::size_t b = 0; b < geometry.banks; ++b)
+    banks_.emplace_back(geometry, num_buffers);
+}
+
+PimBank& PimDevice::bank(std::size_t index) {
+  NTTPIM_EXPECT(index < banks_.size());
+  return banks_[index];
+}
+
+const PimBank& PimDevice::bank(std::size_t index) const {
+  NTTPIM_EXPECT(index < banks_.size());
+  return banks_[index];
+}
+
+}  // namespace nttpim::pim

@@ -1,0 +1,63 @@
+// PIM device: banks augmented with atom buffers and a CU each.
+//
+// PimBank owns the functional state of one bank (cell array, buffers, CU);
+// PimDevice owns all banks plus the shared geometry. Command *timing* is the
+// simulation engine's job (sim/engine.h); PimBank::apply executes a
+// command's functional effect, in program order per bank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/bank.h"
+#include "dram/command.h"
+#include "dram/config.h"
+#include "pim/buffer.h"
+#include "pim/cu.h"
+
+namespace nttpim::pim {
+
+class PimBank {
+ public:
+  PimBank(const dram::DramGeometry& geometry, std::size_t num_buffers);
+
+  std::size_t num_buffers() const noexcept { return buffers_.size(); }
+  dram::DramArray& array() noexcept { return array_; }
+  const dram::DramArray& array() const noexcept { return array_; }
+  ComputeUnit& cu() noexcept { return cu_; }
+  const ComputeUnit& cu() const noexcept { return cu_; }
+  const AtomBuffer& buffer(std::size_t index) const;
+
+  /// Execute the functional effect of `cmd` (no timing). ACT/PRE only track
+  /// the functionally-open row used to validate column commands.
+  void apply(const dram::Command& cmd);
+
+  /// Row currently open from the functional perspective (-1 if closed).
+  std::int64_t functional_open_row() const noexcept { return open_row_; }
+
+ private:
+  AtomBuffer& buffer_ref(std::size_t index);
+
+  dram::DramArray array_;
+  std::vector<AtomBuffer> buffers_;
+  ComputeUnit cu_;
+  std::int64_t open_row_ = -1;
+};
+
+class PimDevice {
+ public:
+  PimDevice(const dram::DramGeometry& geometry, std::size_t num_buffers);
+
+  const dram::DramGeometry& geometry() const noexcept { return geometry_; }
+  std::size_t num_buffers() const noexcept { return num_buffers_; }
+  std::size_t num_banks() const noexcept { return banks_.size(); }
+  PimBank& bank(std::size_t index);
+  const PimBank& bank(std::size_t index) const;
+
+ private:
+  dram::DramGeometry geometry_;
+  std::size_t num_buffers_;
+  std::vector<PimBank> banks_;
+};
+
+}  // namespace nttpim::pim

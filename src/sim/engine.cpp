@@ -1,0 +1,361 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "dram/bank.h"
+
+namespace nttpim::sim {
+
+using dram::CmdKind;
+using dram::Command;
+
+namespace {
+
+/// Per-bank refresh state machine: a due refresh proceeds through up to
+/// three bus commands (PRE if a row is open, REF, restoring ACT), each
+/// scheduled competitively so other banks keep using the bus in between.
+enum class RefreshStep : std::uint8_t { kNone, kNeedRef, kNeedRestore };
+
+/// Per-bank scheduling state.
+struct BankState {
+  BankState(const dram::DramTiming& timing, std::size_t num_buffers)
+      : timing(timing),
+        buf_avail(num_buffers, 0),
+        next_refresh(timing.trefi) {}
+
+  dram::BankTiming timing;
+  std::vector<std::uint64_t> buf_avail;  ///< buffer busy-until timestamps
+  std::uint64_t cu_next_issue = 0;       ///< CU pipeline initiation slot
+  std::uint64_t cu_last_end = 0;         ///< completion of last compute
+  std::uint64_t scalar_ready = 0;        ///< scalar register file readiness
+  std::uint64_t next_refresh = 0;        ///< next tREFI deadline
+  RefreshStep refresh_step = RefreshStep::kNone;
+  std::int64_t saved_row = dram::BankTiming::kNoOpenRow;
+  std::vector<std::size_t> queue;        ///< indices into the trace
+  std::size_t head = 0;
+
+  bool done() const noexcept { return head == queue.size(); }
+};
+
+}  // namespace
+
+RunStats Engine::run(pim::PimDevice& device,
+                     std::span<const dram::Command> trace) const {
+  const dram::DramTiming& t = config_.timing;
+
+  std::vector<BankState> banks;
+  banks.reserve(device.num_banks());
+  for (std::size_t b = 0; b < device.num_banks(); ++b)
+    banks.emplace_back(t, device.num_buffers());
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    NTTPIM_EXPECT_MSG(trace[i].bank < device.num_banks(),
+                      "command targets a nonexistent bank");
+    banks[trace[i].bank].queue.push_back(i);
+  }
+
+  std::uint64_t bus_free = 0;
+  std::uint64_t makespan = 0;
+  RunStats stats;
+
+  std::uint64_t butterflies_before = 0;
+  for (std::size_t b = 0; b < device.num_banks(); ++b)
+    butterflies_before += device.bank(b).cu().butterfly_count();
+
+  // Earliest cycle at which the head command of `bs` could issue.
+  const auto earliest = [&](const BankState& bs,
+                            const Command& cmd) -> std::uint64_t {
+    std::uint64_t e = bus_free;
+    switch (cmd.kind) {
+      case CmdKind::kAct:
+        e = bs.timing.earliest_act(e);
+        break;
+      case CmdKind::kPre:
+        e = bs.timing.earliest_pre(e);
+        break;
+      case CmdKind::kCuRead:
+        e = bs.timing.earliest_column(e);
+        e = std::max(e, bs.buf_avail[cmd.buf]);
+        break;
+      case CmdKind::kCuWrite:
+        e = bs.timing.earliest_column(e);
+        e = std::max(e, bs.buf_avail[cmd.buf]);
+        break;
+      case CmdKind::kC1:
+        e = std::max(e, bs.cu_next_issue);
+        e = std::max(e, bs.buf_avail[cmd.buf]);
+        break;
+      case CmdKind::kC2:
+        e = std::max(e, bs.cu_next_issue);
+        e = std::max(e, bs.buf_avail[cmd.buf]);
+        e = std::max(e, bs.buf_avail[cmd.buf2]);
+        break;
+      case CmdKind::kParam:
+        // Parameter registers feed the TFG/BU; don't clobber in-flight ops.
+        e = std::max(e, bs.cu_last_end);
+        break;
+      case CmdKind::kBufZero:
+        e = std::max(e, bs.buf_avail[cmd.buf]);
+        break;
+      case CmdKind::kScalarRead:
+        e = bs.timing.earliest_column(e);
+        e = std::max(e, bs.buf_avail[0]);
+        break;
+      case CmdKind::kScalarWrite:
+        e = bs.timing.earliest_column(e);
+        e = std::max(e, bs.buf_avail[0]);
+        e = std::max(e, bs.scalar_ready);
+        break;
+      case CmdKind::kScalarBu:
+        e = std::max(e, bs.cu_next_issue);
+        e = std::max(e, bs.scalar_ready);
+        break;
+      case CmdKind::kRefresh:
+        NTTPIM_CHECK_MSG(false, "refresh is engine-inserted, not mapped");
+    }
+    return e;
+  };
+
+  // Commit the head command of bank `b` at cycle `at`.
+  const auto commit = [&](std::size_t b, const Command& cmd,
+                          std::uint64_t at) {
+    BankState& bs = banks[b];
+    std::uint64_t end = at + 1;
+    std::uint64_t bus_cycles = 1;
+    switch (cmd.kind) {
+      case CmdKind::kAct:
+        bs.timing.issue_act(at, cmd.row);
+        end = at + t.trcd;
+        ++stats.activations;
+        break;
+      case CmdKind::kPre:
+        bs.timing.issue_pre(at);
+        end = at + t.trp;
+        ++stats.precharges;
+        break;
+      case CmdKind::kCuRead: {
+        const std::uint64_t ready = bs.timing.issue_read(at);
+        bs.buf_avail[cmd.buf] = ready;
+        end = ready;
+        ++stats.column_reads;
+        break;
+      }
+      case CmdKind::kCuWrite: {
+        const std::uint64_t done = bs.timing.issue_write(at);
+        bs.buf_avail[cmd.buf] = done;
+        end = done;
+        ++stats.column_writes;
+        break;
+      }
+      case CmdKind::kC1: {
+        const std::uint64_t result = at + t.c1_latency;
+        bs.cu_next_issue = at + t.c1_interval;
+        bs.cu_last_end = std::max(bs.cu_last_end, result);
+        bs.buf_avail[cmd.buf] = result;
+        end = result;
+        ++stats.compute_ops;
+        break;
+      }
+      case CmdKind::kC2: {
+        const std::uint64_t result = at + t.c2_latency;
+        bs.cu_next_issue = at + t.c2_interval;
+        bs.cu_last_end = std::max(bs.cu_last_end, result);
+        bs.buf_avail[cmd.buf] = result;
+        bs.buf_avail[cmd.buf2] = result;
+        end = result;
+        ++stats.compute_ops;
+        break;
+      }
+      case CmdKind::kParam: {
+        bus_cycles = t.param_bus_cycles;
+        const std::uint64_t applied = at + t.param_latency;
+        bs.cu_next_issue = std::max(bs.cu_next_issue, applied);
+        bs.cu_last_end = std::max(bs.cu_last_end, applied);
+        end = applied;
+        ++stats.param_loads;
+        break;
+      }
+      case CmdKind::kBufZero:
+        bs.buf_avail[cmd.buf] = at + t.bufzero_latency;
+        end = at + t.bufzero_latency;
+        break;
+      case CmdKind::kScalarRead: {
+        const std::uint64_t ready = bs.timing.issue_read(at);
+        bs.buf_avail[0] = ready;
+        bs.scalar_ready = std::max(bs.scalar_ready, ready);
+        end = ready;
+        ++stats.column_reads;
+        break;
+      }
+      case CmdKind::kScalarWrite: {
+        const std::uint64_t done = bs.timing.issue_write(at);
+        bs.buf_avail[0] = done;
+        end = done;
+        ++stats.column_writes;
+        break;
+      }
+      case CmdKind::kScalarBu: {
+        const std::uint64_t result = at + t.scalar_bu_latency;
+        bs.cu_next_issue = result;
+        bs.cu_last_end = std::max(bs.cu_last_end, result);
+        bs.scalar_ready = result;
+        end = result;
+        ++stats.compute_ops;
+        break;
+      }
+      case CmdKind::kRefresh:
+        NTTPIM_CHECK_MSG(false, "refresh is engine-inserted, not mapped");
+    }
+    bus_free = at + bus_cycles;
+    stats.bus_busy_cycles += bus_cycles;
+    makespan = std::max(makespan, end);
+    if (config_.record_timeline)
+      stats.timeline.push_back(TimelineEvent{
+          bs.queue[bs.head], cmd.kind, cmd.bank, at, end});
+    // Functional effect, applied in per-bank program order.
+    device.bank(b).apply(cmd);
+    ++bs.head;
+    ++stats.commands;
+  };
+
+  // Transparent refresh, as a real MC performs it: close the open row,
+  // issue REF, and restore the row so the trace's open-row assumptions
+  // continue to hold. The PRE/ACT bookkeeping is charged to the refresh
+  // energy (refresh_pj), not the trace's activation counts.
+  //
+  // Earliest start of the bank's next refresh action (kNone means the
+  // tREFI deadline passed and the first step must be chosen).
+  const auto refresh_action_time = [&](BankState& bs) -> std::uint64_t {
+    switch (bs.refresh_step) {
+      case RefreshStep::kNeedRef:
+        return bs.timing.earliest_refresh(bus_free);
+      case RefreshStep::kNeedRestore:
+        return bs.timing.earliest_act(bus_free);
+      case RefreshStep::kNone:
+        return bs.timing.open_row() == dram::BankTiming::kNoOpenRow
+                   ? bs.timing.earliest_refresh(bus_free)
+                   : bs.timing.earliest_pre(bus_free);
+    }
+    return bus_free;
+  };
+
+  const auto commit_refresh_step = [&](std::size_t b, std::uint64_t at) {
+    BankState& bs = banks[b];
+    switch (bs.refresh_step) {
+      case RefreshStep::kNone:  // first step: PRE if open, else REF
+        if (bs.timing.open_row() != dram::BankTiming::kNoOpenRow) {
+          bs.saved_row = bs.timing.open_row();
+          bs.timing.issue_pre(at);
+          device.bank(b).apply({.kind = CmdKind::kPre,
+                                .bank = static_cast<std::uint16_t>(b)});
+          bs.refresh_step = RefreshStep::kNeedRef;
+        } else {
+          bs.saved_row = dram::BankTiming::kNoOpenRow;
+          bs.timing.issue_refresh(at);
+          ++stats.refreshes;
+          bs.next_refresh += t.trefi;
+          makespan = std::max(makespan, at + t.trfc);
+          bs.refresh_step = RefreshStep::kNone;
+          if (config_.record_timeline)
+            stats.timeline.push_back(
+                TimelineEvent{static_cast<std::size_t>(-1),
+                              CmdKind::kRefresh,
+                              static_cast<std::uint16_t>(b), at,
+                              at + t.trfc});
+        }
+        break;
+      case RefreshStep::kNeedRef:
+        bs.timing.issue_refresh(at);
+        ++stats.refreshes;
+        bs.next_refresh += t.trefi;
+        makespan = std::max(makespan, at + t.trfc);
+        bs.refresh_step = bs.saved_row == dram::BankTiming::kNoOpenRow
+                              ? RefreshStep::kNone
+                              : RefreshStep::kNeedRestore;
+        if (config_.record_timeline)
+          stats.timeline.push_back(
+              TimelineEvent{static_cast<std::size_t>(-1), CmdKind::kRefresh,
+                            static_cast<std::uint16_t>(b), at,
+                            at + t.trfc});
+        break;
+      case RefreshStep::kNeedRestore:
+        bs.timing.issue_act(at, static_cast<std::uint32_t>(bs.saved_row));
+        device.bank(b).apply({.kind = CmdKind::kAct,
+                              .bank = static_cast<std::uint16_t>(b),
+                              .row = static_cast<std::uint32_t>(
+                                  bs.saved_row)});
+        bs.refresh_step = RefreshStep::kNone;
+        bs.saved_row = dram::BankTiming::kNoOpenRow;
+        break;
+    }
+    bus_free = at + 1;
+  };
+
+  // Main scheduling loop: repeatedly perform the oldest-ready action —
+  // either a bank's head command, or a due refresh sequence for a bank
+  // whose head cannot issue before its tREFI deadline. Ties rotate
+  // round-robin across banks — a fixed priority would let a low-numbered
+  // bank stream while starving the others (convoy effect), destroying the
+  // bank-level parallelism the architecture is built for.
+  std::size_t rr_start = 0;
+  while (true) {
+    std::size_t best_bank = banks.size();
+    bool best_is_refresh = false;
+    std::uint64_t best_time = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t offset = 0; offset < banks.size(); ++offset) {
+      const std::size_t b = (rr_start + offset) % banks.size();
+      BankState& bs = banks[b];
+      const bool mid_refresh = bs.refresh_step != RefreshStep::kNone;
+      if (bs.done() && !mid_refresh) continue;
+      std::uint64_t e;
+      bool is_refresh;
+      if (mid_refresh) {
+        // Finish an in-flight refresh sequence before trace commands.
+        is_refresh = true;
+        e = refresh_action_time(bs);
+      } else if (bs.done()) {
+        continue;
+      } else {
+        const Command& cmd = trace[bs.queue[bs.head]];
+        e = earliest(bs, cmd);
+        is_refresh = config_.enable_refresh && e >= bs.next_refresh;
+        if (is_refresh) e = refresh_action_time(bs);
+      }
+      if (e < best_time) {
+        best_time = e;
+        best_bank = b;
+        best_is_refresh = is_refresh;
+      }
+    }
+    if (best_bank == banks.size()) break;  // all work drained
+    if (best_is_refresh) {
+      commit_refresh_step(best_bank, best_time);
+      continue;
+    }
+    commit(best_bank, trace[banks[best_bank].queue[banks[best_bank].head]],
+           best_time);
+    rr_start = (best_bank + 1) % banks.size();
+  }
+
+  std::uint64_t butterflies_after = 0;
+  for (std::size_t b = 0; b < device.num_banks(); ++b)
+    butterflies_after += device.bank(b).cu().butterfly_count();
+
+  stats.cycles = makespan;
+  stats.ns = static_cast<double>(makespan) * t.ns_per_cycle();
+  stats.butterflies = butterflies_after - butterflies_before;
+
+  dram::EnergyCounts counts;
+  counts.activations = stats.activations;
+  counts.column_transfers = stats.column_reads + stats.column_writes;
+  counts.butterflies = stats.butterflies;
+  counts.param_loads = stats.param_loads;
+  counts.refreshes = stats.refreshes;
+  stats.energy = dram::compute_energy(config_.energy, counts, stats.ns);
+  return stats;
+}
+
+}  // namespace nttpim::sim

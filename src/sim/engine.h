@@ -1,0 +1,109 @@
+// Cycle-accurate timing + functional co-simulation of a PIM command trace.
+//
+// This replaces the paper's DRAMsim3 + Python front-end driver pair: one
+// engine both enforces DRAM timing (per-bank FSM, shared command bus,
+// single-ported buffers, pipelined CU) and executes the commands'
+// functional effects, so the NTT result can be verified word-for-word
+// against the reference transform while the cycle count is measured.
+//
+// Scheduling model. Commands issue in order *per bank*; across banks the
+// engine each step picks the oldest-ready head-of-queue (lowest earliest
+// issue cycle, ties broken by bank id), which models a simple
+// bank-round-robin memory controller sharing one command bus (one command
+// per cycle; PARAM occupies two bus cycles for its 16-bit chunks).
+//
+// Timing rules per command kind:
+//   ACT      max(bus, tRP after PRE);            row opens, tRCD starts
+//   PRE      max(bus, tRAS, write recovery, read-to-precharge)
+//   CU_RD    max(bus, tRCD, tCCD, buffer free);  data lands CL+burst later
+//   CU_WR    max(bus, tRCD, tCCD, buffer data ready); recovery tWR after data
+//   C1/C2    max(bus, CU pipeline free, operand buffers ready);
+//            buffers busy until the result latency elapses
+//   PARAM    max(bus, last compute completed); CU stalls param_latency
+//   scalar   column rules + scalar-register readiness through the BU pipe
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dram/command.h"
+#include "dram/config.h"
+#include "dram/energy.h"
+#include "pim/device.h"
+
+namespace nttpim::sim {
+
+struct EngineConfig {
+  dram::DramTiming timing = dram::hbm2e_timing();
+  dram::EnergyParams energy{};
+  /// Model periodic refresh (tREFI/tRFC): the engine transparently closes
+  /// the open row, stalls tRFC and restores it — like a real MC.
+  bool enable_refresh = true;
+  /// Record one TimelineEvent per command (for the Fig. 5/6-style
+  /// timing-diagram renderer). Off by default: costs memory.
+  bool record_timeline = false;
+};
+
+/// One scheduled command instance (for timing-diagram rendering).
+struct TimelineEvent {
+  std::size_t trace_index;  ///< index into the input trace (or SIZE_MAX
+                            ///< for engine-inserted refresh operations)
+  dram::CmdKind kind;
+  std::uint16_t bank;
+  std::uint64_t issue;  ///< bus cycle the command issued
+  std::uint64_t end;    ///< cycle its effect completed (data/result ready)
+};
+
+struct RunStats {
+  std::uint64_t cycles = 0;  ///< makespan of the trace
+  double ns = 0;             ///< cycles converted at the configured clock
+  std::uint64_t activations = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t column_reads = 0;
+  std::uint64_t column_writes = 0;
+  std::uint64_t compute_ops = 0;  ///< C1 + C2 + scalar BU commands
+  std::uint64_t butterflies = 0;  ///< individual BU operations executed
+  std::uint64_t param_loads = 0;
+  std::uint64_t refreshes = 0;    ///< engine-inserted refresh cycles
+  std::uint64_t commands = 0;
+  std::uint64_t bus_busy_cycles = 0;  ///< command-bus occupancy
+  dram::EnergyBreakdown energy;
+  std::vector<TimelineEvent> timeline;  ///< filled when record_timeline
+
+  double us() const noexcept { return ns / 1e3; }
+
+  /// Fraction of the makespan the shared command bus was occupied.
+  double bus_utilization() const noexcept {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(bus_busy_cycles) /
+                             static_cast<double>(cycles);
+  }
+
+  /// Column accesses per activation — the row-buffer locality the
+  /// row-centric mapping exists to maximize.
+  double column_accesses_per_activation() const noexcept {
+    return activations == 0
+               ? 0.0
+               : static_cast<double>(column_reads + column_writes) /
+                     static_cast<double>(activations);
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config) : config_(config) {}
+
+  const EngineConfig& config() const noexcept { return config_; }
+
+  /// Execute `trace` on `device` (functionally and temporally). Commands
+  /// for different banks may interleave in the span; per-bank order is
+  /// preserved. Returns the run statistics including the energy estimate.
+  RunStats run(pim::PimDevice& device,
+               std::span<const dram::Command> trace) const;
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace nttpim::sim

@@ -1,0 +1,60 @@
+// End-to-end NTT-on-PIM runs: parameter generation, host data placement,
+// mapping, simulation and verification against the reference transform.
+// This is the C++ equivalent of the paper's front-end driver (Sec. VI.A),
+// including its "verify the functionality of the NTT function as executed"
+// role.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/energy.h"
+#include "mapping/mapper.h"
+#include "mapping/trace.h"
+#include "sim/engine.h"
+
+namespace nttpim::sim {
+
+struct NttRunConfig {
+  std::size_t n = 1024;
+  std::uint32_t q = 0;  ///< 0 = pick the largest 31-bit NTT-friendly prime
+  std::size_t num_buffers = 2;  ///< Nb (1 selects the naive fallback mapper)
+  bool pipelined = true;
+  bool in_place = true;
+  bool row_centric = true;  ///< false = stage-major division ablation
+  bool enable_refresh = true;
+  double freq_mhz = 1200.0;
+  mapping::Direction direction = mapping::Direction::kForward;
+  bool negacyclic = false;
+  std::uint64_t seed = 42;
+  dram::EnergyParams energy{};
+  bool validate_trace = true;  ///< run the static trace checker first
+};
+
+struct NttRunResult {
+  RunStats stats;
+  mapping::TraceCounts trace_counts;
+  bool verified = false;     ///< memory image == reference transform
+  double latency_us = 0;
+  double energy_nj = 0;
+  std::uint32_t q = 0;
+  std::size_t trace_length = 0;
+};
+
+/// Run one NTT through the mapped command trace on the simulated PIM and
+/// check the result against the CPU reference transform.
+NttRunResult run_ntt_on_pim(const NttRunConfig& config);
+
+/// Bank-level parallelism (paper Sec. VI.A / VII): run `banks` independent
+/// NTTs, one per bank, sharing the command bus.
+struct ParallelRunResult {
+  std::uint64_t cycles = 0;          ///< makespan of all banks
+  std::uint64_t single_bank_cycles = 0;  ///< one NTT alone
+  bool all_verified = false;
+  double throughput_speedup = 0;  ///< banks * single / makespan
+};
+
+ParallelRunResult run_parallel_ntts(std::size_t banks,
+                                    const NttRunConfig& config);
+
+}  // namespace nttpim::sim

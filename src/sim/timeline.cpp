@@ -1,0 +1,101 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nttpim::sim {
+
+namespace {
+
+enum class Lane { kRow, kIo, kCu, kNone };
+
+Lane lane_of(dram::CmdKind kind) {
+  using dram::CmdKind;
+  switch (kind) {
+    case CmdKind::kAct:
+    case CmdKind::kPre:
+    case CmdKind::kRefresh:
+      return Lane::kRow;
+    case CmdKind::kCuRead:
+    case CmdKind::kCuWrite:
+    case CmdKind::kScalarRead:
+    case CmdKind::kScalarWrite:
+      return Lane::kIo;
+    case CmdKind::kC1:
+    case CmdKind::kC2:
+    case CmdKind::kScalarBu:
+    case CmdKind::kParam:
+    case CmdKind::kBufZero:
+      return Lane::kCu;
+  }
+  return Lane::kNone;
+}
+
+char glyph_of(dram::CmdKind kind) {
+  using dram::CmdKind;
+  switch (kind) {
+    case CmdKind::kAct: return 'A';
+    case CmdKind::kPre: return 'P';
+    case CmdKind::kRefresh: return 'F';
+    case CmdKind::kCuRead: return 'r';
+    case CmdKind::kCuWrite: return 'w';
+    case CmdKind::kScalarRead: return 'r';
+    case CmdKind::kScalarWrite: return 'w';
+    case CmdKind::kC1: return '1';
+    case CmdKind::kC2: return '2';
+    case CmdKind::kScalarBu: return 'b';
+    case CmdKind::kParam: return 'q';
+    case CmdKind::kBufZero: return 'z';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_timeline(const std::vector<TimelineEvent>& events,
+                            const TimelineWindow& window) {
+  NTTPIM_EXPECT(window.cycles_per_char >= 1);
+  std::uint64_t to = window.to_cycle;
+  if (to == 0) {
+    for (const auto& e : events)
+      if (e.bank == window.bank) to = std::max(to, e.end);
+  }
+  NTTPIM_EXPECT_MSG(to > window.from_cycle, "empty timeline window");
+
+  const std::size_t width = static_cast<std::size_t>(
+      (to - window.from_cycle + window.cycles_per_char - 1) /
+      window.cycles_per_char);
+  std::string lanes[3] = {std::string(width, '.'), std::string(width, '.'),
+                          std::string(width, '.')};
+
+  for (const auto& e : events) {
+    if (e.bank != window.bank) continue;
+    if (e.end <= window.from_cycle || e.issue >= to) continue;
+    const Lane lane = lane_of(e.kind);
+    if (lane == Lane::kNone) continue;
+    const std::uint64_t begin = std::max(e.issue, window.from_cycle);
+    const std::uint64_t finish = std::min(e.end, to);
+    std::size_t c0 = static_cast<std::size_t>(
+        (begin - window.from_cycle) / window.cycles_per_char);
+    std::size_t c1 = static_cast<std::size_t>(
+        (std::max(finish, begin + 1) - 1 - window.from_cycle) /
+        window.cycles_per_char);
+    c1 = std::min(c1, width - 1);
+    auto& row = lanes[static_cast<int>(lane)];
+    for (std::size_t c = c0; c <= c1; ++c) {
+      row[c] = row[c] == '.' ? glyph_of(e.kind) : '#';  // '#' = overlap
+    }
+  }
+
+  std::ostringstream os;
+  os << "cycles " << window.from_cycle << ".." << to << " (1 char = "
+     << window.cycles_per_char << " cycles; '#' marks overlapping events)\n";
+  os << "  row: " << lanes[0] << '\n';
+  os << "  i/o: " << lanes[1] << '\n';
+  os << "  cu : " << lanes[2] << '\n';
+  return os.str();
+}
+
+}  // namespace nttpim::sim

@@ -1,0 +1,31 @@
+// ASCII timing-diagram rendering (paper Figs. 5-6).
+//
+// Renders a recorded TimelineEvent stream as lanes:
+//   row : ACT / PRE / REF commands (row-state changes)
+//   i/o : column transfers (CU-read / CU-write / scalar)
+//   cu  : compute (C1 / C2 / scalar BU) and PARAM loads
+// One character per `cycles_per_char` cycles; events shorter than one cell
+// still occupy one cell. Used by the timing_diagram example to reproduce
+// the paper's pipelining illustrations from actual simulations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace nttpim::sim {
+
+struct TimelineWindow {
+  std::uint64_t from_cycle = 0;
+  std::uint64_t to_cycle = 0;          ///< exclusive; 0 = auto (max end)
+  unsigned cycles_per_char = 4;
+  std::uint16_t bank = 0;
+};
+
+/// Render the events of one bank into a three-lane ASCII chart.
+std::string render_timeline(const std::vector<TimelineEvent>& events,
+                            const TimelineWindow& window);
+
+}  // namespace nttpim::sim

@@ -1,0 +1,87 @@
+// Tests for the additional NTT algorithm baselines (radix-4, four-step).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ntt/fourstep.h"
+#include "ntt/radix4.h"
+#include "ntt/reference.h"
+
+namespace nttpim::ntt {
+namespace {
+
+std::vector<std::uint32_t> random_poly(std::size_t n, std::uint32_t q,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.residues(n, q);
+}
+
+TEST(IsPow4, Classification) {
+  EXPECT_TRUE(is_pow4(4));
+  EXPECT_TRUE(is_pow4(16));
+  EXPECT_TRUE(is_pow4(1024));
+  EXPECT_TRUE(is_pow4(4096));
+  EXPECT_FALSE(is_pow4(2));
+  EXPECT_FALSE(is_pow4(8));
+  EXPECT_FALSE(is_pow4(512));
+  EXPECT_FALSE(is_pow4(12));
+}
+
+class Radix4Agreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Radix4Agreement, MatchesRadix2) {
+  const std::size_t n = GetParam();
+  const NttParams p = NttParams::create(n);
+  const auto input = random_poly(n, p.q(), n);
+  auto expected = input;
+  forward_ntt(expected, p);
+  EXPECT_EQ(ntt_radix4(input, p), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfFour, Radix4Agreement,
+                         ::testing::Values(4, 16, 64, 256, 1024, 4096));
+
+TEST(Radix4, RejectsNonPowerOfFour) {
+  const NttParams p = NttParams::create(512);
+  const auto input = random_poly(512, p.q(), 1);
+  EXPECT_THROW(ntt_radix4(input, p), std::invalid_argument);
+}
+
+class FourStepAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FourStepAgreement, MatchesDirectTransform) {
+  const std::size_t n = GetParam();
+  const NttParams p = NttParams::create(n);
+  const auto input = random_poly(n, p.q(), 2 * n);
+  auto expected = input;
+  forward_ntt(expected, p);
+  EXPECT_EQ(ntt_four_step(input, p), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FourStepAgreement,
+                         ::testing::Values(4, 8, 16, 64, 256, 1024, 2048,
+                                           8192));
+
+TEST(FourStep, TinySizesFallBack) {
+  const NttParams p = NttParams::create(2);
+  const auto input = random_poly(2, p.q(), 9);
+  auto expected = input;
+  forward_ntt(expected, p);
+  EXPECT_EQ(ntt_four_step(input, p), expected);
+}
+
+TEST(ForwardNttWithRoot, AgreesWithParamsPath) {
+  const NttParams p = NttParams::create(128);
+  auto a = random_poly(128, p.q(), 5);
+  auto b = a;
+  forward_ntt(a, p);
+  forward_ntt_with_root(b, p.q(), p.omega());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ForwardNttWithRoot, RejectsNonRoot) {
+  auto a = random_poly(64, 12289, 6);
+  EXPECT_THROW(forward_ntt_with_root(a, 12289, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nttpim::ntt

@@ -1,0 +1,111 @@
+#include "common/bitutil.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace nttpim {
+namespace {
+
+TEST(IsPow2, RecognizesPowers) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+}
+
+TEST(Ilog2, ExactValues) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(1023), 9u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ilog2(~0ULL), 63u);
+}
+
+TEST(Ilog2, ZeroThrows) { EXPECT_THROW(ilog2(0), std::logic_error); }
+
+TEST(ExactLog2, RequiresPowerOfTwo) {
+  EXPECT_EQ(exact_log2(4096), 12u);
+  EXPECT_THROW(exact_log2(4097), std::logic_error);
+}
+
+TEST(DivCeil, Rounding) {
+  EXPECT_EQ(div_ceil(0, 5), 0u);
+  EXPECT_EQ(div_ceil(1, 5), 1u);
+  EXPECT_EQ(div_ceil(5, 5), 1u);
+  EXPECT_EQ(div_ceil(6, 5), 2u);
+  EXPECT_EQ(div_ceil(32, 3), 11u);
+  EXPECT_THROW(div_ceil(1, 0), std::logic_error);
+}
+
+TEST(BitReverse, KnownPatterns) {
+  EXPECT_EQ(bit_reverse(0b000, 3), 0b000u);
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b011, 3), 0b110u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  EXPECT_EQ(bit_reverse(1, 10), 512u);
+}
+
+TEST(BitReverse, Involution) {
+  Rng rng(1);
+  for (unsigned bits = 1; bits <= 16; ++bits) {
+    for (int i = 0; i < 50; ++i) {
+      const auto x =
+          static_cast<std::uint32_t>(rng.next_below(1ULL << bits));
+      EXPECT_EQ(bit_reverse(bit_reverse(x, bits), bits), x);
+    }
+  }
+}
+
+TEST(BitReverseTable, MatchesScalar) {
+  const auto table = bit_reverse_table(64);
+  ASSERT_EQ(table.size(), 64u);
+  for (std::uint32_t i = 0; i < 64; ++i)
+    EXPECT_EQ(table[i], bit_reverse(i, 6));
+}
+
+TEST(BitReversePermute, InvolutionOnVectors) {
+  Rng rng(7);
+  std::vector<std::uint32_t> v(256);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_u64());
+  const auto original = v;
+  bit_reverse_permute(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be a fixed point
+  bit_reverse_permute(v);
+  EXPECT_EQ(v, original);
+}
+
+TEST(BitReversePermute, RejectsNonPowerOfTwo) {
+  std::vector<int> v(7);
+  EXPECT_THROW(bit_reverse_permute(v), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ResiduesInRange) {
+  Rng rng(10);
+  const auto v = rng.residues(512, 97);
+  ASSERT_EQ(v.size(), 512u);
+  for (const auto x : v) EXPECT_LT(x, 97u);
+}
+
+}  // namespace
+}  // namespace nttpim

@@ -1,0 +1,140 @@
+#include "mapping/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mapping/trace.h"
+#include "ntt/params.h"
+#include "ntt/primes.h"
+#include "ntt/reference.h"
+#include "pim/host.h"
+#include "sim/engine.h"
+
+namespace nttpim::mapping {
+namespace {
+
+TEST(MemoryController, BackToBackRequestsWithDifferentModuli) {
+  // Two NTT calls on the same bank, different q — the CU must be fully
+  // re-parameterized between calls (the paper's flexibility claim).
+  const dram::DramGeometry geometry = dram::hbm2e_geometry();
+  MemoryController controller(geometry, MapperConfig{.num_buffers = 4});
+
+  const std::uint32_t q1 = ntt::find_ntt_prime(512, 31);
+  const std::uint32_t q2 = ntt::find_ntt_prime(512, 30);
+  ASSERT_NE(q1, q2);
+  const ntt::NttParams p1(512, q1);
+  const ntt::NttParams p2(512, q2);
+
+  pim::PimDevice device(geometry, 4);
+  Rng rng(1);
+  const auto poly1 = rng.residues(512, q1);
+  const auto poly2 = rng.residues(512, q2);
+  pim::load_polynomial(device.bank(0), 0, poly1);
+  pim::load_polynomial(device.bank(0), 16, poly2);  // disjoint rows
+
+  const auto r1 =
+      controller.submit({.bank = 0, .base_row = 0, .n = 512, .q = q1});
+  const auto r2 =
+      controller.submit({.bank = 0, .base_row = 16, .n = 512, .q = q2});
+  EXPECT_EQ(controller.responses().size(), 2u);
+  EXPECT_EQ(r2.first_command, r1.command_count);
+
+  validate_trace(controller.pending_trace(), geometry, 4);
+  const sim::Engine engine(sim::EngineConfig{});
+  engine.run(device, controller.pending_trace());
+
+  auto expected1 = poly1;
+  ntt::forward_ntt(expected1, p1);
+  auto expected2 = poly2;
+  ntt::forward_ntt(expected2, p2);
+  EXPECT_EQ(pim::read_result(device.bank(0), r1.result_base_row, 512),
+            expected1);
+  EXPECT_EQ(pim::read_result(device.bank(0), r2.result_base_row, 512),
+            expected2);
+}
+
+TEST(MemoryController, MixedSizesAndBanks) {
+  const dram::DramGeometry geometry = dram::hbm2e_geometry(2);
+  MemoryController controller(geometry, MapperConfig{.num_buffers = 4});
+
+  const std::uint32_t q = ntt::find_ntt_prime(1024, 31);
+  const ntt::NttParams p_small(256, q);
+  const ntt::NttParams p_large(1024, q);
+
+  pim::PimDevice device(geometry, 4);
+  Rng rng(2);
+  const auto small = rng.residues(256, q);
+  const auto large = rng.residues(1024, q);
+  pim::load_polynomial(device.bank(0), 0, small);
+  pim::load_polynomial(device.bank(1), 0, large);
+
+  const auto ra =
+      controller.submit({.bank = 0, .base_row = 0, .n = 256, .q = q});
+  const auto rb =
+      controller.submit({.bank = 1, .base_row = 0, .n = 1024, .q = q});
+
+  const sim::Engine engine(sim::EngineConfig{});
+  engine.run(device, controller.pending_trace());
+
+  auto expected_small = small;
+  ntt::forward_ntt(expected_small, p_small);
+  auto expected_large = large;
+  ntt::forward_ntt(expected_large, p_large);
+  EXPECT_EQ(pim::read_result(device.bank(0), ra.result_base_row, 256),
+            expected_small);
+  EXPECT_EQ(pim::read_result(device.bank(1), rb.result_base_row, 1024),
+            expected_large);
+}
+
+TEST(MemoryController, ForwardThenInverseRoundTrip) {
+  const dram::DramGeometry geometry = dram::hbm2e_geometry();
+  MemoryController controller(geometry, MapperConfig{.num_buffers = 4});
+  const std::uint32_t q = ntt::find_ntt_prime(256, 31);
+
+  pim::PimDevice device(geometry, 4);
+  Rng rng(3);
+  const auto poly = rng.residues(256, q);
+  pim::load_polynomial(device.bank(0), 0, poly);
+
+  // Forward in place…
+  controller.submit({.bank = 0, .base_row = 0, .n = 256, .q = q});
+  const sim::Engine engine(sim::EngineConfig{});
+  engine.run(device, controller.pending_trace());
+  controller.clear();
+
+  // …then host re-stages (bit-reversal is software's job) and inverts.
+  const auto freq_domain = pim::read_result(device.bank(0), 0, 256);
+  pim::load_polynomial(device.bank(0), 0, freq_domain);
+  const auto inv = controller.submit(
+      {.bank = 0, .base_row = 0, .n = 256, .q = q, .inverse = true});
+  engine.run(device, controller.pending_trace());
+
+  EXPECT_EQ(pim::read_result(device.bank(0), inv.result_base_row, 256),
+            poly);
+}
+
+TEST(MemoryController, ValidatesRequests) {
+  const dram::DramGeometry geometry = dram::hbm2e_geometry();
+  MemoryController controller(geometry, MapperConfig{.num_buffers = 2});
+
+  EXPECT_THROW(controller.submit({.bank = 0, .n = 0, .q = 12289}),
+               std::invalid_argument);
+  EXPECT_THROW(controller.submit({.bank = 0, .n = 256, .q = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(controller.submit({.bank = 3, .n = 256, .q = 12289}),
+               std::invalid_argument);
+  // Host-supplied omega must actually be an n-th root of unity.
+  EXPECT_THROW(
+      controller.submit({.bank = 0, .n = 256, .q = 12289, .omega = 2}),
+      std::invalid_argument);
+  // Consistent omega is accepted.
+  const ntt::NttParams p(256, 12289);
+  EXPECT_NO_THROW(controller.submit(
+      {.bank = 0, .n = 256, .q = 12289, .omega = p.omega()}));
+  controller.clear();
+  EXPECT_TRUE(controller.pending_trace().empty());
+  EXPECT_TRUE(controller.responses().empty());
+}
+
+}  // namespace
+}  // namespace nttpim::mapping

@@ -1,0 +1,243 @@
+// End-to-end verification: every mapped configuration, executed on the
+// cycle-accurate simulator, must leave exactly the reference NTT in memory.
+// This is the equivalent of the paper's front-end-driver functional check
+// (Sec. VI.A), swept across sizes, buffer counts and mapper options.
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+
+namespace nttpim::sim {
+namespace {
+
+struct E2eCase {
+  std::size_t n;
+  std::size_t nb;
+  bool pipelined = true;
+  bool in_place = true;
+};
+
+std::string case_name(const ::testing::TestParamInfo<E2eCase>& info) {
+  return "N" + std::to_string(info.param.n) + "_Nb" +
+         std::to_string(info.param.nb) +
+         (info.param.pipelined ? "" : "_seq") +
+         (info.param.in_place ? "" : "_shadow");
+}
+
+class ForwardNtt : public ::testing::TestWithParam<E2eCase> {};
+
+TEST_P(ForwardNtt, MemoryImageMatchesReference) {
+  const auto& c = GetParam();
+  NttRunConfig config;
+  config.n = c.n;
+  config.num_buffers = c.nb;
+  config.pipelined = c.pipelined;
+  config.in_place = c.in_place;
+  config.seed = 1000 + c.n + c.nb;
+
+  const auto result = run_ntt_on_pim(config);
+  EXPECT_TRUE(result.verified)
+      << "N=" << c.n << " Nb=" << c.nb << " pipelined=" << c.pipelined
+      << " in_place=" << c.in_place;
+  EXPECT_GT(result.stats.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BufferSweep, ForwardNtt,
+    ::testing::Values(E2eCase{8, 1}, E2eCase{16, 2}, E2eCase{64, 2},
+                      E2eCase{128, 3}, E2eCase{256, 2}, E2eCase{256, 4},
+                      E2eCase{256, 6}, E2eCase{512, 2}, E2eCase{512, 4},
+                      E2eCase{1024, 2}, E2eCase{1024, 4}, E2eCase{1024, 6},
+                      E2eCase{2048, 4}, E2eCase{4096, 2}, E2eCase{4096, 6},
+                      E2eCase{8192, 4}),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulingVariants, ForwardNtt,
+    ::testing::Values(E2eCase{1024, 4, /*pipelined=*/false},
+                      E2eCase{1024, 6, /*pipelined=*/false},
+                      E2eCase{512, 4, true, /*in_place=*/false},
+                      E2eCase{1024, 4, true, /*in_place=*/false},
+                      E2eCase{2048, 6, false, /*in_place=*/false}),
+    case_name);
+
+class NaiveFallback : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NaiveFallback, SingleBufferStillComputesCorrectly) {
+  NttRunConfig config;
+  config.n = GetParam();
+  config.num_buffers = 1;
+  const auto result = run_ntt_on_pim(config);
+  EXPECT_TRUE(result.verified) << "N=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NaiveFallback,
+                         ::testing::Values(8, 16, 64, 256, 512, 1024));
+
+TEST(InverseNtt, RoundTripThroughPim) {
+  for (const std::size_t n : {std::size_t{64}, std::size_t{512},
+                              std::size_t{2048}}) {
+    NttRunConfig config;
+    config.n = n;
+    config.num_buffers = 4;
+    config.direction = mapping::Direction::kInverse;
+    const auto result = run_ntt_on_pim(config);
+    EXPECT_TRUE(result.verified) << "inverse N=" << n;
+  }
+}
+
+TEST(NegacyclicNtt, ForwardOnPim) {
+  NttRunConfig config;
+  config.n = 1024;
+  config.num_buffers = 4;
+  config.negacyclic = true;
+  EXPECT_TRUE(run_ntt_on_pim(config).verified);
+}
+
+TEST(NegacyclicNtt, InverseOnPim) {
+  NttRunConfig config;
+  config.n = 1024;
+  config.num_buffers = 4;
+  config.negacyclic = true;
+  config.direction = mapping::Direction::kInverse;
+  EXPECT_TRUE(run_ntt_on_pim(config).verified);
+}
+
+TEST(Performance, MoreBuffersNeverSlower) {
+  // Fig. 7's monotonicity: cycles(Nb=6) <= cycles(Nb=4) <= cycles(Nb=2),
+  // and even Nb=2 beats the single-buffer fallback by a wide margin.
+  for (const std::size_t n : {std::size_t{256}, std::size_t{1024}}) {
+    NttRunConfig config;
+    config.n = n;
+
+    config.num_buffers = 1;
+    const auto nb1 = run_ntt_on_pim(config);
+    config.num_buffers = 2;
+    const auto nb2 = run_ntt_on_pim(config);
+    config.num_buffers = 4;
+    const auto nb4 = run_ntt_on_pim(config);
+    config.num_buffers = 6;
+    const auto nb6 = run_ntt_on_pim(config);
+
+    EXPECT_LT(nb6.stats.cycles, nb4.stats.cycles) << n;
+    EXPECT_LT(nb4.stats.cycles, nb2.stats.cycles) << n;
+    EXPECT_LT(nb2.stats.cycles, nb1.stats.cycles) << n;
+    EXPECT_GT(static_cast<double>(nb1.stats.cycles),
+              5.0 * static_cast<double>(nb2.stats.cycles))
+        << "single-buffer should be an order of magnitude slower, N=" << n;
+  }
+}
+
+TEST(Performance, PipeliningHelps) {
+  NttRunConfig config;
+  config.n = 2048;
+  config.num_buffers = 6;
+
+  config.pipelined = true;
+  const auto piped = run_ntt_on_pim(config);
+  config.pipelined = false;
+  const auto seq = run_ntt_on_pim(config);
+
+  EXPECT_TRUE(piped.verified);
+  EXPECT_TRUE(seq.verified);
+  EXPECT_LT(piped.stats.cycles, seq.stats.cycles);
+  // The pipelined schedule also reduces activations (Fig. 6c).
+  EXPECT_LT(piped.stats.activations, seq.stats.activations);
+}
+
+TEST(Performance, InPlaceUpdateHelps) {
+  NttRunConfig config;
+  config.n = 1024;
+  config.num_buffers = 4;
+
+  config.in_place = true;
+  const auto in_place = run_ntt_on_pim(config);
+  config.in_place = false;
+  const auto shadow = run_ntt_on_pim(config);
+
+  EXPECT_TRUE(in_place.verified);
+  EXPECT_TRUE(shadow.verified);
+  EXPECT_LT(in_place.stats.cycles, shadow.stats.cycles);
+  EXPECT_LT(in_place.stats.activations, shadow.stats.activations);
+}
+
+TEST(StageMajorAblation, VerifiesAndCostsMore) {
+  NttRunConfig config;
+  config.n = 2048;
+  config.num_buffers = 4;
+
+  config.row_centric = true;
+  const auto vertical = run_ntt_on_pim(config);
+  config.row_centric = false;
+  const auto horizontal = run_ntt_on_pim(config);
+
+  EXPECT_TRUE(vertical.verified);
+  EXPECT_TRUE(horizontal.verified);
+  EXPECT_GT(horizontal.stats.activations, vertical.stats.activations);
+  EXPECT_GE(horizontal.stats.cycles, vertical.stats.cycles);
+}
+
+TEST(Refresh, DisablingItSpeedsUpButBothVerify) {
+  NttRunConfig config;
+  config.n = 4096;
+  config.num_buffers = 4;
+
+  config.enable_refresh = true;
+  const auto with_refresh = run_ntt_on_pim(config);
+  config.enable_refresh = false;
+  const auto without = run_ntt_on_pim(config);
+
+  EXPECT_TRUE(with_refresh.verified);
+  EXPECT_TRUE(without.verified);
+  EXPECT_GT(with_refresh.stats.cycles, without.stats.cycles);
+  EXPECT_GT(with_refresh.stats.refreshes, 0u);
+  EXPECT_EQ(without.stats.refreshes, 0u);
+}
+
+TEST(Determinism, SameSeedSameResult) {
+  NttRunConfig config;
+  config.n = 512;
+  config.num_buffers = 4;
+  const auto a = run_ntt_on_pim(config);
+  const auto b = run_ntt_on_pim(config);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.energy_nj, b.energy_nj);
+}
+
+TEST(ArbitraryModulus, FourteenBitKyberStylePrime) {
+  // MeNTT is limited to 14/16-bit arithmetic and CryptoPIM to fixed
+  // moduli; NTT-PIM handles the classic 14-bit prime and large N equally.
+  NttRunConfig config;
+  config.n = 2048;
+  config.q = 12289;  // 3 * 2^12 + 1
+  config.num_buffers = 4;
+  const auto result = run_ntt_on_pim(config);
+  EXPECT_TRUE(result.verified);
+}
+
+TEST(OddBufferCounts, ThreeAndFiveBuffersWork) {
+  // Nb need not be even: C2 uses floor(Nb/2) pair slots and C1 rotates
+  // over all buffers.
+  for (const std::size_t nb : {std::size_t{3}, std::size_t{5}}) {
+    NttRunConfig config;
+    config.n = 1024;
+    config.num_buffers = nb;
+    const auto result = run_ntt_on_pim(config);
+    EXPECT_TRUE(result.verified) << nb;
+  }
+}
+
+TEST(ArbitraryModulus, UserSuppliedPrimes) {
+  // The paper's flexibility claim: any q with q ≡ 1 (mod 2N) works.
+  for (const std::uint32_t q : {40961u, 65537u, 786433u, 5767169u}) {
+    NttRunConfig config;
+    config.n = 256;
+    config.q = q;
+    config.num_buffers = 4;
+    const auto result = run_ntt_on_pim(config);
+    EXPECT_TRUE(result.verified) << "q=" << q;
+    EXPECT_EQ(result.q, q);
+  }
+}
+
+}  // namespace
+}  // namespace nttpim::sim

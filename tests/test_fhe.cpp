@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fhe/bfv.h"
+#include "fhe/pim_backend.h"
+#include "fhe/rns.h"
+#include "fhe/rq.h"
+#include "ntt/poly.h"
+
+namespace nttpim::fhe {
+namespace {
+
+// ---------------------------------------------------------------------- RNS
+
+TEST(RnsBasis, RoundTripsWideCoefficients) {
+  const RnsBasis basis(64, 3, 30);
+  ASSERT_EQ(basis.limb_count(), 3u);
+
+  Rng rng(1);
+  std::vector<unsigned __int128> coeffs(64);
+  for (auto& c : coeffs) {
+    c = static_cast<unsigned __int128>(rng.next_u64());
+    c = (c << 20) % basis.modulus_product();
+  }
+  EXPECT_EQ(basis.from_rns(basis.to_rns(coeffs)), coeffs);
+}
+
+TEST(RnsBasis, PrimesAreDistinctAndNttFriendly) {
+  const RnsBasis basis(1024, 4, 30);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(basis.prime(i) % 2048, 1u);
+    for (std::size_t j = i + 1; j < 4; ++j)
+      EXPECT_NE(basis.prime(i), basis.prime(j));
+  }
+}
+
+TEST(RnsBasis, ExplicitPrimesValidated) {
+  EXPECT_THROW(RnsBasis(64, {12289u, 12289u}), std::invalid_argument);
+  EXPECT_THROW(RnsBasis(64, std::vector<std::uint32_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(RnsBasis(64, 5, 30), std::invalid_argument);  // > 4 limbs
+}
+
+// ------------------------------------------------------------------- RqPoly
+
+TEST(RqPoly, AdditionMatchesCrtArithmetic) {
+  const RnsBasis basis(32, 2, 30);
+  Rng rng(2);
+  std::vector<unsigned __int128> a(32), b(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = rng.next_u64() % basis.modulus_product();
+    b[i] = rng.next_u64() % basis.modulus_product();
+  }
+  const auto pa = RqPoly::from_wide(basis, a);
+  const auto pb = RqPoly::from_wide(basis, b);
+  const auto sum = (pa + pb).to_wide();
+  for (std::size_t i = 0; i < 32; ++i)
+    EXPECT_EQ(sum[i], (a[i] + b[i]) % basis.modulus_product());
+}
+
+TEST(RqPoly, SubtractAndNegateAreConsistent) {
+  const RnsBasis basis(16, 2, 30);
+  Rng rng(3);
+  std::vector<std::int64_t> sa(16), sb(16);
+  for (auto& x : sa) x = rng.next_in(-100, 100);
+  for (auto& x : sb) x = rng.next_in(-100, 100);
+  const auto pa = RqPoly::from_signed(basis, sa);
+  const auto pb = RqPoly::from_signed(basis, sb);
+  EXPECT_EQ(pa - pb, pa + pb.negate());
+}
+
+TEST(RqPoly, MultiplyMatchesSchoolbookPerLimb) {
+  const RnsBasis basis(32, 2, 30);
+  CpuBackend backend;
+  Rng rng(4);
+
+  RqPoly pa(basis), pb(basis);
+  for (std::size_t limb = 0; limb < 2; ++limb) {
+    pa.limb(limb) = rng.residues(32, basis.prime(limb));
+    pb.limb(limb) = rng.residues(32, basis.prime(limb));
+  }
+  const auto prod = pa.multiply(pb, backend);
+  for (std::size_t limb = 0; limb < 2; ++limb) {
+    EXPECT_EQ(prod.limb(limb),
+              ntt::negacyclic_convolution_schoolbook(
+                  pa.limb(limb), pb.limb(limb), basis.prime(limb)));
+  }
+  EXPECT_EQ(backend.transform_count(), 2u * 3u);  // 2 limbs x (2 fwd + 1 inv)
+}
+
+TEST(RqPoly, PimBackendAgreesWithCpuBackend) {
+  const RnsBasis basis(256, 2, 30);
+  Rng rng(5);
+  RqPoly pa(basis), pb(basis);
+  for (std::size_t limb = 0; limb < 2; ++limb) {
+    pa.limb(limb) = rng.residues(256, basis.prime(limb));
+    pb.limb(limb) = rng.residues(256, basis.prime(limb));
+  }
+
+  CpuBackend cpu;
+  PimBackend pim(4);
+  const auto via_cpu = pa.multiply(pb, cpu);
+  const auto via_pim = pa.multiply(pb, pim);
+  EXPECT_EQ(via_cpu, via_pim);
+  EXPECT_GT(pim.total_cycles(), 0u);
+  EXPECT_GT(pim.total_energy_nj(), 0.0);
+  EXPECT_EQ(pim.transform_count(), 6u);
+}
+
+TEST(RqPoly, BasisMismatchRejected) {
+  const RnsBasis basis_a(16, 2, 30);
+  const RnsBasis basis_b(16, 2, 29);
+  const RqPoly pa(basis_a);
+  const RqPoly pb(basis_b);
+  EXPECT_THROW(pa + pb, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------- BFV
+
+std::vector<std::uint32_t> random_message(std::size_t n, std::uint32_t t,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.residues(n, t);
+}
+
+TEST(Bfv, EncryptDecryptRoundTrip) {
+  CpuBackend backend;
+  BfvParams params;
+  params.n = 256;
+  params.t = 17;
+  Bfv bfv(params, backend, /*seed=*/11);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto m = random_message(params.n, params.t, 100 + trial);
+    const auto ct = bfv.encrypt(m);
+    EXPECT_EQ(bfv.decrypt(ct), m);
+  }
+}
+
+TEST(Bfv, FreshNoiseIsSmall) {
+  CpuBackend backend;
+  BfvParams params;
+  params.n = 128;
+  Bfv bfv(params, backend, 12);
+  const auto m = random_message(params.n, params.t, 1);
+  const auto ct = bfv.encrypt(m);
+  // Correct decryption requires noise < q/(2t); fresh noise is far below.
+  EXPECT_LT(bfv.noise_magnitude(ct, m),
+            bfv.ntt_params().q() / (2 * params.t) / 16);
+}
+
+TEST(Bfv, HomomorphicAddition) {
+  CpuBackend backend;
+  BfvParams params;
+  params.n = 128;
+  params.t = 31;
+  Bfv bfv(params, backend, 13);
+
+  const auto m1 = random_message(params.n, params.t, 2);
+  const auto m2 = random_message(params.n, params.t, 3);
+  const auto sum_ct = bfv.add(bfv.encrypt(m1), bfv.encrypt(m2));
+
+  std::vector<std::uint32_t> expected(params.n);
+  for (std::size_t i = 0; i < params.n; ++i)
+    expected[i] = (m1[i] + m2[i]) % params.t;
+  EXPECT_EQ(bfv.decrypt(sum_ct), expected);
+}
+
+TEST(Bfv, HomomorphicMultiplication) {
+  CpuBackend backend;
+  BfvParams params;
+  params.n = 64;
+  params.t = 5;
+  params.noise_bound = 2;
+  Bfv bfv(params, backend, 14);
+
+  const auto m1 = random_message(params.n, params.t, 4);
+  const auto m2 = random_message(params.n, params.t, 5);
+  const auto product = bfv.multiply(bfv.encrypt(m1), bfv.encrypt(m2));
+  EXPECT_EQ(product.degree(), 2u);
+  EXPECT_EQ(bfv.decrypt(product), bfv.plaintext_multiply(m1, m2));
+}
+
+TEST(Bfv, MultiplyThenAdd) {
+  CpuBackend backend;
+  BfvParams params;
+  params.n = 64;
+  params.t = 5;
+  params.noise_bound = 2;
+  Bfv bfv(params, backend, 15);
+
+  const auto m1 = random_message(params.n, params.t, 6);
+  const auto m2 = random_message(params.n, params.t, 7);
+  const auto prod1 = bfv.multiply(bfv.encrypt(m1), bfv.encrypt(m2));
+  const auto prod2 = bfv.multiply(bfv.encrypt(m2), bfv.encrypt(m1));
+  const auto sum = bfv.add(prod1, prod2);
+
+  const auto pm = bfv.plaintext_multiply(m1, m2);
+  std::vector<std::uint32_t> expected(params.n);
+  for (std::size_t i = 0; i < params.n; ++i)
+    expected[i] = (2 * pm[i]) % params.t;
+  EXPECT_EQ(bfv.decrypt(sum), expected);
+}
+
+TEST(Bfv, NoiseGrowsMonotonicallyThroughOperations) {
+  CpuBackend backend;
+  BfvParams params;
+  params.n = 64;
+  params.t = 5;
+  params.noise_bound = 2;
+  Bfv bfv(params, backend, 21);
+
+  const auto m1 = random_message(params.n, params.t, 31);
+  const auto m2 = random_message(params.n, params.t, 32);
+  const auto ct1 = bfv.encrypt(m1);
+  const auto ct2 = bfv.encrypt(m2);
+
+  const auto fresh_noise = bfv.noise_magnitude(ct1, m1);
+
+  std::vector<std::uint32_t> m_sum(params.n);
+  for (std::size_t i = 0; i < params.n; ++i)
+    m_sum[i] = (m1[i] + m2[i]) % params.t;
+  const auto sum_noise = bfv.noise_magnitude(bfv.add(ct1, ct2), m_sum);
+
+  const auto m_prod = bfv.plaintext_multiply(m1, m2);
+  const auto prod_noise =
+      bfv.noise_magnitude(bfv.multiply(ct1, ct2), m_prod);
+
+  EXPECT_GE(sum_noise, fresh_noise);   // addition adds noise linearly
+  EXPECT_GT(prod_noise, sum_noise);    // multiplication amplifies it
+  // And all stay within the decryption budget q/(2t).
+  EXPECT_LT(prod_noise, bfv.ntt_params().q() / (2 * params.t));
+}
+
+TEST(RnsBasis, ProductMatchesLimbPrimes) {
+  const RnsBasis basis(128, 3, 28);
+  unsigned __int128 product = 1;
+  for (std::size_t i = 0; i < basis.limb_count(); ++i)
+    product *= basis.prime(i);
+  EXPECT_TRUE(product == basis.modulus_product());
+}
+
+TEST(Bfv, WorksOnPimBackend) {
+  PimBackend backend(4);
+  BfvParams params;
+  params.n = 64;
+  params.t = 17;
+  Bfv bfv(params, backend, 16);
+  const auto m = random_message(params.n, params.t, 8);
+  const auto ct = bfv.encrypt(m);
+  EXPECT_EQ(bfv.decrypt(ct), m);
+  EXPECT_GT(backend.total_cycles(), 0u);
+}
+
+TEST(Bfv, RejectsBadInputs) {
+  CpuBackend backend;
+  BfvParams params;
+  params.n = 64;
+  params.t = 17;
+  Bfv bfv(params, backend, 17);
+
+  auto m = random_message(params.n, params.t, 9);
+  m[0] = params.t;  // out of plaintext range
+  EXPECT_THROW(bfv.encrypt(m), std::invalid_argument);
+
+  BfvParams bad;
+  bad.n = 64;
+  bad.t = 1;  // degenerate plaintext modulus
+  EXPECT_THROW(Bfv(bad, backend), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nttpim::fhe

@@ -1,0 +1,79 @@
+#include "mapping/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace nttpim::mapping {
+namespace {
+
+TEST(DataLayout, PlacementMath) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const DataLayout layout(g, /*base_row=*/10, /*n=*/1024);
+
+  EXPECT_EQ(layout.rows_used(), 4u);
+  EXPECT_EQ(layout.words_per_row(), 256u);
+  EXPECT_EQ(layout.log2n(), 10u);
+
+  const auto p0 = layout.place(0);
+  EXPECT_EQ(p0.row, 10u);
+  EXPECT_EQ(p0.atom, 0u);
+  EXPECT_EQ(p0.lane, 0u);
+
+  const auto p = layout.place(256 + 8 * 5 + 3);
+  EXPECT_EQ(p.row, 11u);
+  EXPECT_EQ(p.atom, 5u);
+  EXPECT_EQ(p.lane, 3u);
+
+  const auto last = layout.place(1023);
+  EXPECT_EQ(last.row, 13u);
+  EXPECT_EQ(last.atom, 31u);
+  EXPECT_EQ(last.lane, 7u);
+}
+
+TEST(DataLayout, SpanPartnersShareLane) {
+  // DIT stage pairs (i, i+m) with m >= 8 must land in the same lane —
+  // the property that makes the 8-way C2 butterfly line up.
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const DataLayout layout(g, 0, 4096);
+  for (std::size_t m = 8; m < 4096; m <<= 1) {
+    for (const std::size_t i : {std::size_t{0}, m / 2, 3 * m / 4}) {
+      EXPECT_EQ(layout.place(i).lane, layout.place(i + m).lane)
+          << "m=" << m << " i=" << i;
+    }
+  }
+}
+
+TEST(DataLayout, PartialRowAtomCounts) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const DataLayout small(g, 0, 64);
+  EXPECT_EQ(small.rows_used(), 1u);
+  EXPECT_EQ(small.atoms_in_row(0), 8u);  // 64 words / 8 per atom
+
+  const DataLayout full(g, 0, 512);
+  EXPECT_EQ(full.rows_used(), 2u);
+  EXPECT_EQ(full.atoms_in_row(0), 32u);
+  EXPECT_EQ(full.atoms_in_row(1), 32u);
+}
+
+TEST(DataLayout, WordOfIsInverseOfPlace) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const DataLayout layout(g, 7, 2048);
+  for (const std::size_t i : {std::size_t{0}, std::size_t{300},
+                              std::size_t{1000}, std::size_t{2047}}) {
+    const auto p = layout.place(i);
+    EXPECT_EQ(layout.word_of(p.row - 7, p.atom) + p.lane, i);
+  }
+}
+
+TEST(DataLayout, BoundsChecked) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const DataLayout layout(g, 0, 256);
+  EXPECT_THROW(layout.place(256), std::invalid_argument);
+  EXPECT_THROW(layout.atoms_in_row(1), std::invalid_argument);
+  // Does not fit: 32768 rows * 256 words; base row too high.
+  EXPECT_THROW(DataLayout(g, 32768 - 3, 2048), std::invalid_argument);
+  // Not a power of two.
+  EXPECT_THROW(DataLayout(g, 0, 768), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nttpim::mapping

@@ -1,0 +1,354 @@
+#include "mapping/mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/act_model.h"
+#include "mapping/naive_mapper.h"
+#include "mapping/trace.h"
+#include "ntt/params.h"
+
+namespace nttpim::mapping {
+namespace {
+
+using dram::CmdKind;
+using dram::Regime;
+
+struct MapCase {
+  std::size_t n;
+  std::size_t nb;
+  bool pipelined;
+};
+
+std::string case_name(const ::testing::TestParamInfo<MapCase>& info) {
+  return "N" + std::to_string(info.param.n) + "_Nb" +
+         std::to_string(info.param.nb) +
+         (info.param.pipelined ? "_piped" : "_seq");
+}
+
+class MapperTraces : public ::testing::TestWithParam<MapCase> {};
+
+TEST_P(MapperTraces, TraceIsValidAndActCountMatchesModel) {
+  const auto [n, nb, pipelined] = GetParam();
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(n);
+
+  MapperConfig config;
+  config.num_buffers = nb;
+  config.pipelined = pipelined;
+  const RowCentricMapper mapper(g, params, config);
+  const MappedNtt mapped = mapper.map(NttJob{});
+
+  // Static validity: open-row discipline, buffer indices, load-before-use.
+  EXPECT_NO_THROW(validate_trace(mapped.trace, g, nb));
+  EXPECT_EQ(mapped.result_base_row, 0u);
+
+  const TraceCounts counts = count_commands(mapped.trace);
+  const DataLayout layout(g, 0, n);
+  EXPECT_EQ(counts.acts, ActModel::total_forward(layout, config));
+
+  // Each data word is read and written at least once; C2 count is exactly
+  // the number of vectorized butterflies in the inter-atom stages.
+  const unsigned log_n = layout.log2n();
+  const unsigned inter_atom_stages = log_n > 3 ? log_n - 3 : 0;
+  EXPECT_EQ(counts.c2_ops, inter_atom_stages * (n / 16));
+  EXPECT_EQ(counts.c1_ops, (n + 7) / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapperTraces,
+    ::testing::Values(MapCase{16, 2, true}, MapCase{64, 2, true},
+                      MapCase{256, 2, true}, MapCase{256, 4, true},
+                      MapCase{512, 2, true}, MapCase{512, 6, true},
+                      MapCase{1024, 2, true}, MapCase{1024, 4, true},
+                      MapCase{1024, 6, true}, MapCase{1024, 4, false},
+                      MapCase{4096, 2, true}, MapCase{4096, 6, true},
+                      MapCase{8192, 4, true}, MapCase{8192, 6, false}),
+    case_name);
+
+TEST(Mapper, PipeliningReducesInterRowActivations) {
+  // Fig. 6c: grouping same-row accesses with more buffers removes ACTs.
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(4096);
+
+  auto acts_for = [&](std::size_t nb) {
+    MapperConfig config;
+    config.num_buffers = nb;
+    const RowCentricMapper mapper(g, params, config);
+    const auto counts = count_commands(mapper.map(NttJob{}).trace);
+    return counts.acts_by_regime.at(Regime::kInterRow);
+  };
+
+  const auto acts2 = acts_for(2);
+  const auto acts4 = acts_for(4);
+  const auto acts6 = acts_for(6);
+  EXPECT_GT(acts2, acts4);
+  EXPECT_GT(acts4, acts6);
+  // Nb=2 -> Nb=4 roughly halves the round count per row pair.
+  EXPECT_NEAR(static_cast<double>(acts2) / static_cast<double>(acts4), 2.0,
+              0.15);
+}
+
+TEST(Mapper, IntraRegimesNeedNoExtraActivations) {
+  // For N <= R the whole transform runs with one activation per row block.
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(256);
+  const RowCentricMapper mapper(g, params, MapperConfig{});
+  const auto counts = count_commands(mapper.map(NttJob{}).trace);
+  EXPECT_EQ(counts.acts, 1u);
+}
+
+TEST(Mapper, RegimeBoundaries) {
+  // N = 8: intra-atom only. N = 16..256: + intra-row. N >= 512: + inter-row.
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  auto regimes_for = [&](std::size_t n) {
+    const ntt::NttParams params = ntt::NttParams::create(n);
+    MapperConfig config;
+    config.num_buffers = n > 8 ? 2 : 1;
+    const RowCentricMapper mapper(g, params, config);
+    const auto trace = mapper.map(NttJob{}).trace;
+    bool intra_row = false, inter_row = false;
+    for (const auto& cmd : trace) {
+      intra_row |= cmd.regime == Regime::kIntraRow &&
+                   cmd.kind == CmdKind::kC2;
+      inter_row |= cmd.regime == Regime::kInterRow;
+    }
+    return std::pair{intra_row, inter_row};
+  };
+
+  EXPECT_EQ(regimes_for(8), (std::pair{false, false}));
+  EXPECT_EQ(regimes_for(16), (std::pair{true, false}));
+  EXPECT_EQ(regimes_for(256), (std::pair{true, false}));
+  EXPECT_EQ(regimes_for(512), (std::pair{true, true}));
+}
+
+TEST(Mapper, InverseEmitsScalePass) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(512);
+  const RowCentricMapper mapper(g, params, MapperConfig{});
+
+  NttJob job;
+  job.direction = Direction::kInverse;
+  const auto trace = mapper.map(job).trace;
+  const auto counts = count_commands(trace);
+  EXPECT_EQ(counts.buf_zeros, 512u / 8);  // one per atom in the scale pass
+  bool scale_seen = false;
+  for (const auto& cmd : trace)
+    scale_seen |= cmd.regime == Regime::kScale;
+  EXPECT_TRUE(scale_seen);
+
+  job.scale_output = false;
+  const auto unscaled = count_commands(mapper.map(job).trace);
+  EXPECT_EQ(unscaled.buf_zeros, 0u);
+}
+
+TEST(Mapper, NoInPlaceAblationPingPongs) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(1024);
+  MapperConfig config;
+  config.num_buffers = 4;
+  config.in_place = false;
+  const RowCentricMapper mapper(g, params, config);
+  const MappedNtt mapped = mapper.map(NttJob{});
+
+  EXPECT_NO_THROW(validate_trace(mapped.trace, g, 4));
+  // 1024 words = 4 rows: 7 ping-pong stages (s=4..10) -> odd -> shadow.
+  EXPECT_EQ(mapped.result_base_row, 4u);
+
+  // The ablation must cost strictly more activations than in-place.
+  const RowCentricMapper in_place(g, params, MapperConfig{.num_buffers = 4});
+  EXPECT_GT(count_commands(mapped.trace).acts,
+            count_commands(in_place.map(NttJob{}).trace).acts);
+}
+
+TEST(Mapper, ParamDeduplication) {
+  // omega0 = 1 is shared across all intra-row stages; the TFG step changes
+  // once per stage. PARAM traffic must stay tiny relative to computes.
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(1024);
+  const RowCentricMapper mapper(g, params, MapperConfig{});
+  const auto counts = count_commands(mapper.map(NttJob{}).trace);
+  EXPECT_LT(counts.params, counts.c2_ops / 4);
+}
+
+TEST(Mapper, RejectsImpossibleConfigs) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(1024);
+
+  // Nb = 1 cannot run inter-atom stages with the row-centric mapper.
+  MapperConfig config;
+  config.num_buffers = 1;
+  const RowCentricMapper mapper(g, params, config);
+  EXPECT_THROW(mapper.map(NttJob{}), std::invalid_argument);
+
+  // Shadow region must fit for the ablation.
+  dram::DramGeometry tiny = g;
+  tiny.rows_per_bank = 4;
+  MapperConfig ablation;
+  ablation.in_place = false;
+  const RowCentricMapper no_room(tiny, params, ablation);
+  EXPECT_THROW(no_room.map(NttJob{}), std::invalid_argument);
+}
+
+TEST(Mapper, StageMajorAblationCostsMoreActivations) {
+  // Sec. IV.B: the vertical row-block division activates each row once for
+  // all of the first log R stages; the horizontal (stage-wise) strawman
+  // re-activates every row per intra-row stage.
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(2048);
+
+  MapperConfig vertical{.num_buffers = 4};
+  MapperConfig horizontal{.num_buffers = 4, .row_centric = false};
+  const RowCentricMapper vm(g, params, vertical);
+  const RowCentricMapper hm(g, params, horizontal);
+
+  const auto v_counts = count_commands(vm.map(NttJob{}).trace);
+  const auto h_counts = count_commands(hm.map(NttJob{}).trace);
+
+  const DataLayout layout(g, 0, 2048);
+  EXPECT_EQ(v_counts.acts, ActModel::total_forward(layout, vertical));
+  EXPECT_EQ(h_counts.acts, ActModel::total_forward(layout, horizontal));
+  EXPECT_GT(h_counts.acts, v_counts.acts);
+  // 8 rows: stage-major adds 5 extra sweeps of 8 activations each.
+  EXPECT_EQ(h_counts.acts - v_counts.acts, 5u * 8u);
+  // Identical compute work either way.
+  EXPECT_EQ(h_counts.c1_ops, v_counts.c1_ops);
+  EXPECT_EQ(h_counts.c2_ops, v_counts.c2_ops);
+}
+
+TEST(Mapper, StageMajorSingleRowDegenerates) {
+  // With one row the horizontal division costs nothing extra: the row
+  // simply stays open across stages.
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(256);
+  MapperConfig horizontal{.num_buffers = 2, .row_centric = false};
+  const RowCentricMapper mapper(g, params, horizontal);
+  EXPECT_EQ(count_commands(mapper.map(NttJob{}).trace).acts, 1u);
+}
+
+TEST(Mapper, NonZeroBaseRow) {
+  // Polynomials need not start at row 0; twiddle selection uses relative
+  // rows, so any row-aligned placement must produce a valid trace.
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(1024);
+  const RowCentricMapper mapper(g, params, MapperConfig{.num_buffers = 4});
+  NttJob job;
+  job.base_row = 1000;
+  const auto mapped = mapper.map(job);
+  EXPECT_NO_THROW(validate_trace(mapped.trace, g, 4));
+  EXPECT_EQ(mapped.result_base_row, 1000u);
+  for (const auto& cmd : mapped.trace) {
+    if (cmd.kind == CmdKind::kAct) {
+      EXPECT_GE(cmd.row, 1000u);
+      EXPECT_LT(cmd.row, 1004u);
+    }
+  }
+}
+
+// ------------------------------------------------------------ naive mapper
+
+TEST(NaiveMapper, TraceValidAndScalarHeavy) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(256);
+  const NaiveMapper mapper(g, params);
+  const MappedNtt mapped = mapper.map(NttJob{});
+
+  EXPECT_NO_THROW(validate_trace(mapped.trace, g, 1));
+  const auto counts = count_commands(mapped.trace);
+  // Every inter-atom butterfly is scalar: (log N - 3) * N/2 of them.
+  EXPECT_EQ(counts.scalar_bus, 5u * 128u);
+  // ... at 3 reads + 2 writes each, plus the C1 phase traffic.
+  EXPECT_EQ(counts.column_reads, 5u * 128u * 3u + 32u);
+  EXPECT_EQ(counts.column_writes, 5u * 128u * 2u + 32u);
+}
+
+TEST(NaiveMapper, InterRowCostsTwoActsPerButterfly) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(512);
+  const NaiveMapper mapper(g, params);
+  const auto counts = count_commands(mapper.map(NttJob{}).trace);
+  // Stage 9 has 256 scalar BUs across rows: ~2 ACTs each.
+  const auto inter = counts.acts_by_regime.at(Regime::kInterRow);
+  EXPECT_NEAR(static_cast<double>(inter), 2.0 * 256.0, 2.0);
+}
+
+TEST(NaiveMapper, RejectsInverse) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(64);
+  const NaiveMapper mapper(g, params);
+  NttJob job;
+  job.direction = Direction::kInverse;
+  EXPECT_THROW(mapper.map(job), std::invalid_argument);
+}
+
+TEST(Mapper, NonStandardGeometry) {
+  // The mapping generalizes over the row width: with 16 atoms per row
+  // (128-word rows) the inter-row regime starts at stage 8 instead of 9.
+  dram::DramGeometry g = dram::hbm2e_geometry();
+  g.atoms_per_row = 16;
+  g.rows_per_bank = 1024;
+  const ntt::NttParams params = ntt::NttParams::create(1024);
+
+  MapperConfig config{.num_buffers = 4};
+  const RowCentricMapper mapper(g, params, config);
+  const auto mapped = mapper.map(NttJob{});
+  EXPECT_NO_THROW(validate_trace(mapped.trace, g, 4));
+
+  const auto counts = count_commands(mapped.trace);
+  const DataLayout layout(g, 0, 1024);
+  EXPECT_EQ(layout.rows_used(), 8u);
+  // Stages 8..10 are inter-row for 128-word rows.
+  EXPECT_EQ(ActModel::inter_row_stage_count(layout), 3u);
+  EXPECT_EQ(counts.acts, ActModel::total_forward(layout, config));
+}
+
+// ----------------------------------------------------------- trace checker
+
+TEST(ValidateTrace, CatchesColumnToClosedRow) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  std::vector<dram::Command> trace{
+      {.kind = CmdKind::kCuRead, .row = 0, .atom = 0, .buf = 0}};
+  EXPECT_THROW(validate_trace(trace, g, 2), std::logic_error);
+}
+
+TEST(ValidateTrace, CatchesWrongOpenRow) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  std::vector<dram::Command> trace{
+      {.kind = CmdKind::kAct, .row = 1},
+      {.kind = CmdKind::kCuRead, .row = 2, .atom = 0, .buf = 0}};
+  EXPECT_THROW(validate_trace(trace, g, 2), std::logic_error);
+}
+
+TEST(ValidateTrace, CatchesUseBeforeLoad) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  std::vector<dram::Command> trace{
+      {.kind = CmdKind::kParam, .param_reg = dram::ParamReg::kModulus,
+       .param_value = 17},
+      {.kind = CmdKind::kC1, .buf = 1}};
+  EXPECT_THROW(validate_trace(trace, g, 2), std::logic_error);
+}
+
+TEST(ValidateTrace, CatchesAliasedC2) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  std::vector<dram::Command> trace{
+      {.kind = CmdKind::kParam, .param_reg = dram::ParamReg::kModulus,
+       .param_value = 17},
+      {.kind = CmdKind::kAct, .row = 0},
+      {.kind = CmdKind::kCuRead, .row = 0, .atom = 0, .buf = 1},
+      {.kind = CmdKind::kC2, .buf = 1, .buf2 = 1}};
+  EXPECT_THROW(validate_trace(trace, g, 2), std::logic_error);
+}
+
+TEST(ValidateTrace, CatchesScalarWriteWithoutGsaAtom) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  std::vector<dram::Command> trace{
+      {.kind = CmdKind::kAct, .row = 0},
+      {.kind = CmdKind::kScalarRead, .row = 0, .atom = 0, .lane = 0,
+       .scalar_reg = 0},
+      // GSA holds atom 0; writing into atom 1 would corrupt memory.
+      {.kind = CmdKind::kScalarWrite, .row = 0, .atom = 1, .lane = 0,
+       .scalar_reg = 0}};
+  EXPECT_THROW(validate_trace(trace, g, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nttpim::mapping

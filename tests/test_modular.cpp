@@ -1,0 +1,257 @@
+#include "ntt/modular.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ntt/barrett.h"
+#include "ntt/goldilocks.h"
+#include "ntt/montgomery.h"
+
+namespace nttpim::ntt {
+namespace {
+
+constexpr std::uint64_t kPrimes[] = {3, 17, 97, 7681, 12289, 65537,
+                                     998244353, 2147473409, 2130706433};
+
+TEST(AddMod, WrapsCorrectly) {
+  EXPECT_EQ(add_mod(3, 4, 5), 2u);
+  EXPECT_EQ(add_mod(4, 0, 5), 4u);
+  EXPECT_EQ(add_mod(4, 4, 5), 3u);
+  EXPECT_EQ(add_mod(2147473408, 2147473408, 2147473409), 2147473407u);
+}
+
+TEST(SubMod, WrapsCorrectly) {
+  EXPECT_EQ(sub_mod(3, 4, 5), 4u);
+  EXPECT_EQ(sub_mod(0, 1, 97), 96u);
+  EXPECT_EQ(sub_mod(50, 50, 97), 0u);
+}
+
+TEST(MulMod, MatchesWideArithmetic) {
+  Rng rng(2);
+  for (const auto q : kPrimes) {
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t a = rng.next_below(q);
+      const std::uint64_t b = rng.next_below(q);
+      const auto expected = static_cast<std::uint64_t>(
+          static_cast<unsigned __int128>(a) * b % q);
+      EXPECT_EQ(mul_mod(a, b, q), expected);
+    }
+  }
+}
+
+TEST(PowMod, SmallCases) {
+  EXPECT_EQ(pow_mod(2, 10, 1000), 24u);
+  EXPECT_EQ(pow_mod(5, 0, 7), 1u);
+  EXPECT_EQ(pow_mod(0, 5, 7), 0u);
+  EXPECT_EQ(pow_mod(3, 100, 7), pow_mod(3, 100 % 6, 7));  // Fermat
+}
+
+TEST(PowMod, FermatLittleTheorem) {
+  Rng rng(3);
+  for (const auto q : kPrimes) {
+    for (int i = 0; i < 20; ++i) {
+      const std::uint64_t a = 1 + rng.next_below(q - 1);
+      EXPECT_EQ(pow_mod(a, q - 1, q), 1u) << "a=" << a << " q=" << q;
+    }
+  }
+}
+
+TEST(InvMod, ProducesInverses) {
+  Rng rng(4);
+  for (const auto q : kPrimes) {
+    for (int i = 0; i < 20; ++i) {
+      const std::uint64_t a = 1 + rng.next_below(q - 1);
+      EXPECT_EQ(mul_mod(a, inv_mod(a, q), q), 1u);
+    }
+  }
+}
+
+TEST(InvMod, ZeroThrows) {
+  EXPECT_THROW(inv_mod(0, 17), std::invalid_argument);
+  EXPECT_THROW(inv_mod(34, 17), std::invalid_argument);
+}
+
+TEST(NegMod, Identities) {
+  EXPECT_EQ(neg_mod(0, 17), 0u);
+  EXPECT_EQ(neg_mod(5, 17), 12u);
+  for (std::uint64_t a = 0; a < 17; ++a)
+    EXPECT_EQ(add_mod(a, neg_mod(a, 17), 17), 0u);
+}
+
+// ------------------------------------------------------------- Montgomery
+
+TEST(Montgomery, RoundTrip) {
+  Rng rng(5);
+  for (const auto q64 : kPrimes) {
+    if (q64 < 3 || q64 >= (1ULL << 31)) continue;
+    const auto q = static_cast<std::uint32_t>(q64);
+    const Montgomery32 mont(q);
+    for (int i = 0; i < 100; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(q));
+      EXPECT_EQ(mont.from_mont(mont.to_mont(a)), a);
+    }
+  }
+}
+
+TEST(Montgomery, MulMatchesReference) {
+  Rng rng(6);
+  for (const auto q64 : kPrimes) {
+    if (q64 < 3 || q64 >= (1ULL << 31)) continue;
+    const auto q = static_cast<std::uint32_t>(q64);
+    const Montgomery32 mont(q);
+    for (int i = 0; i < 200; ++i) {
+      const auto a = static_cast<std::uint32_t>(rng.next_below(q));
+      const auto b = static_cast<std::uint32_t>(rng.next_below(q));
+      const auto got =
+          mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b)));
+      EXPECT_EQ(got, mul_mod(a, b, q));
+    }
+  }
+}
+
+TEST(Montgomery, AddSubMatchReference) {
+  const std::uint32_t q = 998244353;
+  const Montgomery32 mont(q);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(q));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(q));
+    // add/sub act identically in either domain (they are linear).
+    EXPECT_EQ(mont.add(a, b), add_mod(a, b, q));
+    EXPECT_EQ(mont.sub(a, b), sub_mod(a, b, q));
+  }
+}
+
+TEST(Montgomery, PowMatchesReference) {
+  const std::uint32_t q = 2147473409;
+  const Montgomery32 mont(q);
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = static_cast<std::uint32_t>(1 + rng.next_below(q - 1));
+    const std::uint64_t e = rng.next_below(1 << 20);
+    EXPECT_EQ(mont.from_mont(mont.pow(mont.to_mont(a), e)), pow_mod(a, e, q));
+  }
+}
+
+TEST(Montgomery, OneIsMontgomeryOne) {
+  const Montgomery32 mont(12289);
+  EXPECT_EQ(mont.from_mont(mont.one()), 1u);
+}
+
+TEST(Montgomery, RejectsBadModuli) {
+  EXPECT_THROW(Montgomery32(16), std::invalid_argument);  // even
+  EXPECT_THROW(Montgomery32(1), std::invalid_argument);
+  EXPECT_THROW(Montgomery32(0x80000001u), std::invalid_argument);  // >= 2^31
+}
+
+TEST(Montgomery, EdgeOperands) {
+  const std::uint32_t q = 2147473409;  // close to 2^31
+  const Montgomery32 mont(q);
+  const std::uint32_t qm1 = q - 1;
+  EXPECT_EQ(mont.from_mont(mont.mul(mont.to_mont(qm1), mont.to_mont(qm1))),
+            mul_mod(qm1, qm1, q));
+  EXPECT_EQ(mont.from_mont(mont.mul(mont.to_mont(0), mont.to_mont(qm1))), 0u);
+}
+
+// ---------------------------------------------------------------- Barrett
+
+TEST(Barrett, ReduceMatchesModulo) {
+  Rng rng(9);
+  for (const auto q64 : kPrimes) {
+    if (q64 < 3 || q64 >= (1ULL << 31)) continue;
+    const auto q = static_cast<std::uint32_t>(q64);
+    const Barrett32 barrett(q);
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t x = rng.next_below(1ULL << 62);
+      EXPECT_EQ(barrett.reduce(x), x % q);
+    }
+  }
+}
+
+TEST(Barrett, MulMatchesReference) {
+  const std::uint32_t q = 2130706433;
+  const Barrett32 barrett(q);
+  Rng rng(10);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(q));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(q));
+    EXPECT_EQ(barrett.mul(a, b), mul_mod(a, b, q));
+  }
+}
+
+TEST(Barrett, RejectsBadModuli) {
+  EXPECT_THROW(Barrett32(1), std::invalid_argument);
+  EXPECT_THROW(Barrett32(0x80000001u), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Goldilocks
+
+TEST(Goldilocks, PrimeIsPrime) {
+  // p = 2^64 - 2^32 + 1; also phi-friendly: 2^32 | p - 1.
+  EXPECT_EQ(kGoldilocksPrime, 0xffffffff00000001ULL);
+  EXPECT_EQ((kGoldilocksPrime - 1) % (1ULL << 32), 0u);
+}
+
+TEST(Goldilocks, ReduceMatchesWideModulo) {
+  Rng rng(0x901d);
+  for (int i = 0; i < 500; ++i) {
+    const unsigned __int128 x =
+        (static_cast<unsigned __int128>(rng.next_u64()) << 64) |
+        rng.next_u64();
+    EXPECT_EQ(goldilocks_reduce(x),
+              static_cast<std::uint64_t>(x % kGoldilocksPrime));
+  }
+}
+
+TEST(Goldilocks, ReduceEdgeCases) {
+  const auto p128 = static_cast<unsigned __int128>(kGoldilocksPrime);
+  EXPECT_EQ(goldilocks_reduce(0), 0u);
+  EXPECT_EQ(goldilocks_reduce(p128), 0u);
+  EXPECT_EQ(goldilocks_reduce(p128 - 1), kGoldilocksPrime - 1);
+  EXPECT_EQ(goldilocks_reduce(p128 + 1), 1u);
+  EXPECT_EQ(goldilocks_reduce((p128 - 1) * (p128 - 1)),
+            static_cast<std::uint64_t>((p128 - 1) * (p128 - 1) %
+                                       kGoldilocksPrime));
+  // All-ones upper word exercises the carry path.
+  EXPECT_EQ(goldilocks_reduce(~static_cast<unsigned __int128>(0)),
+            static_cast<std::uint64_t>(~static_cast<unsigned __int128>(0) %
+                                       kGoldilocksPrime));
+}
+
+TEST(Goldilocks, MulAddSubMatchReference) {
+  Rng rng(0x901e);
+  const std::uint64_t p = kGoldilocksPrime;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_below(p);
+    const std::uint64_t b = rng.next_below(p);
+    EXPECT_EQ(goldilocks_mul(a, b), mul_mod(a, b, p));
+    EXPECT_EQ(goldilocks_add(a, b), add_mod(a, b, p));
+    EXPECT_EQ(goldilocks_sub(a, b), sub_mod(a, b, p));
+  }
+}
+
+// Property sweep: the three reduction paths agree on random triples.
+class ReductionAgreement : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReductionAgreement, AllPathsAgree) {
+  const std::uint32_t q = GetParam();
+  const Montgomery32 mont(q);
+  const Barrett32 barrett(q);
+  Rng rng(q);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(q));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(q));
+    const auto reference = mul_mod(a, b, q);
+    EXPECT_EQ(barrett.mul(a, b), reference);
+    EXPECT_EQ(mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b))),
+              reference);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, ReductionAgreement,
+                         ::testing::Values(3u, 17u, 7681u, 12289u, 65537u,
+                                           998244353u, 2130706433u,
+                                           2147473409u));
+
+}  // namespace
+}  // namespace nttpim::ntt

@@ -1,0 +1,106 @@
+#include "ntt/poly.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+namespace {
+
+std::vector<std::uint32_t> random_poly(std::size_t n, std::uint32_t q,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  return rng.residues(n, q);
+}
+
+class ConvolutionTheorem : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConvolutionTheorem, CyclicNttMatchesSchoolbook) {
+  const std::size_t n = GetParam();
+  const NttParams p = NttParams::create(n);
+  const auto a = random_poly(n, p.q(), 1);
+  const auto b = random_poly(n, p.q(), 2);
+  EXPECT_EQ(cyclic_convolution_ntt(a, b, p),
+            cyclic_convolution_schoolbook(a, b, p.q()));
+}
+
+TEST_P(ConvolutionTheorem, NegacyclicNttMatchesSchoolbook) {
+  const std::size_t n = GetParam();
+  const NttParams p = NttParams::create(n);
+  const auto a = random_poly(n, p.q(), 3);
+  const auto b = random_poly(n, p.q(), 4);
+  EXPECT_EQ(negacyclic_convolution_ntt(a, b, p),
+            negacyclic_convolution_schoolbook(a, b, p.q()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConvolutionTheorem,
+                         ::testing::Values(2, 4, 8, 32, 128, 512));
+
+TEST(Schoolbook, CyclicWrapsWithoutSign) {
+  // (x^(n-1))^2 = x^(2n-2) = x^(n-2) mod x^n - 1.
+  const std::uint32_t q = 97;
+  std::vector<std::uint32_t> a(4, 0), b(4, 0);
+  a[3] = 1;
+  b[3] = 1;
+  const auto c = cyclic_convolution_schoolbook(a, b, q);
+  EXPECT_EQ(c, (std::vector<std::uint32_t>{0, 0, 1, 0}));
+}
+
+TEST(Schoolbook, NegacyclicWrapsWithSign) {
+  // x^3 * x^3 = x^6 = -x^2 mod x^4 + 1.
+  const std::uint32_t q = 97;
+  std::vector<std::uint32_t> a(4, 0), b(4, 0);
+  a[3] = 1;
+  b[3] = 1;
+  const auto c = negacyclic_convolution_schoolbook(a, b, q);
+  EXPECT_EQ(c, (std::vector<std::uint32_t>{0, 0, q - 1, 0}));
+}
+
+TEST(Pointwise, MultipliesElementwise) {
+  const std::uint32_t q = 17;
+  const std::vector<std::uint32_t> a{1, 2, 3, 16};
+  const std::vector<std::uint32_t> b{5, 6, 7, 16};
+  EXPECT_EQ(pointwise_mul(a, b, q),
+            (std::vector<std::uint32_t>{5, 12, 4, 1}));
+}
+
+TEST(Pointwise, SizeMismatchThrows) {
+  const std::vector<std::uint32_t> a{1, 2};
+  const std::vector<std::uint32_t> b{1};
+  EXPECT_THROW(pointwise_mul(a, b, 17), std::invalid_argument);
+}
+
+TEST(PolynomialIdentities, MultiplicationByOne) {
+  const std::size_t n = 64;
+  const NttParams p = NttParams::create(n);
+  const auto a = random_poly(n, p.q(), 9);
+  std::vector<std::uint32_t> one(n, 0);
+  one[0] = 1;
+  EXPECT_EQ(cyclic_convolution_ntt(a, one, p), a);
+  EXPECT_EQ(negacyclic_convolution_ntt(a, one, p), a);
+}
+
+TEST(PolynomialIdentities, Commutativity) {
+  const std::size_t n = 32;
+  const NttParams p = NttParams::create(n);
+  const auto a = random_poly(n, p.q(), 10);
+  const auto b = random_poly(n, p.q(), 11);
+  EXPECT_EQ(negacyclic_convolution_ntt(a, b, p),
+            negacyclic_convolution_ntt(b, a, p));
+}
+
+TEST(PolynomialIdentities, MultiplicationByXRotates) {
+  // x * a(x) mod x^n + 1 rotates with a sign flip at the wraparound.
+  const std::size_t n = 8;
+  const NttParams p = NttParams::create(n);
+  const auto a = random_poly(n, p.q(), 12);
+  std::vector<std::uint32_t> x(n, 0);
+  x[1] = 1;
+  const auto c = negacyclic_convolution_ntt(a, x, p);
+  EXPECT_EQ(c[0], neg_mod(a[n - 1], p.q()));
+  for (std::size_t i = 1; i < n; ++i) EXPECT_EQ(c[i], a[i - 1]);
+}
+
+}  // namespace
+}  // namespace nttpim::ntt

@@ -1,0 +1,138 @@
+#include "ntt/primes.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+namespace {
+
+TEST(IsPrime, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(99));
+}
+
+TEST(IsPrime, KnownNttPrimes) {
+  EXPECT_TRUE(is_prime(7681));        // 2^8-friendly
+  EXPECT_TRUE(is_prime(12289));       // Kyber/NewHope prime
+  EXPECT_TRUE(is_prime(8380417));     // Dilithium prime
+  EXPECT_TRUE(is_prime(998244353));   // competitive-programming favourite
+  EXPECT_TRUE(is_prime(2013265921));  // 15*2^27+1
+}
+
+TEST(IsPrime, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests; Miller–Rabin must reject them.
+  for (const std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 41041ULL,
+                                825265ULL, 321197185ULL}) {
+    EXPECT_FALSE(is_prime(c)) << c;
+  }
+}
+
+TEST(IsPrime, LargeComposites) {
+  EXPECT_FALSE(is_prime(1ULL << 40));
+  EXPECT_FALSE(is_prime((1ULL << 31) - 2));
+  // Product of two close primes.
+  EXPECT_FALSE(is_prime(65521ULL * 65519ULL));
+}
+
+TEST(IsPrime, LargePrimes) {
+  EXPECT_TRUE(is_prime((1ULL << 31) - 1));       // Mersenne M31
+  EXPECT_TRUE(is_prime(2305843009213693951ULL)); // Mersenne M61
+}
+
+TEST(NextPrimeCongruentOne, FindsCorrectResidue) {
+  const auto q = next_prime_congruent_one(1000, 16);
+  EXPECT_TRUE(is_prime(q));
+  EXPECT_GT(q, 1000u);
+  EXPECT_EQ(q % 16, 1u);
+}
+
+TEST(FindNttPrime, SatisfiesCongruence) {
+  for (const std::size_t n : {64ULL, 256ULL, 1024ULL, 4096ULL, 8192ULL}) {
+    const auto q = find_ntt_prime(n, 31);
+    EXPECT_TRUE(is_prime(q));
+    EXPECT_EQ(q % (2 * n), 1u) << "n=" << n;
+    EXPECT_LT(q, 1u << 31);
+  }
+}
+
+TEST(FindNttPrime, SmallBitWidths) {
+  const auto q = find_ntt_prime(256, 14);
+  EXPECT_TRUE(is_prime(q));
+  EXPECT_EQ(q % 512, 1u);
+  EXPECT_LT(q, 1u << 14);
+  // The search returns the *largest* qualifying prime below 2^14.
+  EXPECT_EQ(q, 15361u);  // 15 * 2^10 + 1
+  // The classic 14-bit prime 12289 is the largest for n = 2048.
+  EXPECT_EQ(find_ntt_prime(2048, 14), 12289u);
+}
+
+TEST(FindNttPrimes, DistinctAndValid) {
+  const auto primes = find_ntt_primes(1024, 31, 4);
+  ASSERT_EQ(primes.size(), 4u);
+  for (const auto q : primes) {
+    EXPECT_TRUE(is_prime(q));
+    EXPECT_EQ(q % 2048, 1u);
+  }
+  auto sorted = primes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST(PrimeFactors, KnownFactorizations) {
+  auto f = prime_factors(360);  // 2^3 * 3^2 * 5
+  std::sort(f.begin(), f.end());
+  EXPECT_EQ(f, (std::vector<std::uint64_t>{2, 3, 5}));
+
+  f = prime_factors(97);
+  EXPECT_EQ(f, (std::vector<std::uint64_t>{97}));
+
+  f = prime_factors(1);
+  EXPECT_TRUE(f.empty());
+
+  // Semiprime with large factors (exercises Pollard rho).
+  f = prime_factors(65521ULL * 65519ULL);
+  std::sort(f.begin(), f.end());
+  EXPECT_EQ(f, (std::vector<std::uint64_t>{65519, 65521}));
+}
+
+TEST(FindGenerator, HasFullOrder) {
+  for (const std::uint64_t q : {17ULL, 97ULL, 7681ULL, 12289ULL}) {
+    const auto g = find_generator(q);
+    EXPECT_TRUE(has_order(g, q - 1, q)) << "q=" << q;
+  }
+}
+
+TEST(HasOrder, DetectsWrongOrders) {
+  // 4 has order 2 mod 5? 4^2=16=1 mod 5; order(4)=2.
+  EXPECT_TRUE(has_order(4, 2, 5));
+  EXPECT_FALSE(has_order(4, 4, 5));  // 4^2 = 1 already
+  EXPECT_FALSE(has_order(1, 2, 5));  // order 1
+  EXPECT_FALSE(has_order(0, 2, 5));
+}
+
+TEST(PrimitiveRootOfUnity, CorrectOrder) {
+  for (const std::size_t n : {8ULL, 64ULL, 1024ULL}) {
+    const auto q = find_ntt_prime(n, 31);
+    const auto w = primitive_root_of_unity(q, n);
+    EXPECT_TRUE(has_order(w, n, q));
+    EXPECT_EQ(pow_mod(w, n, q), 1u);
+    EXPECT_NE(pow_mod(w, n / 2, q), 1u);
+    // omega^{n/2} must be -1 for radix-2 NTT symmetry.
+    EXPECT_EQ(pow_mod(w, n / 2, q), q - 1);
+  }
+}
+
+TEST(PrimitiveRootOfUnity, RejectsNonDividingOrder) {
+  EXPECT_THROW(primitive_root_of_unity(17, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nttpim::ntt

@@ -1,0 +1,76 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace nttpim::sim {
+namespace {
+
+TEST(Runner, ReportsConsistentMetrics) {
+  NttRunConfig config;
+  config.n = 512;
+  config.num_buffers = 4;
+  const auto r = run_ntt_on_pim(config);
+
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.trace_length, r.trace_counts.total);
+  EXPECT_EQ(r.stats.activations, r.trace_counts.acts);
+  EXPECT_NEAR(r.latency_us, r.stats.us(), 1e-12);
+  EXPECT_NEAR(r.energy_nj, r.stats.energy.total_nj(), 1e-9);
+  EXPECT_GT(r.q, 0u);
+}
+
+TEST(Runner, FrequencySweepMatchesPaperShape) {
+  // Fig. 8: quarter clock must cost well under 4x wall-clock, and large-N
+  // runs (more inter-row / DRAM-bound) degrade less than small-N ones.
+  auto slowdown = [](std::size_t n) {
+    NttRunConfig config;
+    config.n = n;
+    config.num_buffers = 2;
+    config.freq_mhz = 1200;
+    const double fast = run_ntt_on_pim(config).latency_us;
+    config.freq_mhz = 300;
+    const double slow = run_ntt_on_pim(config).latency_us;
+    return slow / fast;
+  };
+
+  const double small_n = slowdown(256);
+  const double large_n = slowdown(4096);
+  EXPECT_LT(large_n, small_n);
+  EXPECT_LT(large_n, 2.5);   // paper reports ~1.65x at large N
+  EXPECT_GT(large_n, 1.0);
+  EXPECT_LT(small_n, 4.0);
+}
+
+TEST(Runner, ParallelBanksScaleNearLinearly) {
+  // Near-linear until the shared command bus saturates: at 8 banks the
+  // command-dense row-block phase oversubscribes the one-command-per-cycle
+  // bus, so efficiency rolls off (the "system-level investigation" the
+  // paper defers to future work).
+  NttRunConfig config;
+  config.n = 1024;
+  config.num_buffers = 4;
+  const struct {
+    std::size_t banks;
+    double min_efficiency;
+  } cases[] = {{2, 0.95}, {4, 0.85}, {8, 0.70}};
+  double prev_speedup = 1.0;
+  for (const auto& c : cases) {
+    const auto r = run_parallel_ntts(c.banks, config);
+    EXPECT_TRUE(r.all_verified) << c.banks;
+    EXPECT_GT(r.throughput_speedup,
+              c.min_efficiency * static_cast<double>(c.banks)) << c.banks;
+    EXPECT_LE(r.throughput_speedup, static_cast<double>(c.banks) * 1.001)
+        << c.banks;
+    EXPECT_GT(r.throughput_speedup, prev_speedup);
+    prev_speedup = r.throughput_speedup;
+  }
+}
+
+TEST(Runner, RejectsDegenerateConfig) {
+  NttRunConfig config;
+  config.n = 1;
+  EXPECT_THROW(run_ntt_on_pim(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nttpim::sim

@@ -1,0 +1,34 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace nttpim {
+namespace {
+
+TEST(TablePrinter, RendersAlignedTable) {
+  TablePrinter t({"N", "latency"});
+  t.add_row({"256", "3.90"});
+  t.add_row({"8192", "1000.00"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("| N    | latency |"), std::string::npos);
+  EXPECT_NE(s.find("| 8192 | 1000.00 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, RejectsArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::num(1234.5678, 3), "1234.568");
+}
+
+}  // namespace
+}  // namespace nttpim

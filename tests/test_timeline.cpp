@@ -1,0 +1,84 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mapping/mapper.h"
+#include "ntt/params.h"
+#include "pim/host.h"
+
+namespace nttpim::sim {
+namespace {
+
+RunStats recorded_run(std::size_t n, std::size_t nb) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(n);
+  pim::PimDevice device(g, nb);
+  Rng rng(1);
+  pim::load_polynomial(device.bank(0), 0, rng.residues(n, params.q()));
+  const mapping::RowCentricMapper mapper(g, params,
+                                         {.num_buffers = nb});
+  EngineConfig config;
+  config.record_timeline = true;
+  return Engine(config).run(device, mapper.map(mapping::NttJob{}).trace);
+}
+
+TEST(Timeline, RecordsEveryCommand) {
+  const auto stats = recorded_run(256, 4);
+  // Every trace command appears (refresh events may add more).
+  EXPECT_GE(stats.timeline.size(), stats.commands);
+  for (const auto& e : stats.timeline) EXPECT_LE(e.issue, e.end);
+  // Events are recorded in issue order on the shared bus.
+  for (std::size_t i = 1; i < stats.timeline.size(); ++i)
+    EXPECT_GE(stats.timeline[i].issue, stats.timeline[i - 1].issue);
+}
+
+TEST(Timeline, OffByDefault) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(64);
+  pim::PimDevice device(g, 2);
+  Rng rng(2);
+  pim::load_polynomial(device.bank(0), 0, rng.residues(64, params.q()));
+  const mapping::RowCentricMapper mapper(g, params, {.num_buffers = 2});
+  const auto stats =
+      Engine(EngineConfig{}).run(device, mapper.map(mapping::NttJob{}).trace);
+  EXPECT_TRUE(stats.timeline.empty());
+}
+
+TEST(Timeline, RenderContainsLanesAndGlyphs) {
+  const auto stats = recorded_run(256, 2);
+  const auto chart = render_timeline(
+      stats.timeline, {.from_cycle = 0, .to_cycle = 400,
+                       .cycles_per_char = 4});
+  EXPECT_NE(chart.find("row:"), std::string::npos);
+  EXPECT_NE(chart.find("i/o:"), std::string::npos);
+  EXPECT_NE(chart.find("cu :"), std::string::npos);
+  EXPECT_NE(chart.find('A'), std::string::npos);  // the first ACT
+  EXPECT_NE(chart.find('r'), std::string::npos);  // CU reads
+  EXPECT_NE(chart.find('1'), std::string::npos);  // C1 compute
+}
+
+TEST(Timeline, WindowFiltersEvents) {
+  const auto stats = recorded_run(256, 2);
+  // A window after the run's end contains no glyphs, only filler.
+  const auto chart = render_timeline(
+      stats.timeline, {.from_cycle = stats.cycles + 100,
+                       .to_cycle = stats.cycles + 200,
+                       .cycles_per_char = 1});
+  EXPECT_EQ(chart.find('A'), std::string::npos);
+  EXPECT_EQ(chart.find('2'), std::string::npos);
+}
+
+TEST(Timeline, RejectsDegenerateWindows) {
+  const auto stats = recorded_run(64, 2);
+  EXPECT_THROW(render_timeline(stats.timeline,
+                               {.from_cycle = 10, .to_cycle = 10}),
+               std::invalid_argument);
+  EXPECT_THROW(render_timeline(stats.timeline,
+                               {.from_cycle = 0, .to_cycle = 100,
+                                .cycles_per_char = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nttpim::sim

@@ -1,0 +1,101 @@
+#include "mapping/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/mapper.h"
+#include "mapping/naive_mapper.h"
+#include "mapping/trace.h"
+#include "ntt/params.h"
+
+namespace nttpim::mapping {
+namespace {
+
+using dram::CmdKind;
+using dram::Command;
+
+bool commands_equal(const Command& a, const Command& b) {
+  return a.kind == b.kind && a.bank == b.bank && a.row == b.row &&
+         a.atom == b.atom && a.lane == b.lane && a.buf == b.buf &&
+         a.buf2 == b.buf2 && a.stages == b.stages &&
+         a.scalar_reg == b.scalar_reg && a.tfg_reset == b.tfg_reset &&
+         a.param_reg == b.param_reg && a.param_value == b.param_value &&
+         a.regime == b.regime;
+}
+
+TEST(TraceIo, RowCentricRoundTrip) {
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(1024);
+  const RowCentricMapper mapper(g, params, MapperConfig{.num_buffers = 4});
+  const auto mapped = mapper.map(NttJob{});
+
+  const auto text = trace_to_string(mapped.trace);
+  const auto parsed = trace_from_string(text);
+  ASSERT_EQ(parsed.size(), mapped.trace.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_TRUE(commands_equal(parsed[i], mapped.trace[i])) << "index " << i;
+  }
+}
+
+TEST(TraceIo, NaiveMapperRoundTrip) {
+  // Exercises the scalar command encodings (S_RD/S_WR/S_BU).
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(64);
+  const NaiveMapper mapper(g, params);
+  const auto mapped = mapper.map(NttJob{});
+
+  const auto parsed = trace_from_string(trace_to_string(mapped.trace));
+  ASSERT_EQ(parsed.size(), mapped.trace.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i)
+    EXPECT_TRUE(commands_equal(parsed[i], mapped.trace[i])) << i;
+}
+
+TEST(TraceIo, InverseTraceRoundTrip) {
+  // Exercises BUF0 and the scale regime annotation.
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  const ntt::NttParams params = ntt::NttParams::create(512);
+  const RowCentricMapper mapper(g, params, MapperConfig{.num_buffers = 4});
+  NttJob job;
+  job.direction = Direction::kInverse;
+  const auto mapped = mapper.map(job);
+
+  const auto parsed = trace_from_string(trace_to_string(mapped.trace));
+  ASSERT_EQ(parsed.size(), mapped.trace.size());
+  bool scale_seen = false;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_TRUE(commands_equal(parsed[i], mapped.trace[i])) << i;
+    scale_seen |= parsed[i].regime == dram::Regime::kScale;
+  }
+  EXPECT_TRUE(scale_seen);
+}
+
+TEST(TraceIo, ParsesHandWrittenText) {
+  const auto trace = trace_from_string(
+      "# a comment line\n"
+      "ACT 0 7\n"
+      "\n"
+      "CU_RD 0 7 3 1 # intra-atom\n"
+      "PARAM 0 tfg.step 12345 # setup\n"
+      "C2 0 0 1 1\n"
+      "PRE 0\n");
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace[0].kind, CmdKind::kAct);
+  EXPECT_EQ(trace[0].row, 7u);
+  EXPECT_EQ(trace[1].kind, CmdKind::kCuRead);
+  EXPECT_EQ(trace[1].buf, 1);
+  EXPECT_EQ(trace[1].regime, dram::Regime::kIntraAtom);
+  EXPECT_EQ(trace[2].param_reg, dram::ParamReg::kTfgStep);
+  EXPECT_EQ(trace[2].param_value, 12345u);
+  EXPECT_TRUE(trace[3].tfg_reset);
+  EXPECT_EQ(trace[4].kind, CmdKind::kPre);
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  EXPECT_THROW(trace_from_string("FROB 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("ACT 0\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("PARAM 0 bogus.reg 5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("C2 0 0\n"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nttpim::mapping

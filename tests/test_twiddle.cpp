@@ -1,0 +1,73 @@
+#include "ntt/twiddle.h"
+
+#include <gtest/gtest.h>
+
+#include "ntt/modular.h"
+#include "ntt/params.h"
+
+namespace nttpim::ntt {
+namespace {
+
+TEST(TwiddleGenerator, GeometricSequence) {
+  const std::uint32_t q = 12289;
+  TwiddleGenerator tfg(q);
+  tfg.set_omega0(7);
+  tfg.set_step(3);
+  tfg.reset();
+  std::uint64_t expected = 7;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(tfg.next(), expected);
+    expected = mul_mod(expected, 3, q);
+  }
+}
+
+TEST(TwiddleGenerator, ResetReloadsOmega0) {
+  TwiddleGenerator tfg(97);
+  tfg.set_omega0(5);
+  tfg.set_step(2);
+  tfg.reset();
+  EXPECT_EQ(tfg.next(), 5u);
+  EXPECT_EQ(tfg.next(), 10u);
+  tfg.reset();
+  EXPECT_EQ(tfg.next(), 5u);  // back to the start
+}
+
+TEST(TwiddleGenerator, Omega0LoadDoesNotDisturbCurrent) {
+  TwiddleGenerator tfg(97);
+  tfg.set_omega0(5);
+  tfg.set_step(1);
+  tfg.reset();
+  EXPECT_EQ(tfg.next(), 5u);
+  tfg.set_omega0(11);          // PARAM arrives mid-sequence
+  EXPECT_EQ(tfg.next(), 5u);   // sequence continues (step=1)
+  tfg.reset();                 // only reset consumes the new omega0
+  EXPECT_EQ(tfg.next(), 11u);
+}
+
+TEST(TwiddleGenerator, MatchesStageTwiddlesOfReference) {
+  // The TFG with step w_s reproduces the DIT stage-s twiddles w_s^j.
+  const NttParams p = NttParams::create(256);
+  for (unsigned s = 1; s <= p.log2n(); ++s) {
+    TwiddleGenerator tfg(p.q());
+    tfg.set_omega0(1);
+    tfg.set_step(p.stage_step(s));
+    tfg.reset();
+    const std::size_t m = std::size_t{1} << (s - 1);
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(tfg.next(), pow_mod(p.stage_step(s), j, p.q()))
+          << "s=" << s << " j=" << j;
+    }
+  }
+}
+
+TEST(TwiddleGenerator, ValuesReducedModQ) {
+  TwiddleGenerator tfg(7);
+  tfg.set_omega0(100);  // > q: must be reduced
+  tfg.set_step(100);
+  tfg.reset();
+  EXPECT_LT(tfg.next(), 7u);
+  EXPECT_LT(tfg.next(), 7u);
+}
+
+}  // namespace
+}  // namespace nttpim::ntt
