@@ -1,7 +1,13 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
 #pragma once
 
+#include <cstdint>
 #include <iostream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
 
 #include "dram/config.h"
 
@@ -20,6 +26,125 @@ inline void print_table1_header(const char* title) {
             << " tCCD=" << t.tccd << " tRP=" << t.trp << " tRAS=" << t.tras
             << " tRCD=" << t.trcd << " tWR=" << t.twr
             << " | C1=" << t.c1_latency << " C2=" << t.c2_latency << "\n\n";
+}
+
+/// Scan argv for `--json [path]` / `--json=path`. Returns the output path
+/// ("-" = stdout) when the flag is present, and strips it from argv so the
+/// remaining arguments can go to another flag parser (e.g. google-benchmark).
+inline std::optional<std::string> consume_json_flag(int& argc, char** argv) {
+  std::optional<std::string> path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      path = "-";
+      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = std::string(arg.substr(7));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return path;
+}
+
+/// Minimal streaming JSON emitter — just what the bench reporters need:
+/// nested objects/arrays and string/number/bool scalars, pretty-printed so
+/// committed baselines diff cleanly.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object() { open('{'); }
+  void begin_object(std::string_view key) { open('{', key); }
+  void end_object() { close('}'); }
+  void begin_array(std::string_view key) { open('[', key); }
+  void end_array() { close(']'); }
+
+  void field(std::string_view key, std::string_view value) {
+    item(key);
+    quote(value);
+  }
+  void field(std::string_view key, const char* value) {
+    field(key, std::string_view(value));
+  }
+  void field(std::string_view key, bool value) {
+    item(key);
+    os_ << (value ? "true" : "false");
+  }
+  template <typename T>
+  void field(std::string_view key, T value) {
+    static_assert(std::is_arithmetic_v<T>);
+    item(key);
+    if constexpr (std::is_floating_point_v<T>) {
+      // Round-trippable precision: baselines are diffed, so sub-ulp
+      // regressions must survive the text round trip.
+      const auto saved = os_.precision(std::numeric_limits<T>::max_digits10);
+      os_ << value;
+      os_.precision(saved);
+    } else {
+      os_ << +value;
+    }
+  }
+
+ private:
+  void open(char bracket, std::string_view key = {}) {
+    item(key);
+    os_ << bracket;
+    first_ = true;
+    ++depth_;
+  }
+  void close(char bracket) {
+    --depth_;
+    if (!first_) newline();
+    os_ << bracket;
+    first_ = false;
+    if (depth_ == 0) os_ << '\n';
+  }
+  void item(std::string_view key) {
+    if (depth_ > 0) {
+      if (!first_) os_ << ',';
+      newline();
+    }
+    first_ = false;
+    if (!key.empty()) {
+      quote(key);
+      os_ << ": ";
+    }
+  }
+  void newline() {
+    os_ << '\n';
+    for (int i = 0; i < depth_; ++i) os_ << "  ";
+  }
+  void quote(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') os_ << '\\';
+      os_ << c;
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+/// Emit the shared architecture block (paper Table I) every JSON report
+/// carries, so a baseline is interpretable without the producing binary.
+inline void write_architecture(JsonWriter& json) {
+  const dram::DramTiming t = dram::hbm2e_timing();
+  const dram::DramGeometry g = dram::hbm2e_geometry();
+  json.begin_object("architecture");
+  json.field("name", "HBM2E (paper Table I)");
+  json.field("atom_bytes", g.atom_bytes);
+  json.field("atoms_per_row", g.atoms_per_row);
+  json.field("rows_per_bank", g.rows_per_bank);
+  json.field("banks", g.banks);
+  json.field("freq_mhz", t.freq_mhz);
+  json.end_object();
 }
 
 }  // namespace nttpim::bench

@@ -4,6 +4,10 @@
 // (Montgomery vs Barrett vs plain `%`).
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.h"
 #include "common/bitutil.h"
 #include "common/random.h"
 #include "ntt/barrett.h"
@@ -15,6 +19,7 @@
 #include "ntt/radix4.h"
 #include "ntt/reference.h"
 #include "ntt/stockham.h"
+#include "sim/runner.h"
 
 namespace {
 
@@ -181,6 +186,79 @@ void BM_PolymulNttVsSchoolbook(benchmark::State& state) {
   }
 }
 
+// `--json [path]` perf-baseline mode: instead of wall-clock microbenchmarks,
+// run each kernel config through the cycle-accurate PIM simulation and emit
+// the cycle / ACT counts that optimization PRs are judged against
+// (committed as BENCH_*.json at the repo root).
+int run_json_baseline(const std::string& path) {
+  using namespace nttpim;
+
+  // Buffer the report and only write the output file once every config has
+  // verified, so a broken sim never leaves a plausible-looking baseline on
+  // disk for a script that ignores the exit status.
+  std::ostringstream os;
+  bench::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", "nttpim-bench-v1");
+  json.field("bench", "bench_ntt_kernels");
+  bench::write_architecture(json);
+  json.begin_array("kernels");
+  bool all_verified = true;
+  for (const std::size_t n : {256, 1024, 4096, 16384}) {
+    for (const std::size_t num_buffers : {2, 4}) {
+      for (const bool negacyclic : {false, true}) {
+        sim::NttRunConfig config;
+        config.n = n;
+        config.num_buffers = num_buffers;
+        config.negacyclic = negacyclic;
+        const sim::NttRunResult result = sim::run_ntt_on_pim(config);
+        all_verified = all_verified && result.verified;
+
+        json.begin_object();
+        json.field("n", n);
+        json.field("q", result.q);
+        json.field("num_buffers", num_buffers);
+        json.field("negacyclic", negacyclic);
+        json.field("pipelined", config.pipelined);
+        json.field("row_centric", config.row_centric);
+        json.field("verified", result.verified);
+        json.field("cycles", result.stats.cycles);
+        json.field("latency_us", result.latency_us);
+        json.field("energy_nj", result.energy_nj);
+        json.field("activations", result.stats.activations);
+        json.field("precharges", result.stats.precharges);
+        json.field("column_reads", result.stats.column_reads);
+        json.field("column_writes", result.stats.column_writes);
+        json.field("compute_ops", result.stats.compute_ops);
+        json.field("butterflies", result.stats.butterflies);
+        json.field("commands", result.stats.commands);
+        json.begin_object("acts_by_regime");
+        for (const auto& [regime, acts] : result.trace_counts.acts_by_regime)
+          json.field(dram::to_string(regime), acts);
+        json.end_object();
+        json.end_object();
+      }
+    }
+  }
+  json.end_array();
+  json.end_object();
+  if (!all_verified) {
+    std::cerr << "baseline aborted: a simulated NTT failed functional "
+                 "verification against the reference transform\n";
+    return 1;
+  }
+  if (path == "-") {
+    std::cout << os.str();
+  } else {
+    std::ofstream file(path);
+    if (!(file << os.str())) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 BENCHMARK(BM_NttCooleyTukey)->RangeMultiplier(4)->Range(256, 8192);
@@ -196,4 +274,12 @@ BENCHMARK(BM_ReduceBarrett);
 BENCHMARK(BM_ReducePlainMod);
 BENCHMARK(BM_PolymulNttVsSchoolbook)->Arg(256)->Arg(1024);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (const auto json_path = nttpim::bench::consume_json_flag(argc, argv))
+    return run_json_baseline(*json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -93,6 +93,14 @@ TEST(Baselines, FitInterpolatesReasonably) {
   EXPECT_GT(x86.fitted_latency_us(8192), x86.fitted_latency_us(4096));
 }
 
+#if defined(__SANITIZE_ADDRESS__)
+#define NTTPIM_TEST_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(undefined_behavior_sanitizer)
+#define NTTPIM_TEST_SANITIZED 1
+#endif
+#endif
+
 TEST(CpuBaseline, MeasurementsArePositiveAndOrdered) {
   const auto plain = measure_cpu_plain(1024, 3);
   const auto mont = measure_cpu_montgomery(1024, 3);
@@ -100,7 +108,12 @@ TEST(CpuBaseline, MeasurementsArePositiveAndOrdered) {
   EXPECT_GT(mont.latency_us, 0.0);
   EXPECT_GT(plain.energy_uj, 0.0);
   // The Montgomery path should not be slower than the plain-mod path.
+  // Relative wall-clock ratios are only meaningful in optimized,
+  // uninstrumented builds; sanitizers and -O0 skew the two paths
+  // differently.
+#if defined(NDEBUG) && !defined(NTTPIM_TEST_SANITIZED)
   EXPECT_LE(mont.latency_us, plain.latency_us * 1.5);
+#endif
 }
 
 TEST(CpuBaseline, ScalesWithN) {
