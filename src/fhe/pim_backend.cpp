@@ -1,13 +1,22 @@
 #include "fhe/pim_backend.h"
 
+#include <algorithm>
+
 #include "common/check.h"
-#include "mapping/mapper.h"
-#include "mapping/trace.h"
 #include "ntt/negacyclic.h"
 #include "pim/host.h"
-#include "sim/engine.h"
 
 namespace nttpim::fhe {
+
+namespace {
+
+sim::EngineConfig engine_config(double freq_mhz) {
+  sim::EngineConfig ec;
+  ec.timing = dram::hbm2e_timing().at_frequency(freq_mhz);
+  return ec;
+}
+
+}  // namespace
 
 void CpuBackend::forward(std::vector<std::uint32_t>& a,
                          const ntt::NttParams& params) {
@@ -21,10 +30,16 @@ void CpuBackend::inverse(std::vector<std::uint32_t>& a,
   ++transforms_;
 }
 
-PimBackend::PimBackend(std::size_t num_buffers, double freq_mhz)
-    : num_buffers_(num_buffers), freq_mhz_(freq_mhz) {
+PimBackend::PimBackend(std::size_t num_buffers, double freq_mhz,
+                       const dram::DramGeometry& geometry)
+    : geometry_(geometry),
+      num_buffers_(num_buffers),
+      freq_mhz_(freq_mhz),
+      device_(geometry, num_buffers),
+      engine_(engine_config(freq_mhz)) {
   NTTPIM_EXPECT_MSG(num_buffers >= 2,
                     "the FHE backend needs C2 support (Nb >= 2)");
+  NTTPIM_EXPECT_MSG(geometry.banks >= 1, "device needs at least one bank");
 }
 
 void PimBackend::forward(std::vector<std::uint32_t>& a,
@@ -37,38 +52,78 @@ void PimBackend::inverse(std::vector<std::uint32_t>& a,
   transform(a, params, /*inverse_direction=*/true);
 }
 
-void PimBackend::transform(std::vector<std::uint32_t>& a,
-                           const ntt::NttParams& params,
-                           bool inverse_direction) {
-  NTTPIM_EXPECT(a.size() == params.n());
-  const dram::DramGeometry geometry = dram::hbm2e_geometry(1);
-  pim::PimDevice device(geometry, num_buffers_);
-
-  // Host side: negacyclic forward folds the psi^i pre-scale into the load.
-  std::vector<std::uint32_t> staged = a;
-  if (!inverse_direction)
-    ntt::geometric_scale(staged, params.psi(), 1, params.q());
-  pim::load_polynomial(device.bank(0), 0, staged);
-
+std::shared_ptr<const mapping::MappedNtt> PimBackend::plan_for(
+    const ntt::NttParams& params, bool inverse_direction,
+    std::uint16_t bank) {
   mapping::MapperConfig config;
   config.num_buffers = num_buffers_;
-  const mapping::RowCentricMapper mapper(geometry, params, config);
+  config.bank = bank;
 
   mapping::NttJob job;
   job.direction = inverse_direction ? mapping::Direction::kInverse
                                     : mapping::Direction::kForward;
   job.negacyclic = inverse_direction;  // psi^{-i} post-scale on the PIM
-  const auto mapped = mapper.map(job);
+  return plans_.get_or_map(geometry_, params, config, job);
+}
 
-  sim::EngineConfig ec;
-  ec.timing = dram::hbm2e_timing().at_frequency(freq_mhz_);
-  const sim::Engine engine(ec);
-  const auto stats = engine.run(device, mapped.trace);
+void PimBackend::transform(std::vector<std::uint32_t>& a,
+                           const ntt::NttParams& params,
+                           bool inverse_direction) {
+  transform_wave({&a, 1}, params, inverse_direction);
+}
 
-  a = pim::read_result(device.bank(0), mapped.result_base_row, params.n());
+void PimBackend::transform_batch(std::span<std::vector<std::uint32_t>> polys,
+                                 const ntt::NttParams& params, bool inverse) {
+  const std::size_t banks = device_.num_banks();
+  for (std::size_t first = 0; first < polys.size(); first += banks)
+    transform_wave(
+        polys.subspan(first, std::min(banks, polys.size() - first)), params,
+        inverse);
+}
+
+void PimBackend::transform_wave(std::span<std::vector<std::uint32_t>> wave,
+                                const ntt::NttParams& params,
+                                bool inverse_direction) {
+  NTTPIM_EXPECT(wave.size() >= 1 && wave.size() <= device_.num_banks());
+
+  // Host side: place each polynomial in its own bank; the negacyclic
+  // forward folds the psi^i pre-scale into the load.
+  for (std::size_t b = 0; b < wave.size(); ++b) {
+    NTTPIM_EXPECT(wave[b].size() == params.n());
+    std::vector<std::uint32_t> staged = wave[b];
+    if (!inverse_direction)
+      ntt::geometric_scale(staged, params.psi(), 1, params.q());
+    pim::load_polynomial(device_.bank(b), 0, staged);
+  }
+
+  // Memory-controller side: one cached plan per bank (bank b's plan is the
+  // bank-0 plan with rewritten bank ids), merged into one engine pass.
+  std::vector<std::shared_ptr<const mapping::MappedNtt>> plans(wave.size());
+  for (std::size_t b = 0; b < wave.size(); ++b)
+    plans[b] = plan_for(params, inverse_direction,
+                        static_cast<std::uint16_t>(b));
+
+  sim::RunStats stats;
+  if (wave.size() == 1) {
+    stats = engine_.run(device_, plans[0]->trace);
+  } else {
+    std::vector<dram::Command> merged;
+    std::size_t total = 0;
+    for (const auto& plan : plans) total += plan->trace.size();
+    merged.reserve(total);
+    for (const auto& plan : plans)
+      merged.insert(merged.end(), plan->trace.begin(), plan->trace.end());
+    stats = engine_.run(device_, merged);
+  }
+
+  for (std::size_t b = 0; b < wave.size(); ++b)
+    wave[b] = pim::read_result(device_.bank(b), plans[b]->result_base_row,
+                               params.n());
+
   cycles_ += stats.cycles;
   energy_nj_ += stats.energy.total_nj();
-  ++transforms_;
+  ++engine_passes_;
+  transforms_ += wave.size();
 }
 
 double PimBackend::total_us() const {

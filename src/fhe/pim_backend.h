@@ -5,14 +5,26 @@
 // the full NTT-PIM stack (host interface -> mapper -> cycle simulator),
 // demonstrating the paper's deployment model: the application issues NTT
 // "write requests" and the PIM executes them in-memory.
+//
+// PimBackend is throughput-shaped: it owns one persistent simulated device
+// (constructed once, not per transform), memoizes mapped command traces in
+// a mapping::PlanCache keyed by (geometry, params, config, job), and offers
+// transform_batch() which shards a batch of polynomials across the device's
+// banks and simulates them in a single engine pass, so bank-level
+// parallelism is exercised end-to-end. Simulated *hardware* numbers are
+// unchanged by any of this — only host wall-clock drops.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "dram/config.h"
+#include "mapping/plan_cache.h"
 #include "ntt/params.h"
+#include "pim/device.h"
+#include "sim/engine.h"
 
 namespace nttpim::fhe {
 
@@ -47,26 +59,57 @@ class CpuBackend final : public NttBackend {
 /// and accumulates the simulated cycle/energy cost.
 class PimBackend final : public NttBackend {
  public:
-  explicit PimBackend(std::size_t num_buffers = 4,
-                      double freq_mhz = 1200.0);
+  /// `geometry` fixes the simulated device for the backend's lifetime; the
+  /// default is the paper's single-bank Table-I configuration. Use
+  /// dram::hbm2e_geometry(B) to enable B-way transform_batch sharding.
+  explicit PimBackend(std::size_t num_buffers = 4, double freq_mhz = 1200.0,
+                      const dram::DramGeometry& geometry =
+                          dram::hbm2e_geometry(1));
 
   void forward(std::vector<std::uint32_t>& a,
                const ntt::NttParams& params) override;
   void inverse(std::vector<std::uint32_t>& a,
                const ntt::NttParams& params) override;
 
+  /// Batched transform: shard `polys` across the device's banks, one
+  /// polynomial per bank, and simulate each wave of num_banks() transforms
+  /// in a single engine pass (per-bank traces are cached plans replicated
+  /// with rewritten bank ids). Semantics per polynomial are identical to
+  /// forward()/inverse(); total_cycles() advances by the *makespan* of each
+  /// shared pass, which is what makes this a throughput API.
+  void transform_batch(std::span<std::vector<std::uint32_t>> polys,
+                       const ntt::NttParams& params, bool inverse = false);
+
+  const dram::DramGeometry& geometry() const noexcept { return geometry_; }
+  std::size_t num_banks() const noexcept { return device_.num_banks(); }
+
   std::uint64_t total_cycles() const noexcept { return cycles_; }
   double total_energy_nj() const noexcept { return energy_nj_; }
   double total_us() const;
+  /// Engine passes executed (one per single transform or batch wave).
+  std::uint64_t engine_passes() const noexcept { return engine_passes_; }
+  std::uint64_t plan_cache_hits() const noexcept { return plans_.hits(); }
+  std::uint64_t plan_cache_misses() const noexcept { return plans_.misses(); }
 
  private:
   void transform(std::vector<std::uint32_t>& a, const ntt::NttParams& params,
                  bool inverse_direction);
+  /// One engine pass over at most num_banks() polynomials.
+  void transform_wave(std::span<std::vector<std::uint32_t>> wave,
+                      const ntt::NttParams& params, bool inverse_direction);
+  std::shared_ptr<const mapping::MappedNtt> plan_for(
+      const ntt::NttParams& params, bool inverse_direction,
+      std::uint16_t bank);
 
+  dram::DramGeometry geometry_;
   std::size_t num_buffers_;
   double freq_mhz_;
+  pim::PimDevice device_;
+  sim::Engine engine_;
+  mapping::PlanCache plans_;
   std::uint64_t cycles_ = 0;
   double energy_nj_ = 0;
+  std::uint64_t engine_passes_ = 0;
 };
 
 }  // namespace nttpim::fhe

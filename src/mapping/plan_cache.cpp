@@ -1,0 +1,61 @@
+#include "mapping/plan_cache.h"
+
+namespace nttpim::mapping {
+
+PlanKey PlanKey::make(const dram::DramGeometry& geometry,
+                      const ntt::NttParams& params,
+                      const MapperConfig& config, const NttJob& job) {
+  PlanKey key;
+  key.word_bytes = geometry.word_bytes;
+  key.atom_bytes = geometry.atom_bytes;
+  key.atoms_per_row = geometry.atoms_per_row;
+  key.rows_per_bank = geometry.rows_per_bank;
+  key.n = params.n();
+  key.q = params.q();
+  key.num_buffers = config.num_buffers;
+  key.pipelined = config.pipelined;
+  key.in_place = config.in_place;
+  key.row_centric = config.row_centric;
+  key.bank = config.bank;
+  key.base_row = job.base_row;
+  key.direction = job.direction;
+  key.scale_output = job.scale_output;
+  key.negacyclic = job.negacyclic;
+  return key;
+}
+
+std::shared_ptr<const MappedNtt> PlanCache::get_or_map(
+    const dram::DramGeometry& geometry, const ntt::NttParams& params,
+    const MapperConfig& config, const NttJob& job) {
+  const PlanKey key = PlanKey::make(geometry, params, config, job);
+  if (const auto it = plans_.find(key); it != plans_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+
+  std::shared_ptr<const MappedNtt> plan;
+  if (config.bank != 0) {
+    // The trace is bank-relative apart from the bank field: replicate the
+    // bank-0 twin when available instead of re-running the mapper.
+    PlanKey twin = key;
+    twin.bank = 0;
+    if (const auto it = plans_.find(twin); it != plans_.end())
+      plan = std::make_shared<const MappedNtt>(
+          retarget_bank(*it->second, config.bank));
+  }
+  if (!plan) {
+    const RowCentricMapper mapper(geometry, params, config);
+    plan = std::make_shared<const MappedNtt>(mapper.map(job));
+  }
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+void PlanCache::clear() {
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace nttpim::mapping

@@ -1,0 +1,78 @@
+// Memoization of mapped NTT command traces.
+//
+// Mapping is pure: the emitted trace depends only on the DRAM geometry, the
+// NTT parameter set (n, q), the mapper configuration and the job descriptor
+// — never on the polynomial data. FHE workloads issue dozens of transforms
+// with identical keys per homomorphic operation (every limb of every
+// ciphertext polynomial), so re-running RowCentricMapper::map per transform
+// is pure host-side waste. PlanCache memoizes the MappedNtt per key; plans
+// are immutable and handed out as shared_ptr so callers can hold them across
+// cache mutations.
+//
+// Bank replication: a mapped trace is bank-relative except for the bank id
+// stamped on each command, so a miss that differs from a cached plan only in
+// the bank field is served by retarget_bank() (an O(trace) copy) instead of
+// a fresh mapper run — the building block of the batched multi-bank backend.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "dram/config.h"
+#include "mapping/mapper.h"
+#include "mapping/trace.h"
+#include "ntt/params.h"
+
+namespace nttpim::mapping {
+
+/// Value-comparable identity of one mapping invocation.
+struct PlanKey {
+  // Geometry (everything the layout / emission depends on).
+  std::size_t word_bytes = 0;
+  std::size_t atom_bytes = 0;
+  std::size_t atoms_per_row = 0;
+  std::size_t rows_per_bank = 0;
+  // NTT parameter set (roots are derived deterministically from n, q).
+  std::size_t n = 0;
+  std::uint32_t q = 0;
+  // MapperConfig.
+  std::size_t num_buffers = 0;
+  bool pipelined = true;
+  bool in_place = true;
+  bool row_centric = true;
+  std::uint16_t bank = 0;
+  // NttJob.
+  std::uint32_t base_row = 0;
+  Direction direction = Direction::kForward;
+  bool scale_output = true;
+  bool negacyclic = false;
+
+  friend auto operator<=>(const PlanKey&, const PlanKey&) = default;
+
+  static PlanKey make(const dram::DramGeometry& geometry,
+                      const ntt::NttParams& params,
+                      const MapperConfig& config, const NttJob& job);
+};
+
+class PlanCache {
+ public:
+  /// Return the memoized plan for (geometry, params, config, job), mapping
+  /// it on first use. A miss whose bank-0 twin is already cached is served
+  /// by rewriting bank ids instead of re-running the mapper.
+  std::shared_ptr<const MappedNtt> get_or_map(
+      const dram::DramGeometry& geometry, const ntt::NttParams& params,
+      const MapperConfig& config, const NttJob& job);
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::size_t size() const noexcept { return plans_.size(); }
+  void clear();
+
+ private:
+  std::map<PlanKey, std::shared_ptr<const MappedNtt>> plans_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace nttpim::mapping

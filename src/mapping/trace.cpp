@@ -153,4 +153,10 @@ void validate_trace(std::span<const dram::Command> trace,
   }
 }
 
+MappedNtt retarget_bank(const MappedNtt& mapped, std::uint16_t bank) {
+  MappedNtt out = mapped;
+  for (auto& cmd : out.trace) cmd.bank = bank;
+  return out;
+}
+
 }  // namespace nttpim::mapping

@@ -48,4 +48,10 @@ struct MappedNtt {
   std::uint32_t result_base_row = 0;
 };
 
+/// Copy of `mapped` with every command's bank id rewritten to `bank`. A
+/// mapped trace is bank-relative apart from that field, so this replicates
+/// one plan across banks without re-running the mapper (the batched
+/// multi-bank backend and the PlanCache rely on this).
+MappedNtt retarget_bank(const MappedNtt& mapped, std::uint16_t bank);
+
 }  // namespace nttpim::mapping

@@ -1,5 +1,6 @@
-// Barrett reduction for 32-bit moduli — the alternative reduction evaluated
-// in the kernel ablation benchmarks (bench_ntt_kernels).
+// Barrett reduction for 32-bit moduli — used by the functional hot path
+// (the TFG and the CU butterfly datapath) and evaluated against Montgomery
+// and plain `%` in the kernel ablation benchmarks (bench_ntt_kernels).
 #pragma once
 
 #include <cstdint>
@@ -22,7 +23,11 @@ class Barrett32 {
 
   std::uint32_t modulus() const noexcept { return q_; }
 
-  /// x mod q for any 64-bit x < 2^62 (covers products of residues).
+  /// x mod q, exact for the full 64-bit range of x: mu underestimates
+  /// 2^64/q by less than 1, so the remainder after subtracting the
+  /// approximate quotient is below 2q and one conditional subtraction
+  /// always lands in [0, q) (the second is belt-and-braces). In particular
+  /// products of arbitrary 32-bit operands reduce correctly.
   std::uint32_t reduce(std::uint64_t x) const noexcept {
     const std::uint64_t approx_quotient = static_cast<std::uint64_t>(
         (static_cast<unsigned __int128>(x) * mu_) >> 64);

@@ -4,6 +4,7 @@
 #include "common/check.h"
 #include "ntt/modular.h"
 #include "ntt/montgomery.h"
+#include "ntt/twiddle_cache.h"
 
 namespace nttpim::ntt {
 
@@ -52,10 +53,12 @@ namespace {
 void dit_kernel_raw(std::span<std::uint32_t> a, std::uint64_t q,
                     std::uint64_t twiddle_base) {
   const std::size_t n = a.size();
-  for (std::size_t m = 1; m < n; m <<= 1) {
+  const auto steps = stage_steps(n, q, twiddle_base % q);
+  unsigned s = 1;
+  for (std::size_t m = 1; m < n; m <<= 1, ++s) {
     // Stage with span m: butterfly pairs (k+j, k+j+m); twiddle step
     // w_s = base^(n/(2m)), twiddles w_s^j reset at each group.
-    const std::uint64_t step = pow_mod(twiddle_base, n / (2 * m), q);
+    const std::uint64_t step = (*steps)[s - 1];
     for (std::size_t k = 0; k < n; k += 2 * m) {
       std::uint64_t w = 1;
       for (std::size_t j = 0; j < m; ++j) {
@@ -101,8 +104,11 @@ void ntt_dif_natural_to_bitrev(std::span<std::uint32_t> a,
   NTTPIM_EXPECT(a.size() == params.n());
   const std::uint64_t q = params.q();
   const std::size_t n = params.n();
+  // Same stage-step exponents as the DIT kernel (n/(2m) = n >> s with
+  // 2^s = 2m), served from the shared per-(n, q, base) cache.
+  const auto steps = stage_steps(n, q, params.omega());
   for (std::size_t m = n / 2; m >= 1; m >>= 1) {
-    const std::uint64_t step = params.omega_pow(n / (2 * m));
+    const std::uint64_t step = (*steps)[exact_log2(2 * m) - 1];
     for (std::size_t k = 0; k < n; k += 2 * m) {
       std::uint64_t w = 1;
       for (std::size_t j = 0; j < m; ++j) {

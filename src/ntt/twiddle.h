@@ -10,13 +10,14 @@
 #include <cstdint>
 
 #include "common/check.h"
-#include "ntt/modular.h"
+#include "ntt/barrett.h"
 
 namespace nttpim::ntt {
 
 class TwiddleGenerator {
  public:
-  explicit TwiddleGenerator(std::uint32_t q) : q_(q) {
+  /// Requires q in (1, 2^31) — the BU datapath's modulus range.
+  explicit TwiddleGenerator(std::uint32_t q) : q_(q), barrett_(q) {
     NTTPIM_EXPECT(q > 1);
   }
 
@@ -32,14 +33,17 @@ class TwiddleGenerator {
   std::uint32_t current() const noexcept { return current_; }
 
   /// Produce the twiddle for the next butterfly and advance the sequence.
+  /// One Barrett multiply per butterfly — the single modular multiply the
+  /// hardware TFG performs, without a 128-bit division on the host.
   std::uint32_t next() noexcept {
     const std::uint32_t value = current_;
-    current_ = static_cast<std::uint32_t>(mul_mod(current_, step_, q_));
+    current_ = barrett_.mul(current_, step_);
     return value;
   }
 
  private:
   std::uint32_t q_;
+  Barrett32 barrett_;
   std::uint32_t omega0_ = 1;
   std::uint32_t step_ = 1;
   std::uint32_t current_ = 1;

@@ -1,0 +1,37 @@
+#include "ntt/twiddle_cache.h"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "common/bitutil.h"
+#include "common/check.h"
+#include "ntt/modular.h"
+
+namespace nttpim::ntt {
+
+std::shared_ptr<const StageSteps> stage_steps(std::size_t n, std::uint64_t q,
+                                              std::uint64_t base) {
+  NTTPIM_EXPECT(is_pow2(n) && q > 1);
+  using Key = std::tuple<std::size_t, std::uint64_t, std::uint64_t>;
+  static std::mutex mutex;
+  static std::map<Key, std::shared_ptr<const StageSteps>> cache;
+
+  const Key key{n, q, base};
+  std::lock_guard<std::mutex> lock(mutex);
+  if (const auto it = cache.find(key); it != cache.end()) return it->second;
+
+  const unsigned log2n = exact_log2(n);
+  auto steps = std::make_shared<StageSteps>(log2n);
+  if (log2n > 0) {
+    // Last stage uses base^1; each earlier stage squares the next:
+    // base^(n >> s) = (base^(n >> (s + 1)))^2.
+    (*steps)[log2n - 1] = base % q;
+    for (unsigned s = log2n - 1; s >= 1; --s)
+      (*steps)[s - 1] = mul_mod((*steps)[s], (*steps)[s], q);
+  }
+  cache.emplace(key, steps);
+  return steps;
+}
+
+}  // namespace nttpim::ntt

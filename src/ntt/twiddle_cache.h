@@ -1,0 +1,27 @@
+// Process-wide cache of per-(n, q, base) DIT/DIF stage twiddle steps.
+//
+// The iterative reference kernels need one twiddle step per stage:
+// step(s) = base^(n >> s) for stage s in [1, log2 n]. Deriving each with
+// pow_mod costs O(log^2 n) modular multiplies per transform, which the
+// CPU backend used to pay on *every* call — FHE workloads invoke the same
+// (n, q) transform dozens of times per homomorphic operation. The table is
+// built once per key with log2 n squarings (step(s) = step(s+1)^2) and then
+// shared; entries are immutable, so callers may hold them indefinitely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace nttpim::ntt {
+
+/// steps[s - 1] = base^(n >> s) mod q for stage s in [1, log2 n].
+using StageSteps = std::vector<std::uint64_t>;
+
+/// Cached stage-step table for a size-n transform with twiddle base `base`
+/// (omega for forward DIT/DIF, omega^{-1} for the unscaled inverse) modulo
+/// q. Thread-safe; requires n a power of two >= 1 and base < q.
+std::shared_ptr<const StageSteps> stage_steps(std::size_t n, std::uint64_t q,
+                                              std::uint64_t base);
+
+}  // namespace nttpim::ntt

@@ -6,16 +6,29 @@
 namespace nttpim::pim {
 
 using ntt::add_mod;
-using ntt::mul_mod;
-using ntt::pow_mod;
 using ntt::sub_mod;
+
+void ComputeUnit::refresh_c1_steps() {
+  // c1_step_pow_[k] = c1_root^(2^k): exec_c1 stage s of `stages` uses the
+  // step c1_root^(2^(stages-s)), stages <= 3, so three squarings at PARAM
+  // time replace a pow_mod per stage per C1 command.
+  c1_step_pow_[0] = barrett_.reduce(c1_root_);
+  c1_step_pow_[1] = barrett_.mul(c1_step_pow_[0], c1_step_pow_[0]);
+  c1_step_pow_[2] = barrett_.mul(c1_step_pow_[1], c1_step_pow_[1]);
+}
 
 void ComputeUnit::load_param(dram::ParamReg reg, std::uint32_t value) {
   switch (reg) {
     case dram::ParamReg::kModulus:
-      NTTPIM_EXPECT_MSG(value > 1, "modulus must exceed 1");
+      // The BU's reduction pipelines (Montgomery in hardware, Barrett
+      // here) handle 31-bit moduli; reject out-of-range values up front
+      // rather than from inside the reducer's constructor.
+      NTTPIM_EXPECT_MSG(value > 1 && value < (1u << 31),
+                        "modulus must be in (1, 2^31)");
       q_ = value;
+      barrett_ = ntt::Barrett32(q_);
       tfg_ = ntt::TwiddleGenerator(q_);
+      refresh_c1_steps();
       break;
     case dram::ParamReg::kTfgOmega0:
       tfg_.set_omega0(value);
@@ -25,6 +38,7 @@ void ComputeUnit::load_param(dram::ParamReg reg, std::uint32_t value) {
       break;
     case dram::ParamReg::kC1Root:
       c1_root_ = value % q_;
+      refresh_c1_steps();
       break;
   }
 }
@@ -36,20 +50,20 @@ void ComputeUnit::exec_c1(AtomBuffer& buf, unsigned stages) {
   NTTPIM_CHECK(points <= kAtomWords);
   // `stages` DIT stages over the first 2^stages words. The per-stage twiddle
   // step is c1_root^(2^(stages-s)): squaring the root register per stage —
-  // exactly what the tiny C1 twiddle logic does in hardware.
+  // exactly what the tiny C1 twiddle logic does in hardware (precomputed
+  // here at PARAM-load time).
   for (unsigned s = 1; s <= stages; ++s) {
     const std::size_t m = std::size_t{1} << (s - 1);
-    const std::uint64_t step =
-        pow_mod(c1_root_, std::uint64_t{1} << (stages - s), q_);
+    const std::uint32_t step = c1_step_pow_[stages - s];
     for (std::size_t k = 0; k < points; k += 2 * m) {
-      std::uint64_t w = 1;
+      std::uint32_t w = 1;
       for (std::size_t j = 0; j < m; ++j) {
         const std::uint64_t u = buf.words[k + j];
-        const std::uint64_t t = mul_mod(buf.words[k + j + m], w, q_);
+        const std::uint64_t t = barrett_.mul(buf.words[k + j + m], w);
         buf.words[k + j] = static_cast<std::uint32_t>(add_mod(u, t, q_));
         buf.words[k + j + m] =
             static_cast<std::uint32_t>(sub_mod(u, t, q_));
-        w = mul_mod(w, step, q_);
+        w = barrett_.mul(w, step);
         ++butterflies_;
       }
     }
@@ -60,9 +74,9 @@ void ComputeUnit::exec_c2(AtomBuffer& p, AtomBuffer& s, bool tfg_reset) {
   NTTPIM_EXPECT_MSG(&p != &s, "C2 operand buffers must be distinct");
   if (tfg_reset) tfg_.reset();
   for (std::size_t j = 0; j < kAtomWords; ++j) {
-    const std::uint64_t w = tfg_.next();
+    const std::uint32_t w = tfg_.next();
     const std::uint64_t a = p.words[j];
-    const std::uint64_t t = mul_mod(s.words[j], w, q_);
+    const std::uint64_t t = barrett_.mul(s.words[j], w);
     p.words[j] = static_cast<std::uint32_t>(add_mod(a, t, q_));
     s.words[j] = static_cast<std::uint32_t>(sub_mod(a, t, q_));
     ++butterflies_;
@@ -81,9 +95,9 @@ std::uint32_t ComputeUnit::scalar_reg(unsigned index) const {
 
 void ComputeUnit::exec_scalar_bu(bool tfg_reset) {
   if (tfg_reset) tfg_.reset();
-  const std::uint64_t w = tfg_.next();
+  const std::uint32_t w = tfg_.next();
   const std::uint64_t a = scalar_[0];
-  const std::uint64_t t = mul_mod(scalar_[1], w, q_);
+  const std::uint64_t t = barrett_.mul(scalar_[1], w);
   scalar_[0] = static_cast<std::uint32_t>(add_mod(a, t, q_));
   scalar_[1] = static_cast<std::uint32_t>(sub_mod(a, t, q_));
   ++butterflies_;

@@ -7,13 +7,16 @@
 //
 // This class implements the *functional* semantics; latencies live in
 // DramTiming and are accounted by the simulation engine. Arithmetic is
-// computed directly in Z_q (the hardware's Montgomery pipeline is
-// bit-exact with this; montgomery.h is cross-checked in the tests).
+// computed directly in Z_q via precomputed Barrett reduction — bit-exact
+// with the plain `%` forms in modular.h (cross-checked in test_modular)
+// and with the hardware's Montgomery pipeline, but without a 128-bit
+// division per butterfly on the host.
 #pragma once
 
 #include <cstdint>
 
 #include "dram/command.h"
+#include "ntt/barrett.h"
 #include "ntt/twiddle.h"
 #include "pim/buffer.h"
 
@@ -50,8 +53,14 @@ class ComputeUnit {
   std::uint64_t butterfly_count() const noexcept { return butterflies_; }
 
  private:
+  /// Re-derive the per-stage C1 twiddle steps (c1_root^(2^k)) after a
+  /// modulus or C1-root parameter load.
+  void refresh_c1_steps();
+
   std::uint32_t q_ = 3;  ///< placeholder modulus until PARAM arrives
+  ntt::Barrett32 barrett_{3};  ///< host-side stand-in for the BU's reducer
   std::uint32_t c1_root_ = 1;
+  std::uint32_t c1_step_pow_[3] = {1, 1, 1};  ///< c1_root^(2^k), k = 0..2
   ntt::TwiddleGenerator tfg_;
   std::uint32_t scalar_[2] = {0, 0};
   std::uint64_t butterflies_ = 0;

@@ -37,38 +37,74 @@ struct BankState {
   std::vector<std::size_t> queue;        ///< indices into the trace
   std::size_t head = 0;
 
+  // Event-driven fast path: bus-independent earliest-issue times, valid
+  // until the next commit (trace command or refresh step) to this bank.
+  // Every timing constraint is of the form max(bus_free, bank-local), so
+  // the actual earliest issue cycle is max(bus_free, cached local value) —
+  // bit-identical to recomputing against the live bus, but without
+  // re-deriving the bank-local part on every scheduler scan.
+  std::uint64_t cached_cmd_local = 0;
+  std::uint64_t cached_refresh_local = 0;
+  bool cache_valid = false;
+
   bool done() const noexcept { return head == queue.size(); }
 };
 
-}  // namespace
-
-RunStats Engine::run(pim::PimDevice& device,
-                     std::span<const dram::Command> trace) const {
-  const dram::DramTiming& t = config_.timing;
-
-  std::vector<BankState> banks;
-  banks.reserve(device.num_banks());
-  for (std::size_t b = 0; b < device.num_banks(); ++b)
-    banks.emplace_back(t, device.num_buffers());
-
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    NTTPIM_EXPECT_MSG(trace[i].bank < device.num_banks(),
-                      "command targets a nonexistent bank");
-    banks[trace[i].bank].queue.push_back(i);
+/// Shared scheduler core: per-bank queues, the commit rules (timing +
+/// functional effect) and the transparent-refresh state machine. The two
+/// Engine entry points differ only in how the next (bank, cycle) pair is
+/// selected each step.
+class Scheduler {
+ public:
+  Scheduler(const EngineConfig& config, pim::PimDevice& device,
+            std::span<const Command> trace)
+      : config_(config), t_(config.timing), device_(device), trace_(trace) {
+    banks_.reserve(device.num_banks());
+    for (std::size_t b = 0; b < device.num_banks(); ++b)
+      banks_.emplace_back(t_, device.num_buffers());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      NTTPIM_EXPECT_MSG(trace[i].bank < device.num_banks(),
+                        "command targets a nonexistent bank");
+      banks_[trace[i].bank].queue.push_back(i);
+    }
   }
 
-  std::uint64_t bus_free = 0;
-  std::uint64_t makespan = 0;
-  RunStats stats;
+  RunStats run(bool event_driven) {
+    std::uint64_t butterflies_before = 0;
+    for (std::size_t b = 0; b < device_.num_banks(); ++b)
+      butterflies_before += device_.bank(b).cu().butterfly_count();
 
-  std::uint64_t butterflies_before = 0;
-  for (std::size_t b = 0; b < device.num_banks(); ++b)
-    butterflies_before += device.bank(b).cu().butterfly_count();
+    if (event_driven)
+      run_event_driven();
+    else
+      run_full_rescan();
 
-  // Earliest cycle at which the head command of `bs` could issue.
-  const auto earliest = [&](const BankState& bs,
-                            const Command& cmd) -> std::uint64_t {
-    std::uint64_t e = bus_free;
+    std::uint64_t butterflies_after = 0;
+    for (std::size_t b = 0; b < device_.num_banks(); ++b)
+      butterflies_after += device_.bank(b).cu().butterfly_count();
+
+    stats_.cycles = makespan_;
+    stats_.ns = static_cast<double>(makespan_) * t_.ns_per_cycle();
+    stats_.butterflies = butterflies_after - butterflies_before;
+
+    dram::EnergyCounts counts;
+    counts.activations = stats_.activations;
+    counts.column_transfers = stats_.column_reads + stats_.column_writes;
+    counts.butterflies = stats_.butterflies;
+    counts.param_loads = stats_.param_loads;
+    counts.refreshes = stats_.refreshes;
+    stats_.energy = dram::compute_energy(config_.energy, counts, stats_.ns);
+    return std::move(stats_);
+  }
+
+ private:
+  // Earliest cycle >= t_min at which the head command of `bs` could issue.
+  // Every branch composes max() with bank-local readiness, so
+  // earliest(bs, cmd, t) == max(t, earliest(bs, cmd, 0)) — the separability
+  // the event-driven scheduler's per-bank cache relies on.
+  std::uint64_t earliest(const BankState& bs, const Command& cmd,
+                         std::uint64_t t_min) const {
+    std::uint64_t e = t_min;
     switch (cmd.kind) {
       case CmdKind::kAct:
         e = bs.timing.earliest_act(e);
@@ -117,245 +153,320 @@ RunStats Engine::run(pim::PimDevice& device,
         NTTPIM_CHECK_MSG(false, "refresh is engine-inserted, not mapped");
     }
     return e;
-  };
-
-  // Commit the head command of bank `b` at cycle `at`.
-  const auto commit = [&](std::size_t b, const Command& cmd,
-                          std::uint64_t at) {
-    BankState& bs = banks[b];
-    std::uint64_t end = at + 1;
-    std::uint64_t bus_cycles = 1;
-    switch (cmd.kind) {
-      case CmdKind::kAct:
-        bs.timing.issue_act(at, cmd.row);
-        end = at + t.trcd;
-        ++stats.activations;
-        break;
-      case CmdKind::kPre:
-        bs.timing.issue_pre(at);
-        end = at + t.trp;
-        ++stats.precharges;
-        break;
-      case CmdKind::kCuRead: {
-        const std::uint64_t ready = bs.timing.issue_read(at);
-        bs.buf_avail[cmd.buf] = ready;
-        end = ready;
-        ++stats.column_reads;
-        break;
-      }
-      case CmdKind::kCuWrite: {
-        const std::uint64_t done = bs.timing.issue_write(at);
-        bs.buf_avail[cmd.buf] = done;
-        end = done;
-        ++stats.column_writes;
-        break;
-      }
-      case CmdKind::kC1: {
-        const std::uint64_t result = at + t.c1_latency;
-        bs.cu_next_issue = at + t.c1_interval;
-        bs.cu_last_end = std::max(bs.cu_last_end, result);
-        bs.buf_avail[cmd.buf] = result;
-        end = result;
-        ++stats.compute_ops;
-        break;
-      }
-      case CmdKind::kC2: {
-        const std::uint64_t result = at + t.c2_latency;
-        bs.cu_next_issue = at + t.c2_interval;
-        bs.cu_last_end = std::max(bs.cu_last_end, result);
-        bs.buf_avail[cmd.buf] = result;
-        bs.buf_avail[cmd.buf2] = result;
-        end = result;
-        ++stats.compute_ops;
-        break;
-      }
-      case CmdKind::kParam: {
-        bus_cycles = t.param_bus_cycles;
-        const std::uint64_t applied = at + t.param_latency;
-        bs.cu_next_issue = std::max(bs.cu_next_issue, applied);
-        bs.cu_last_end = std::max(bs.cu_last_end, applied);
-        end = applied;
-        ++stats.param_loads;
-        break;
-      }
-      case CmdKind::kBufZero:
-        bs.buf_avail[cmd.buf] = at + t.bufzero_latency;
-        end = at + t.bufzero_latency;
-        break;
-      case CmdKind::kScalarRead: {
-        const std::uint64_t ready = bs.timing.issue_read(at);
-        bs.buf_avail[0] = ready;
-        bs.scalar_ready = std::max(bs.scalar_ready, ready);
-        end = ready;
-        ++stats.column_reads;
-        break;
-      }
-      case CmdKind::kScalarWrite: {
-        const std::uint64_t done = bs.timing.issue_write(at);
-        bs.buf_avail[0] = done;
-        end = done;
-        ++stats.column_writes;
-        break;
-      }
-      case CmdKind::kScalarBu: {
-        const std::uint64_t result = at + t.scalar_bu_latency;
-        bs.cu_next_issue = result;
-        bs.cu_last_end = std::max(bs.cu_last_end, result);
-        bs.scalar_ready = result;
-        end = result;
-        ++stats.compute_ops;
-        break;
-      }
-      case CmdKind::kRefresh:
-        NTTPIM_CHECK_MSG(false, "refresh is engine-inserted, not mapped");
-    }
-    bus_free = at + bus_cycles;
-    stats.bus_busy_cycles += bus_cycles;
-    makespan = std::max(makespan, end);
-    if (config_.record_timeline)
-      stats.timeline.push_back(TimelineEvent{
-          bs.queue[bs.head], cmd.kind, cmd.bank, at, end});
-    // Functional effect, applied in per-bank program order.
-    device.bank(b).apply(cmd);
-    ++bs.head;
-    ++stats.commands;
-  };
+  }
 
   // Transparent refresh, as a real MC performs it: close the open row,
   // issue REF, and restore the row so the trace's open-row assumptions
   // continue to hold. The PRE/ACT bookkeeping is charged to the refresh
   // energy (refresh_pj), not the trace's activation counts.
   //
-  // Earliest start of the bank's next refresh action (kNone means the
-  // tREFI deadline passed and the first step must be chosen).
-  const auto refresh_action_time = [&](BankState& bs) -> std::uint64_t {
+  // Earliest start >= t_min of the bank's next refresh action (kNone means
+  // the tREFI deadline passed and the first step must be chosen). Same
+  // max-separability as earliest().
+  std::uint64_t refresh_action_time(const BankState& bs,
+                                    std::uint64_t t_min) const {
     switch (bs.refresh_step) {
       case RefreshStep::kNeedRef:
-        return bs.timing.earliest_refresh(bus_free);
+        return bs.timing.earliest_refresh(t_min);
       case RefreshStep::kNeedRestore:
-        return bs.timing.earliest_act(bus_free);
+        return bs.timing.earliest_act(t_min);
       case RefreshStep::kNone:
         return bs.timing.open_row() == dram::BankTiming::kNoOpenRow
-                   ? bs.timing.earliest_refresh(bus_free)
-                   : bs.timing.earliest_pre(bus_free);
+                   ? bs.timing.earliest_refresh(t_min)
+                   : bs.timing.earliest_pre(t_min);
     }
-    return bus_free;
-  };
+    return t_min;
+  }
 
-  const auto commit_refresh_step = [&](std::size_t b, std::uint64_t at) {
-    BankState& bs = banks[b];
+  // Commit the head command of bank `b` at cycle `at`.
+  void commit(std::size_t b, const Command& cmd, std::uint64_t at) {
+    BankState& bs = banks_[b];
+    std::uint64_t end = at + 1;
+    std::uint64_t bus_cycles = 1;
+    switch (cmd.kind) {
+      case CmdKind::kAct:
+        bs.timing.issue_act(at, cmd.row);
+        end = at + t_.trcd;
+        ++stats_.activations;
+        break;
+      case CmdKind::kPre:
+        bs.timing.issue_pre(at);
+        end = at + t_.trp;
+        ++stats_.precharges;
+        break;
+      case CmdKind::kCuRead: {
+        const std::uint64_t ready = bs.timing.issue_read(at);
+        bs.buf_avail[cmd.buf] = ready;
+        end = ready;
+        ++stats_.column_reads;
+        break;
+      }
+      case CmdKind::kCuWrite: {
+        const std::uint64_t done = bs.timing.issue_write(at);
+        bs.buf_avail[cmd.buf] = done;
+        end = done;
+        ++stats_.column_writes;
+        break;
+      }
+      case CmdKind::kC1: {
+        const std::uint64_t result = at + t_.c1_latency;
+        bs.cu_next_issue = at + t_.c1_interval;
+        bs.cu_last_end = std::max(bs.cu_last_end, result);
+        bs.buf_avail[cmd.buf] = result;
+        end = result;
+        ++stats_.compute_ops;
+        break;
+      }
+      case CmdKind::kC2: {
+        const std::uint64_t result = at + t_.c2_latency;
+        bs.cu_next_issue = at + t_.c2_interval;
+        bs.cu_last_end = std::max(bs.cu_last_end, result);
+        bs.buf_avail[cmd.buf] = result;
+        bs.buf_avail[cmd.buf2] = result;
+        end = result;
+        ++stats_.compute_ops;
+        break;
+      }
+      case CmdKind::kParam: {
+        bus_cycles = t_.param_bus_cycles;
+        const std::uint64_t applied = at + t_.param_latency;
+        bs.cu_next_issue = std::max(bs.cu_next_issue, applied);
+        bs.cu_last_end = std::max(bs.cu_last_end, applied);
+        end = applied;
+        ++stats_.param_loads;
+        break;
+      }
+      case CmdKind::kBufZero:
+        bs.buf_avail[cmd.buf] = at + t_.bufzero_latency;
+        end = at + t_.bufzero_latency;
+        break;
+      case CmdKind::kScalarRead: {
+        const std::uint64_t ready = bs.timing.issue_read(at);
+        bs.buf_avail[0] = ready;
+        bs.scalar_ready = std::max(bs.scalar_ready, ready);
+        end = ready;
+        ++stats_.column_reads;
+        break;
+      }
+      case CmdKind::kScalarWrite: {
+        const std::uint64_t done = bs.timing.issue_write(at);
+        bs.buf_avail[0] = done;
+        end = done;
+        ++stats_.column_writes;
+        break;
+      }
+      case CmdKind::kScalarBu: {
+        const std::uint64_t result = at + t_.scalar_bu_latency;
+        bs.cu_next_issue = result;
+        bs.cu_last_end = std::max(bs.cu_last_end, result);
+        bs.scalar_ready = result;
+        end = result;
+        ++stats_.compute_ops;
+        break;
+      }
+      case CmdKind::kRefresh:
+        NTTPIM_CHECK_MSG(false, "refresh is engine-inserted, not mapped");
+    }
+    bus_free_ = at + bus_cycles;
+    stats_.bus_busy_cycles += bus_cycles;
+    makespan_ = std::max(makespan_, end);
+    if (config_.record_timeline)
+      stats_.timeline.push_back(TimelineEvent{
+          bs.queue[bs.head], cmd.kind, cmd.bank, at, end});
+    // Functional effect, applied in per-bank program order.
+    device_.bank(b).apply(cmd);
+    ++bs.head;
+    ++stats_.commands;
+    bs.cache_valid = false;
+  }
+
+  void commit_refresh_step(std::size_t b, std::uint64_t at) {
+    BankState& bs = banks_[b];
     switch (bs.refresh_step) {
       case RefreshStep::kNone:  // first step: PRE if open, else REF
         if (bs.timing.open_row() != dram::BankTiming::kNoOpenRow) {
           bs.saved_row = bs.timing.open_row();
           bs.timing.issue_pre(at);
-          device.bank(b).apply({.kind = CmdKind::kPre,
-                                .bank = static_cast<std::uint16_t>(b)});
+          device_.bank(b).apply({.kind = CmdKind::kPre,
+                                 .bank = static_cast<std::uint16_t>(b)});
           bs.refresh_step = RefreshStep::kNeedRef;
         } else {
           bs.saved_row = dram::BankTiming::kNoOpenRow;
           bs.timing.issue_refresh(at);
-          ++stats.refreshes;
-          bs.next_refresh += t.trefi;
-          makespan = std::max(makespan, at + t.trfc);
+          ++stats_.refreshes;
+          bs.next_refresh += t_.trefi;
+          makespan_ = std::max(makespan_, at + t_.trfc);
           bs.refresh_step = RefreshStep::kNone;
           if (config_.record_timeline)
-            stats.timeline.push_back(
+            stats_.timeline.push_back(
                 TimelineEvent{static_cast<std::size_t>(-1),
                               CmdKind::kRefresh,
                               static_cast<std::uint16_t>(b), at,
-                              at + t.trfc});
+                              at + t_.trfc});
         }
         break;
       case RefreshStep::kNeedRef:
         bs.timing.issue_refresh(at);
-        ++stats.refreshes;
-        bs.next_refresh += t.trefi;
-        makespan = std::max(makespan, at + t.trfc);
+        ++stats_.refreshes;
+        bs.next_refresh += t_.trefi;
+        makespan_ = std::max(makespan_, at + t_.trfc);
         bs.refresh_step = bs.saved_row == dram::BankTiming::kNoOpenRow
                               ? RefreshStep::kNone
                               : RefreshStep::kNeedRestore;
         if (config_.record_timeline)
-          stats.timeline.push_back(
+          stats_.timeline.push_back(
               TimelineEvent{static_cast<std::size_t>(-1), CmdKind::kRefresh,
                             static_cast<std::uint16_t>(b), at,
-                            at + t.trfc});
+                            at + t_.trfc});
         break;
       case RefreshStep::kNeedRestore:
         bs.timing.issue_act(at, static_cast<std::uint32_t>(bs.saved_row));
-        device.bank(b).apply({.kind = CmdKind::kAct,
-                              .bank = static_cast<std::uint16_t>(b),
-                              .row = static_cast<std::uint32_t>(
-                                  bs.saved_row)});
+        device_.bank(b).apply({.kind = CmdKind::kAct,
+                               .bank = static_cast<std::uint16_t>(b),
+                               .row = static_cast<std::uint32_t>(
+                                   bs.saved_row)});
         bs.refresh_step = RefreshStep::kNone;
         bs.saved_row = dram::BankTiming::kNoOpenRow;
         break;
     }
-    bus_free = at + 1;
-  };
+    bus_free_ = at + 1;
+    bs.cache_valid = false;
+  }
 
-  // Main scheduling loop: repeatedly perform the oldest-ready action —
+  // Reference scheduling loop: repeatedly perform the oldest-ready action —
   // either a bank's head command, or a due refresh sequence for a bank
   // whose head cannot issue before its tREFI deadline. Ties rotate
   // round-robin across banks — a fixed priority would let a low-numbered
   // bank stream while starving the others (convoy effect), destroying the
   // bank-level parallelism the architecture is built for.
-  std::size_t rr_start = 0;
-  while (true) {
-    std::size_t best_bank = banks.size();
-    bool best_is_refresh = false;
-    std::uint64_t best_time = std::numeric_limits<std::uint64_t>::max();
-    for (std::size_t offset = 0; offset < banks.size(); ++offset) {
-      const std::size_t b = (rr_start + offset) % banks.size();
-      BankState& bs = banks[b];
-      const bool mid_refresh = bs.refresh_step != RefreshStep::kNone;
-      if (bs.done() && !mid_refresh) continue;
-      std::uint64_t e;
-      bool is_refresh;
-      if (mid_refresh) {
-        // Finish an in-flight refresh sequence before trace commands.
-        is_refresh = true;
-        e = refresh_action_time(bs);
-      } else if (bs.done()) {
+  //
+  // Every step rescans every bank and re-derives its earliest issue cycle
+  // from the live timing state: O(trace x banks) BankTiming queries.
+  // Retained verbatim as the golden model the event-driven scheduler is
+  // property-tested against.
+  void run_full_rescan() {
+    std::size_t rr_start = 0;
+    while (true) {
+      std::size_t best_bank = banks_.size();
+      bool best_is_refresh = false;
+      std::uint64_t best_time = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t offset = 0; offset < banks_.size(); ++offset) {
+        const std::size_t b = (rr_start + offset) % banks_.size();
+        BankState& bs = banks_[b];
+        const bool mid_refresh = bs.refresh_step != RefreshStep::kNone;
+        if (bs.done() && !mid_refresh) continue;
+        std::uint64_t e;
+        bool is_refresh;
+        if (mid_refresh) {
+          // Finish an in-flight refresh sequence before trace commands.
+          is_refresh = true;
+          e = refresh_action_time(bs, bus_free_);
+        } else if (bs.done()) {
+          continue;
+        } else {
+          const Command& cmd = trace_[bs.queue[bs.head]];
+          e = earliest(bs, cmd, bus_free_);
+          is_refresh = config_.enable_refresh && e >= bs.next_refresh;
+          if (is_refresh) e = refresh_action_time(bs, bus_free_);
+        }
+        if (e < best_time) {
+          best_time = e;
+          best_bank = b;
+          best_is_refresh = is_refresh;
+        }
+      }
+      if (best_bank == banks_.size()) break;  // all work drained
+      if (best_is_refresh) {
+        commit_refresh_step(best_bank, best_time);
         continue;
-      } else {
-        const Command& cmd = trace[bs.queue[bs.head]];
-        e = earliest(bs, cmd);
-        is_refresh = config_.enable_refresh && e >= bs.next_refresh;
-        if (is_refresh) e = refresh_action_time(bs);
       }
-      if (e < best_time) {
-        best_time = e;
-        best_bank = b;
-        best_is_refresh = is_refresh;
-      }
+      commit(best_bank,
+             trace_[banks_[best_bank].queue[banks_[best_bank].head]],
+             best_time);
+      rr_start = (best_bank + 1) % banks_.size();
     }
-    if (best_bank == banks.size()) break;  // all work drained
-    if (best_is_refresh) {
-      commit_refresh_step(best_bank, best_time);
-      continue;
-    }
-    commit(best_bank, trace[banks[best_bank].queue[banks[best_bank].head]],
-           best_time);
-    rr_start = (best_bank + 1) % banks.size();
   }
 
-  std::uint64_t butterflies_after = 0;
-  for (std::size_t b = 0; b < device.num_banks(); ++b)
-    butterflies_after += device.bank(b).cu().butterfly_count();
+  /// Refill a bank's cached bus-independent earliest-issue times. The head
+  /// command's time is only derived outside an in-flight refresh sequence —
+  /// mid-refresh the row may be transiently closed, and the reference loop
+  /// never consults the head command in that state either.
+  void refill_cache(BankState& bs) {
+    const bool mid_refresh = bs.refresh_step != RefreshStep::kNone;
+    if (!mid_refresh && !bs.done())
+      bs.cached_cmd_local = earliest(bs, trace_[bs.queue[bs.head]], 0);
+    bs.cached_refresh_local = refresh_action_time(bs, 0);
+    bs.cache_valid = true;
+  }
 
-  stats.cycles = makespan;
-  stats.ns = static_cast<double>(makespan) * t.ns_per_cycle();
-  stats.butterflies = butterflies_after - butterflies_before;
+  // Event-driven scheduling loop: same selection rule and tie rotation as
+  // run_full_rescan, but each bank's bus-independent earliest-issue times
+  // are cached and invalidated only when *that* bank commits something.
+  // Because every timing constraint separates as max(bus_free, bank-local),
+  // max(bus_free, cached local) reproduces the reference cycle exactly, so
+  // the scan degenerates to a couple of max/compare operations per bank and
+  // BankTiming is queried O(trace) instead of O(trace x banks) times.
+  void run_event_driven() {
+    std::size_t rr_start = 0;
+    while (true) {
+      std::size_t best_bank = banks_.size();
+      bool best_is_refresh = false;
+      std::uint64_t best_time = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t offset = 0; offset < banks_.size(); ++offset) {
+        const std::size_t b = (rr_start + offset) % banks_.size();
+        BankState& bs = banks_[b];
+        const bool mid_refresh = bs.refresh_step != RefreshStep::kNone;
+        if (bs.done() && !mid_refresh) continue;
+        if (!bs.cache_valid) refill_cache(bs);
+        std::uint64_t e;
+        bool is_refresh;
+        if (mid_refresh) {
+          is_refresh = true;
+          e = std::max(bus_free_, bs.cached_refresh_local);
+        } else {
+          e = std::max(bus_free_, bs.cached_cmd_local);
+          is_refresh = config_.enable_refresh && e >= bs.next_refresh;
+          if (is_refresh)
+            e = std::max(bus_free_, bs.cached_refresh_local);
+        }
+        if (e < best_time) {
+          best_time = e;
+          best_bank = b;
+          best_is_refresh = is_refresh;
+        }
+      }
+      if (best_bank == banks_.size()) break;  // all work drained
+      if (best_is_refresh) {
+        commit_refresh_step(best_bank, best_time);
+        continue;
+      }
+      commit(best_bank,
+             trace_[banks_[best_bank].queue[banks_[best_bank].head]],
+             best_time);
+      rr_start = (best_bank + 1) % banks_.size();
+    }
+  }
 
-  dram::EnergyCounts counts;
-  counts.activations = stats.activations;
-  counts.column_transfers = stats.column_reads + stats.column_writes;
-  counts.butterflies = stats.butterflies;
-  counts.param_loads = stats.param_loads;
-  counts.refreshes = stats.refreshes;
-  stats.energy = dram::compute_energy(config_.energy, counts, stats.ns);
-  return stats;
+  const EngineConfig& config_;
+  const dram::DramTiming& t_;
+  pim::PimDevice& device_;
+  std::span<const Command> trace_;
+  std::vector<BankState> banks_;
+  std::uint64_t bus_free_ = 0;
+  std::uint64_t makespan_ = 0;
+  RunStats stats_;
+};
+
+}  // namespace
+
+RunStats Engine::run(pim::PimDevice& device,
+                     std::span<const dram::Command> trace) const {
+  return Scheduler(config_, device, trace).run(/*event_driven=*/true);
+}
+
+RunStats Engine::run_reference(pim::PimDevice& device,
+                               std::span<const dram::Command> trace) const {
+  return Scheduler(config_, device, trace).run(/*event_driven=*/false);
 }
 
 }  // namespace nttpim::sim

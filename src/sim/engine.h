@@ -99,8 +99,20 @@ class Engine {
   /// Execute `trace` on `device` (functionally and temporally). Commands
   /// for different banks may interleave in the span; per-bank order is
   /// preserved. Returns the run statistics including the energy estimate.
+  ///
+  /// Uses the event-driven scheduler: per-bank bus-independent
+  /// earliest-issue times are cached and invalidated only on commits to
+  /// that bank, so BankTiming is queried O(trace) instead of
+  /// O(trace x banks) times. Bit-identical to run_reference().
   RunStats run(pim::PimDevice& device,
                std::span<const dram::Command> trace) const;
+
+  /// Reference scheduler: the original full-rescan loop that re-derives
+  /// every bank's earliest issue cycle from live timing state on every
+  /// step. Slower, retained as the golden model the event-driven fast path
+  /// is property-tested against (identical RunStats and functional output).
+  RunStats run_reference(pim::PimDevice& device,
+                         std::span<const dram::Command> trace) const;
 
  private:
   EngineConfig config_;

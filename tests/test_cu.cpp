@@ -199,6 +199,9 @@ TEST(ComputeUnit, RejectsDegenerateModulus) {
                std::invalid_argument);
   EXPECT_THROW(cu.load_param(ParamReg::kModulus, 1),
                std::invalid_argument);
+  // Beyond the BU datapath's 31-bit modulus range.
+  EXPECT_THROW(cu.load_param(ParamReg::kModulus, (1u << 31) + 1),
+               std::invalid_argument);
 }
 
 }  // namespace

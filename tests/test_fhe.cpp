@@ -107,6 +107,69 @@ TEST(RqPoly, PimBackendAgreesWithCpuBackend) {
   EXPECT_EQ(pim.transform_count(), 6u);
 }
 
+TEST(PimBackend, PlanCacheMemoizesRepeatedTransforms) {
+  const ntt::NttParams params = ntt::NttParams::create(256, 30);
+  PimBackend pim(4);
+  Rng rng(21);
+  auto first = rng.residues(256, params.q());
+  auto second = rng.residues(256, params.q());
+
+  pim.forward(first, params);
+  EXPECT_EQ(pim.plan_cache_hits(), 0u);
+  EXPECT_EQ(pim.plan_cache_misses(), 1u);
+  const std::uint64_t cycles_first = pim.total_cycles();
+
+  pim.forward(second, params);
+  EXPECT_EQ(pim.plan_cache_hits(), 1u);
+  EXPECT_EQ(pim.plan_cache_misses(), 1u);
+  // The cached plan must cost exactly what the freshly-mapped one did.
+  EXPECT_EQ(pim.total_cycles(), 2 * cycles_first);
+
+  pim.inverse(second, params);  // different direction = different plan
+  EXPECT_EQ(pim.plan_cache_misses(), 2u);
+}
+
+TEST(PimBackend, BatchMatchesCpuBackendPerPolynomial) {
+  const ntt::NttParams params = ntt::NttParams::create(256, 30);
+  // 5 polynomials over a 2-bank device: three waves (2 + 2 + 1).
+  PimBackend pim(4, 1200.0, dram::hbm2e_geometry(2));
+  ASSERT_EQ(pim.num_banks(), 2u);
+  CpuBackend cpu;
+
+  Rng rng(22);
+  std::vector<std::vector<std::uint32_t>> polys(5);
+  std::vector<std::vector<std::uint32_t>> expected(5);
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    polys[i] = rng.residues(256, params.q());
+    expected[i] = polys[i];
+    cpu.forward(expected[i], params);
+  }
+
+  pim.transform_batch(polys, params);
+  EXPECT_EQ(polys, expected);
+  EXPECT_EQ(pim.transform_count(), 5u);
+  EXPECT_EQ(pim.engine_passes(), 3u);
+  // Bank 1's plan is the bank-0 plan with rewritten bank ids, and every
+  // wave after the first runs fully from cache.
+  EXPECT_EQ(pim.plan_cache_misses(), 2u);
+}
+
+TEST(PimBackend, BatchRoundTripsThroughInverse) {
+  const ntt::NttParams params = ntt::NttParams::create(128, 29);
+  PimBackend pim(4, 1200.0, dram::hbm2e_geometry(4));
+
+  Rng rng(23);
+  std::vector<std::vector<std::uint32_t>> polys(4);
+  std::vector<std::vector<std::uint32_t>> original(4);
+  for (std::size_t i = 0; i < polys.size(); ++i)
+    original[i] = polys[i] = rng.residues(128, params.q());
+
+  pim.transform_batch(polys, params, /*inverse=*/false);
+  EXPECT_NE(polys, original);
+  pim.transform_batch(polys, params, /*inverse=*/true);
+  EXPECT_EQ(polys, original);
+}
+
 TEST(RqPoly, BasisMismatchRejected) {
   const RnsBasis basis_a(16, 2, 30);
   const RnsBasis basis_b(16, 2, 29);

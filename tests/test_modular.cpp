@@ -179,6 +179,22 @@ TEST(Barrett, MulMatchesReference) {
   }
 }
 
+TEST(Barrett, ReduceExactOverFullUint64Range) {
+  // The CU butterfly and the TFG reduce products of arbitrary 32-bit
+  // operands (up to (2^32 - 1)^2), so exactness must hold beyond 2^62.
+  Rng rng(11);
+  for (const auto q64 : kPrimes) {
+    if (q64 < 3 || q64 >= (1ULL << 31)) continue;
+    const auto q = static_cast<std::uint32_t>(q64);
+    const Barrett32 barrett(q);
+    EXPECT_EQ(barrett.reduce(~std::uint64_t{0}), ~std::uint64_t{0} % q);
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t x = rng.next_u64();
+      EXPECT_EQ(barrett.reduce(x), x % q);
+    }
+  }
+}
+
 TEST(Barrett, RejectsBadModuli) {
   EXPECT_THROW(Barrett32(1), std::invalid_argument);
   EXPECT_THROW(Barrett32(0x80000001u), std::invalid_argument);
