@@ -1,0 +1,248 @@
+// Multi-limb RNS scaling: heterogeneous NTT waves, one limb prime per bank.
+//
+// The RNS counterpart of bench_bank_parallel's homogeneous sweep: a full
+// negacyclic product in R_Q with limbs in {1,2,3,4} on a device with one
+// bank per limb. Each product is two heterogeneous engine passes (all
+// forward transforms of both operands, then all inverse transforms), so
+// multi-limb waves should scale like multi-bank waves — modeled cycles per
+// product grow far slower than the limb count, while every bank runs a
+// *different* NTT function (the paper's bank-heterogeneity claim).
+//
+// Same split as bench_bank_parallel: modeled cycles are deterministic
+// engine output; transforms/sec is host wall-clock (per-machine snapshot).
+// `--json <path>` appends an "rns_limb_scaling" section to an existing
+// BENCH_host.json-style object at <path> (or writes a standalone report).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "fhe/pim_backend.h"
+#include "fhe/rns.h"
+#include "fhe/rns_poly.h"
+
+namespace {
+
+using namespace nttpim;
+
+constexpr std::size_t kN = 1024;
+constexpr std::size_t kNumBuffers = 4;
+constexpr std::size_t kProducts = 8;
+
+struct LimbPoint {
+  std::size_t limbs = 0;
+  std::size_t products = 0;
+  std::size_t transforms = 0;         ///< 3 * limbs per product
+  std::uint64_t engine_passes = 0;    ///< 2 per product
+  std::uint64_t modeled_cycles = 0;   ///< summed makespans of the waves
+  double modeled_cycles_per_limb = 0; ///< cycles / (products * limbs)
+  double tps = 0;                     ///< host transforms per second
+  bool verified = false;
+};
+
+
+/// One sweep point: kProducts RNS products with `limbs` limbs on a device
+/// with one bank per limb, verified against the CPU backend's result.
+LimbPoint run_limbs(std::size_t limbs) {
+  const fhe::RnsBasis basis(kN, limbs, 30);
+  fhe::PimBackend backend(kNumBuffers, 1200.0, dram::hbm2e_geometry(limbs));
+  fhe::CpuBackend cpu;
+
+  LimbPoint p;
+  p.limbs = limbs;
+  p.products = kProducts;
+  Rng rng(1000 + limbs);
+  std::vector<std::vector<unsigned __int128>> as, bs, results;
+  for (std::size_t i = 0; i < kProducts; ++i) {
+    as.push_back(rng.wide_coeffs(kN, basis.modulus_product()));
+    bs.push_back(rng.wide_coeffs(kN, basis.modulus_product()));
+  }
+
+  Stopwatch timer;
+  for (std::size_t i = 0; i < kProducts; ++i)
+    results.push_back(fhe::rns_negacyclic_multiply(basis, as[i], bs[i],
+                                                   backend));
+  const double seconds = timer.elapsed_ns() / 1e9;
+
+  p.transforms = backend.transform_count();
+  p.engine_passes = backend.engine_passes();
+  p.modeled_cycles = backend.total_cycles();
+  p.modeled_cycles_per_limb =
+      static_cast<double>(p.modeled_cycles) /
+      static_cast<double>(kProducts * limbs);
+  p.tps = static_cast<double>(p.transforms) / seconds;
+
+  p.verified = true;
+  for (std::size_t i = 0; i < kProducts && p.verified; ++i)
+    p.verified = results[i] ==
+                 fhe::rns_negacyclic_multiply(basis, as[i], bs[i], cpu);
+  return p;
+}
+
+std::vector<LimbPoint> sweep(bool& all_verified) {
+  std::vector<LimbPoint> points;
+  for (const std::size_t limbs : {1, 2, 3, 4}) {
+    points.push_back(run_limbs(limbs));
+    all_verified = all_verified && points.back().verified;
+  }
+  return points;
+}
+
+void write_section(bench::JsonWriter& json,
+                   const std::vector<LimbPoint>& points) {
+  json.begin_array("rns_limb_scaling");
+  for (const auto& p : points) {
+    json.begin_object();
+    json.field("limbs", p.limbs);
+    json.field("banks", p.limbs);
+    json.field("n", kN);
+    json.field("num_buffers", kNumBuffers);
+    json.field("products", p.products);
+    json.field("transforms", p.transforms);
+    json.field("engine_passes", p.engine_passes);
+    json.field("host_wall_clock", true);
+    json.field("transforms_per_sec", p.tps);
+    json.field("modeled_cycles_total", p.modeled_cycles);
+    json.field("modeled_cycles_per_limb", p.modeled_cycles_per_limb);
+    json.field("verified", p.verified);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+/// Render the section as a fragment (`"rns_limb_scaling": [...]`) indented
+/// for splicing at depth 1 of an existing top-level object.
+std::string section_fragment(const std::vector<LimbPoint>& points) {
+  std::ostringstream os;
+  bench::JsonWriter json(os);
+  json.begin_object();
+  write_section(json, points);
+  json.end_object();
+  std::string text = os.str();
+  const std::size_t open = text.find('{');
+  const std::size_t close = text.rfind('}');
+  return text.substr(open + 1, close - open - 1);
+}
+
+int run_json(const std::string& path) {
+  bool all_verified = true;
+  const auto points = sweep(all_verified);
+  if (!all_verified) {
+    std::cerr << "bench aborted: an RNS product failed verification "
+                 "against the CPU backend\n";
+    return 1;
+  }
+
+  // Append mode: splice the section into an existing top-level JSON object
+  // (the BENCH_host.json written by bench_bank_parallel --json), replacing
+  // any previous rns_limb_scaling section so re-runs are idempotent.
+  std::string existing;
+  if (path != "-") {
+    if (std::ifstream in(path); in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+  }
+  if (const std::size_t prev = existing.find("\"rns_limb_scaling\"");
+      prev != std::string::npos) {
+    // Drop the previous section, ending at its array's *matching* ']' (a
+    // hand-merged file may have members after it). A file where the
+    // section has no preceding comma or no well-bracketed array is not
+    // appendable — fall through to the standalone rewrite instead.
+    const std::size_t comma = existing.rfind(',', prev);
+    const std::size_t open = existing.find('[', prev);
+    std::size_t close = std::string::npos;
+    if (open != std::string::npos) {
+      int depth = 0;
+      for (std::size_t i = open; i < existing.size(); ++i) {
+        if (existing[i] == '[') ++depth;
+        if (existing[i] == ']' && --depth == 0) {
+          close = i;
+          break;
+        }
+      }
+    }
+    if (comma != std::string::npos && close != std::string::npos) {
+      existing.erase(comma, close + 1 - comma);
+    } else {
+      std::cerr << "warning: " << path
+                << " has an unappendable rns_limb_scaling section; "
+                   "writing a standalone report instead\n";
+      existing.clear();
+    }
+  }
+  const std::size_t tail = existing.find_last_not_of(" \t\r\n");
+  const std::size_t last_member =
+      tail != std::string::npos && tail > 0 && existing[tail] == '}'
+          ? existing.find_last_not_of(" \t\r\n", tail - 1)
+          : std::string::npos;
+  if (last_member != std::string::npos) {
+    std::string fragment = section_fragment(points);
+    while (!fragment.empty() && fragment.back() == '\n') fragment.pop_back();
+    // No separating comma after an empty object's '{'.
+    const char* separator = existing[last_member] == '{' ? "" : ",";
+    existing.insert(last_member + 1, separator + fragment);
+    std::ofstream file(path);
+    if (!(file << existing)) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Standalone report.
+  std::ostringstream os;
+  bench::JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", "nttpim-bench-host-v1");
+  json.field("bench", "bench_rns_limbs");
+  bench::write_architecture(json);
+  write_section(json, points);
+  json.end_object();
+  if (path == "-") {
+    std::cout << os.str();
+  } else {
+    std::ofstream file(path);
+    if (!(file << os.str())) {
+      std::cerr << "cannot write " << path << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (const auto json_path = bench::consume_json_flag(argc, argv))
+    return run_json(*json_path);
+
+  bench::print_table1_header(
+      "RNS multi-limb scaling (N = 1024, Nb = 4, one limb prime per bank)");
+
+  bool all_verified = true;
+  const auto points = sweep(all_verified);
+  TablePrinter table({"limbs (=banks)", "products", "engine passes",
+                      "modeled cycles", "cycles/limb", "host transforms/s",
+                      "verified"});
+  for (const auto& p : points)
+    table.add_row({std::to_string(p.limbs), std::to_string(p.products),
+                   std::to_string(p.engine_passes),
+                   std::to_string(p.modeled_cycles),
+                   TablePrinter::num(p.modeled_cycles_per_limb, 1),
+                   TablePrinter::num(p.tps, 1), p.verified ? "YES" : "NO"});
+  table.print(std::cout);
+  std::cout << "\nEach product is two heterogeneous engine passes (all "
+               "forward NTTs of both operands, then all inverse NTTs) with "
+               "a different limb prime in every bank; cycles/limb falling "
+               "with the limb count is bank-level parallelism applied to "
+               "an RNS workload.\n";
+  return all_verified ? EXIT_SUCCESS : EXIT_FAILURE;
+}

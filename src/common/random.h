@@ -67,6 +67,26 @@ class Rng {
     return lo + static_cast<std::int64_t>(next_below(span));
   }
 
+  /// 128-bit value in [0, bound) (wide RNS coefficients; the modulo bias
+  /// is irrelevant for tests).
+  unsigned __int128 next_u128_below(unsigned __int128 bound) noexcept {
+    if (bound == 0) return 0;
+    // Two explicit draws: operand order of `|` is unsequenced, and results
+    // must be reproducible across compilers.
+    const std::uint64_t hi = next_u64();
+    const std::uint64_t lo = next_u64();
+    return ((static_cast<unsigned __int128>(hi) << 64) | lo) % bound;
+  }
+
+  /// Vector of `n` wide coefficients in [0, bound).
+  std::vector<unsigned __int128> wide_coeffs(std::size_t n,
+                                             unsigned __int128 bound) {
+    NTTPIM_EXPECT(bound != 0);
+    std::vector<unsigned __int128> v(n);
+    for (auto& x : v) x = next_u128_below(bound);
+    return v;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bitutil.h"
 #include "common/check.h"
 #include "ntt/negacyclic.h"
 #include "pim/host.h"
@@ -17,6 +18,39 @@ sim::EngineConfig engine_config(double freq_mhz) {
 }
 
 }  // namespace
+
+namespace {
+
+// Shared contract of every transform_batch_mixed implementation: items are
+// complete and reference pairwise-distinct polynomials (an aliased output
+// would be transformed twice here and written back in unspecified order on
+// the PIM).
+void validate_batch_items(std::span<const BatchItem> items) {
+  std::vector<const std::vector<std::uint32_t>*> polys;
+  polys.reserve(items.size());
+  for (const auto& item : items) {
+    NTTPIM_EXPECT_MSG(item.poly != nullptr && item.params != nullptr,
+                      "batch item needs a polynomial and a parameter set");
+    polys.push_back(item.poly);
+  }
+  std::sort(polys.begin(), polys.end());
+  NTTPIM_EXPECT_MSG(
+      std::adjacent_find(polys.begin(), polys.end()) == polys.end(),
+      "batch items must not alias the same polynomial (write-back order "
+      "of aliased outputs is unspecified)");
+}
+
+}  // namespace
+
+void NttBackend::transform_batch_mixed(std::span<const BatchItem> items) {
+  validate_batch_items(items);
+  for (const auto& item : items) {
+    if (item.inverse)
+      inverse(*item.poly, *item.params);
+    else
+      forward(*item.poly, *item.params);
+  }
+}
 
 void CpuBackend::forward(std::vector<std::uint32_t>& a,
                          const ntt::NttParams& params) {
@@ -53,13 +87,14 @@ void PimBackend::inverse(std::vector<std::uint32_t>& a,
 }
 
 std::shared_ptr<const mapping::MappedNtt> PimBackend::plan_for(
-    const ntt::NttParams& params, bool inverse_direction,
-    std::uint16_t bank) {
+    const ntt::NttParams& params, bool inverse_direction, std::uint16_t bank,
+    std::uint32_t base_row) {
   mapping::MapperConfig config;
   config.num_buffers = num_buffers_;
   config.bank = bank;
 
   mapping::NttJob job;
+  job.base_row = base_row;
   job.direction = inverse_direction ? mapping::Direction::kInverse
                                     : mapping::Direction::kForward;
   job.negacyclic = inverse_direction;  // psi^{-i} post-scale on the PIM
@@ -69,56 +104,104 @@ std::shared_ptr<const mapping::MappedNtt> PimBackend::plan_for(
 void PimBackend::transform(std::vector<std::uint32_t>& a,
                            const ntt::NttParams& params,
                            bool inverse_direction) {
-  transform_wave({&a, 1}, params, inverse_direction);
+  const BatchItem item{&a, &params, inverse_direction};
+  run_wave({&item, 1});
 }
 
 void PimBackend::transform_batch(std::span<std::vector<std::uint32_t>> polys,
                                  const ntt::NttParams& params, bool inverse) {
   const std::size_t banks = device_.num_banks();
-  for (std::size_t first = 0; first < polys.size(); first += banks)
-    transform_wave(
-        polys.subspan(first, std::min(banks, polys.size() - first)), params,
-        inverse);
+  std::vector<BatchItem> items;
+  items.reserve(std::min(banks, polys.size()));
+  for (std::size_t first = 0; first < polys.size(); first += banks) {
+    const std::size_t count = std::min(banks, polys.size() - first);
+    items.clear();
+    for (std::size_t i = 0; i < count; ++i)
+      items.push_back({&polys[first + i], &params, inverse});
+    run_wave(items);
+  }
 }
 
-void PimBackend::transform_wave(std::span<std::vector<std::uint32_t>> wave,
-                                const ntt::NttParams& params,
-                                bool inverse_direction) {
-  NTTPIM_EXPECT(wave.size() >= 1 && wave.size() <= device_.num_banks());
+void PimBackend::transform_batch_mixed(std::span<const BatchItem> items) {
+  validate_batch_items(items);
+  if (!items.empty()) run_wave(items);
+}
 
-  // Host side: place each polynomial in its own bank; the negacyclic
-  // forward folds the psi^i pre-scale into the load.
-  for (std::size_t b = 0; b < wave.size(); ++b) {
-    NTTPIM_EXPECT(wave[b].size() == params.n());
-    std::vector<std::uint32_t> staged = wave[b];
-    if (!inverse_direction)
+void PimBackend::run_wave(std::span<const BatchItem> wave) {
+  NTTPIM_EXPECT(!wave.empty());
+  const std::size_t banks = device_.num_banks();
+  const std::size_t words_per_row = geometry_.words_per_row();
+
+  // Placement: item j in bank j % banks, stacked at the bank's next free
+  // row block. Host-side load applies the bit-reversal permutation and (for
+  // forward transforms) folds the psi^i negacyclic pre-scale into the data.
+  std::vector<std::uint32_t> next_row(banks, 0);
+  last_wave_.clear();
+  last_wave_.reserve(wave.size());
+  std::vector<std::shared_ptr<const mapping::MappedNtt>> plans(wave.size());
+  for (std::size_t j = 0; j < wave.size(); ++j) {
+    const BatchItem& item = wave[j];
+    const ntt::NttParams& params = *item.params;
+    NTTPIM_EXPECT(item.poly->size() == params.n());
+    const auto bank = static_cast<std::uint16_t>(j % banks);
+    const std::uint32_t base_row = next_row[bank];
+    const auto rows_used = static_cast<std::uint32_t>(
+        div_ceil(params.n(), words_per_row));
+    NTTPIM_EXPECT_MSG(base_row + rows_used <= geometry_.rows_per_bank,
+                      "wave overflows a bank's row capacity");
+    next_row[bank] = base_row + rows_used;
+
+    std::vector<std::uint32_t> staged = *item.poly;
+    if (!item.inverse)
       ntt::geometric_scale(staged, params.psi(), 1, params.q());
-    pim::load_polynomial(device_.bank(b), 0, staged);
+    pim::load_polynomial(device_.bank(bank), base_row, staged);
+
+    plans[j] = plan_for(params, item.inverse, bank, base_row);
+    last_wave_.push_back(
+        {bank, base_row, params.n(), params.q(), item.inverse});
   }
 
-  // Memory-controller side: one cached plan per bank (bank b's plan is the
-  // bank-0 plan with rewritten bank ids), merged into one engine pass.
-  std::vector<std::shared_ptr<const mapping::MappedNtt>> plans(wave.size());
-  for (std::size_t b = 0; b < wave.size(); ++b)
-    plans[b] = plan_for(params, inverse_direction,
-                        static_cast<std::uint16_t>(b));
-
+  // Merge the per-bank command sequences (items sharing a bank run
+  // back-to-back, in item order) round-robin across banks, so the shared
+  // command bus sees every bank from the first cycles of the pass instead
+  // of draining banks in id order. The engine re-queues commands per bank,
+  // so the interleave is cycle-identical to concatenation — it keeps the
+  // merged trace honest as a memory-controller command stream.
   sim::RunStats stats;
-  if (wave.size() == 1) {
+  if (wave.size() == 1 && !record_waves_) {
     stats = engine_.run(device_, plans[0]->trace);
   } else {
-    std::vector<dram::Command> merged;
+    // Cursor per bank over its items' traces (in item order): each round
+    // emits every bank's next command, copying each command exactly once.
+    struct BankCursor {
+      std::vector<std::span<const dram::Command>> seqs;
+      std::size_t seq = 0;
+      std::size_t pos = 0;
+    };
+    std::vector<BankCursor> cursors(std::min(banks, wave.size()));
     std::size_t total = 0;
-    for (const auto& plan : plans) total += plan->trace.size();
+    for (std::size_t j = 0; j < wave.size(); ++j) {
+      cursors[j % banks].seqs.push_back(plans[j]->trace);
+      total += plans[j]->trace.size();
+    }
+    std::vector<dram::Command> merged;
     merged.reserve(total);
-    for (const auto& plan : plans)
-      merged.insert(merged.end(), plan->trace.begin(), plan->trace.end());
+    while (merged.size() < total)
+      for (auto& c : cursors) {
+        while (c.seq < c.seqs.size() && c.pos == c.seqs[c.seq].size()) {
+          ++c.seq;
+          c.pos = 0;
+        }
+        if (c.seq < c.seqs.size()) merged.push_back(c.seqs[c.seq][c.pos++]);
+      }
     stats = engine_.run(device_, merged);
+    if (record_waves_) recorded_waves_.push_back({last_wave_, std::move(merged)});
   }
 
-  for (std::size_t b = 0; b < wave.size(); ++b)
-    wave[b] = pim::read_result(device_.bank(b), plans[b]->result_base_row,
-                               params.n());
+  for (std::size_t j = 0; j < wave.size(); ++j)
+    *wave[j].poly = pim::read_result(device_.bank(last_wave_[j].bank),
+                                     plans[j]->result_base_row,
+                                     wave[j].params->n());
 
   cycles_ += stats.cycles;
   energy_nj_ += stats.energy.total_nj();

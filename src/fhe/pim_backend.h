@@ -9,10 +9,17 @@
 // PimBackend is throughput-shaped: it owns one persistent simulated device
 // (constructed once, not per transform), memoizes mapped command traces in
 // a mapping::PlanCache keyed by (geometry, params, config, job), and offers
-// transform_batch() which shards a batch of polynomials across the device's
-// banks and simulates them in a single engine pass, so bank-level
-// parallelism is exercised end-to-end. Simulated *hardware* numbers are
-// unchanged by any of this — only host wall-clock drops.
+// two batch entry points:
+//  - transform_batch(): a pile of same-parameter polynomials sharded across
+//    the device's banks, one engine pass per wave of num_banks();
+//  - transform_batch_mixed(): a *heterogeneous* wave in which every
+//    polynomial carries its own parameter set (modulus) and direction —
+//    the paper's "running different NTT functions in each bank" — executed
+//    as a single engine pass; items beyond num_banks() are stacked at
+//    disjoint base rows of the same bank and run back-to-back within the
+//    pass (parallel across banks, sequential within one).
+// Simulated *hardware* numbers are unchanged by any of this — only host
+// wall-clock drops.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "dram/command.h"
 #include "dram/config.h"
 #include "mapping/plan_cache.h"
 #include "ntt/params.h"
@@ -27,6 +35,17 @@
 #include "sim/engine.h"
 
 namespace nttpim::fhe {
+
+/// One polynomial of a heterogeneous batch: its own modulus (parameter
+/// set) and its own transform direction. `poly` and `params` must outlive
+/// the batch call; distinct items must not alias the same vector (the
+/// write-back order of aliased outputs would be unspecified — square via
+/// fhe::rns_negacyclic_multiply, which transforms shared operands once).
+struct BatchItem {
+  std::vector<std::uint32_t>* poly = nullptr;
+  const ntt::NttParams* params = nullptr;
+  bool inverse = false;
+};
 
 class NttBackend {
  public:
@@ -38,6 +57,12 @@ class NttBackend {
   /// In-place inverse negacyclic NTT, natural order.
   virtual void inverse(std::vector<std::uint32_t>& a,
                        const ntt::NttParams& params) = 0;
+
+  /// Heterogeneous batch: every item carries its own parameter set and
+  /// direction. The base implementation simply runs the items in order
+  /// through forward()/inverse(); PimBackend overrides it with a single
+  /// bank-parallel engine pass. Items must reference distinct vectors.
+  virtual void transform_batch_mixed(std::span<const BatchItem> items);
 
   /// Number of transforms executed so far.
   std::uint64_t transform_count() const noexcept { return transforms_; }
@@ -59,6 +84,17 @@ class CpuBackend final : public NttBackend {
 /// and accumulates the simulated cycle/energy cost.
 class PimBackend final : public NttBackend {
  public:
+  /// Placement of one batch item within an executed wave (introspection
+  /// for tests / reporting: which bank ran which modulus in which
+  /// direction at which base row).
+  struct WaveSlot {
+    std::uint16_t bank = 0;
+    std::uint32_t base_row = 0;
+    std::size_t n = 0;
+    std::uint32_t q = 0;
+    bool inverse = false;
+  };
+
   /// `geometry` fixes the simulated device for the backend's lifetime; the
   /// default is the paper's single-bank Table-I configuration. Use
   /// dram::hbm2e_geometry(B) to enable B-way transform_batch sharding.
@@ -80,6 +116,16 @@ class PimBackend final : public NttBackend {
   void transform_batch(std::span<std::vector<std::uint32_t>> polys,
                        const ntt::NttParams& params, bool inverse = false);
 
+  /// Heterogeneous wave: ONE engine pass for the whole span. Item j runs in
+  /// bank j % num_banks(); when a bank receives several items they are
+  /// placed at disjoint base rows and execute back-to-back within the pass.
+  /// Per-bank command traces come from the plan cache (one plan per
+  /// (params, direction, bank, base_row), bank-retargeted from the bank-0
+  /// twin) and are merged round-robin across banks so the shared command
+  /// bus sees all banks from cycle one instead of draining them in id
+  /// order. Rejects aliased items (see BatchItem).
+  void transform_batch_mixed(std::span<const BatchItem> items) override;
+
   const dram::DramGeometry& geometry() const noexcept { return geometry_; }
   std::size_t num_banks() const noexcept { return device_.num_banks(); }
 
@@ -91,15 +137,37 @@ class PimBackend final : public NttBackend {
   std::uint64_t plan_cache_hits() const noexcept { return plans_.hits(); }
   std::uint64_t plan_cache_misses() const noexcept { return plans_.misses(); }
 
+  /// One recorded engine pass: where every item ran, and the merged
+  /// command trace the engine executed.
+  struct RecordedWave {
+    std::vector<WaveSlot> slots;
+    std::vector<dram::Command> trace;
+  };
+
+  /// Item placements of the most recent engine pass (always tracked).
+  const std::vector<WaveSlot>& last_wave() const noexcept {
+    return last_wave_;
+  }
+  /// Record every subsequent pass's placements + merged trace (off by
+  /// default: costs memory proportional to the traces). Toggling clears
+  /// the log.
+  void set_record_waves(bool record) {
+    record_waves_ = record;
+    recorded_waves_.clear();
+  }
+  const std::vector<RecordedWave>& recorded_waves() const noexcept {
+    return recorded_waves_;
+  }
+
  private:
   void transform(std::vector<std::uint32_t>& a, const ntt::NttParams& params,
                  bool inverse_direction);
-  /// One engine pass over at most num_banks() polynomials.
-  void transform_wave(std::span<std::vector<std::uint32_t>> wave,
-                      const ntt::NttParams& params, bool inverse_direction);
+  /// One engine pass over `wave` (any item count; banks assigned
+  /// round-robin, rows packed per bank).
+  void run_wave(std::span<const BatchItem> wave);
   std::shared_ptr<const mapping::MappedNtt> plan_for(
       const ntt::NttParams& params, bool inverse_direction,
-      std::uint16_t bank);
+      std::uint16_t bank, std::uint32_t base_row);
 
   dram::DramGeometry geometry_;
   std::size_t num_buffers_;
@@ -110,6 +178,9 @@ class PimBackend final : public NttBackend {
   std::uint64_t cycles_ = 0;
   double energy_nj_ = 0;
   std::uint64_t engine_passes_ = 0;
+  std::vector<WaveSlot> last_wave_;
+  std::vector<RecordedWave> recorded_waves_;
+  bool record_waves_ = false;
 };
 
 }  // namespace nttpim::fhe

@@ -52,6 +52,12 @@ std::uint32_t RnsBasis::prime(std::size_t limb) const {
 
 std::vector<std::vector<std::uint32_t>> RnsBasis::to_rns(
     const std::vector<unsigned __int128>& coeffs) const {
+  // Residues only determine values modulo Q: a coefficient >= Q would be
+  // silently aliased to a different representative, so reject it here
+  // rather than hand back a decomposition of the wrong number.
+  for (const auto& c : coeffs)
+    NTTPIM_EXPECT_MSG(c < product_,
+                      "RNS input coefficient must lie in [0, Q)");
   std::vector<std::vector<std::uint32_t>> out(limb_count());
   for (std::size_t i = 0; i < limb_count(); ++i) {
     out[i].resize(coeffs.size());
@@ -64,9 +70,16 @@ std::vector<std::vector<std::uint32_t>> RnsBasis::to_rns(
 
 std::vector<unsigned __int128> RnsBasis::from_rns(
     const std::vector<std::vector<std::uint32_t>>& residues) const {
-  NTTPIM_EXPECT(residues.size() == limb_count());
+  NTTPIM_EXPECT_MSG(residues.size() == limb_count(),
+                    "from_rns needs one residue vector per limb");
   const std::size_t count = residues[0].size();
-  for (const auto& limb : residues) NTTPIM_EXPECT(limb.size() == count);
+  for (const auto& limb : residues)
+    NTTPIM_EXPECT_MSG(limb.size() == count,
+                      "residue vectors must have equal length");
+  for (std::size_t i = 0; i < limb_count(); ++i)
+    for (const auto r : residues[i])
+      NTTPIM_EXPECT_MSG(r < params_[i].q(),
+                        "residue out of range for its limb prime");
 
   std::vector<unsigned __int128> out(count, 0);
   for (std::size_t j = 0; j < count; ++j) {

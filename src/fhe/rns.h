@@ -31,11 +31,15 @@ class RnsBasis {
   /// Q = product of all limb primes (must fit in 128 bits).
   unsigned __int128 modulus_product() const noexcept { return product_; }
 
-  /// Decompose coefficients (in [0, Q)) into per-limb residue vectors.
+  /// Decompose coefficients into per-limb residue vectors. Coefficients
+  /// must lie in [0, Q) — anything larger has no faithful RNS image and is
+  /// rejected (std::invalid_argument). Empty input yields empty limbs.
   std::vector<std::vector<std::uint32_t>> to_rns(
       const std::vector<unsigned __int128>& coeffs) const;
 
-  /// CRT-reconstruct coefficients in [0, Q) from per-limb residues.
+  /// CRT-reconstruct coefficients in [0, Q) from per-limb residues. Expects
+  /// exactly limb_count() equally-sized vectors with residues[i][j] <
+  /// prime(i); zero-length limbs reconstruct to an empty vector.
   std::vector<unsigned __int128> from_rns(
       const std::vector<std::vector<std::uint32_t>>& residues) const;
 

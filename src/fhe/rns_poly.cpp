@@ -1,0 +1,65 @@
+#include "fhe/rns_poly.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "ntt/poly.h"
+
+namespace nttpim::fhe {
+
+std::vector<std::vector<std::uint32_t>> rns_limb_product(
+    const RnsBasis& basis, const std::vector<std::vector<std::uint32_t>>& a,
+    const std::vector<std::vector<std::uint32_t>>& b, NttBackend& backend) {
+  const std::size_t limbs = basis.limb_count();
+  NTTPIM_EXPECT(a.size() == limbs && b.size() == limbs);
+  for (std::size_t i = 0; i < limbs; ++i)
+    NTTPIM_EXPECT(a[i].size() == basis.n() && b[i].size() == basis.n());
+
+  // Squaring shares the operand: transform each limb once.
+  const bool square = &a == &b;
+  auto fa = a;
+  std::vector<std::vector<std::uint32_t>> fb;
+  if (!square) fb = b;
+
+  // Wave 1: every limb of every operand forward, a's limbs then b's. The
+  // PIM backend places item j in bank j % num_banks(), so with one bank
+  // per limb, limb i of BOTH operands stacks in bank i — each bank runs
+  // exactly one modulus, different from every other bank's.
+  std::vector<BatchItem> wave;
+  wave.reserve(limbs * (square ? 1 : 2));
+  for (std::size_t i = 0; i < limbs; ++i)
+    wave.push_back({&fa[i], &basis.params(i), false});
+  if (!square)
+    for (std::size_t i = 0; i < limbs; ++i)
+      wave.push_back({&fb[i], &basis.params(i), false});
+  backend.transform_batch_mixed(wave);
+
+  std::vector<std::vector<std::uint32_t>> prod(limbs);
+  for (std::size_t i = 0; i < limbs; ++i)
+    prod[i] = ntt::pointwise_mul(fa[i], square ? fa[i] : fb[i],
+                                 basis.prime(i));
+
+  // Wave 2: every limb inverse.
+  wave.clear();
+  for (std::size_t i = 0; i < limbs; ++i)
+    wave.push_back({&prod[i], &basis.params(i), true});
+  backend.transform_batch_mixed(wave);
+  return prod;
+}
+
+RnsPoly rns_negacyclic_multiply(const RnsPoly& a, const RnsPoly& b,
+                                NttBackend& backend) {
+  return a.multiply(b, backend);
+}
+
+std::vector<unsigned __int128> rns_negacyclic_multiply(
+    const RnsBasis& basis, const std::vector<unsigned __int128>& a,
+    const std::vector<unsigned __int128>& b, NttBackend& backend) {
+  const auto ra = basis.to_rns(a);
+  const auto prod = (&a == &b) ? rns_limb_product(basis, ra, ra, backend)
+                               : rns_limb_product(basis, ra, basis.to_rns(b),
+                                                  backend);
+  return basis.from_rns(prod);
+}
+
+}  // namespace nttpim::fhe

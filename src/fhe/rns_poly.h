@@ -1,0 +1,48 @@
+// RNS negacyclic polynomial products over heterogeneous NTT waves.
+//
+// An RNS-decomposed FHE workload is the paper's bank-heterogeneity claim
+// made concrete ("running different NTT functions in each bank"): every
+// limb prime q_i gets its own independent NTT, so the limbs of a wide
+// product in R_Q = Z_Q[X]/(X^N + 1), Q = q_1*...*q_k, map one-to-one onto
+// banks. rns_negacyclic_multiply issues the forward transforms of *all*
+// limbs of *both* operands as one mixed wave (one engine pass on a
+// PimBackend — limb i of each operand stacked in bank i), does the
+// pointwise limb products on the host, issues all inverse transforms as a
+// second wave, and CRT-reconstructs.
+//
+// The ring-element type is fhe::RqPoly (already RNS-decomposed per limb);
+// RnsPoly is its workload-facing alias.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fhe/pim_backend.h"
+#include "fhe/rns.h"
+#include "fhe/rq.h"
+
+namespace nttpim::fhe {
+
+using RnsPoly = RqPoly;
+
+/// Per-limb negacyclic product core: both operands' limb residues in, the
+/// product's limb residues out. Forward NTTs of every limb of both
+/// operands form ONE mixed wave, inverse NTTs a second one. When `a` and
+/// `b` are the same object (squaring), each limb is transformed once and
+/// squared pointwise — no aliased batch items are ever issued.
+std::vector<std::vector<std::uint32_t>> rns_limb_product(
+    const RnsBasis& basis, const std::vector<std::vector<std::uint32_t>>& a,
+    const std::vector<std::vector<std::uint32_t>>& b, NttBackend& backend);
+
+/// Negacyclic product of two RNS polynomials over the same basis.
+RnsPoly rns_negacyclic_multiply(const RnsPoly& a, const RnsPoly& b,
+                                NttBackend& backend);
+
+/// Convenience overload on wide coefficients in [0, Q): decomposes via
+/// `basis`, multiplies, CRT-reconstructs. `a` and `b` may be the same
+/// vector (squaring).
+std::vector<unsigned __int128> rns_negacyclic_multiply(
+    const RnsBasis& basis, const std::vector<unsigned __int128>& a,
+    const std::vector<unsigned __int128>& b, NttBackend& backend);
+
+}  // namespace nttpim::fhe

@@ -1,8 +1,8 @@
 #include "fhe/rq.h"
 
 #include "common/check.h"
+#include "fhe/rns_poly.h"
 #include "ntt/modular.h"
-#include "ntt/poly.h"
 
 namespace nttpim::fhe {
 
@@ -84,17 +84,11 @@ RqPoly RqPoly::negate() const {
 
 RqPoly RqPoly::multiply(const RqPoly& other, NttBackend& backend) const {
   NTTPIM_EXPECT(basis_ == other.basis_);
+  // All limbs of both operands go through the backend as two heterogeneous
+  // waves (forward, inverse) — on a multi-bank PimBackend each wave is one
+  // engine pass with a different NTT per bank.
   RqPoly out(*basis_);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    const auto& params = basis_->params(i);
-    auto fa = limbs_[i];
-    auto fb = other.limbs_[i];
-    backend.forward(fa, params);
-    backend.forward(fb, params);
-    auto fc = ntt::pointwise_mul(fa, fb, params.q());
-    backend.inverse(fc, params);
-    out.limbs_[i] = std::move(fc);
-  }
+  out.limbs_ = rns_limb_product(*basis_, limbs_, other.limbs_, backend);
   return out;
 }
 

@@ -36,15 +36,27 @@ std::shared_ptr<const MappedNtt> PlanCache::get_or_map(
 
   std::shared_ptr<const MappedNtt> plan;
   if (config.bank != 0) {
-    // The trace is bank-relative apart from the bank field: replicate the
-    // bank-0 twin when available instead of re-running the mapper.
-    PlanKey twin = key;
-    twin.bank = 0;
-    if (const auto it = plans_.find(twin); it != plans_.end())
-      plan = std::make_shared<const MappedNtt>(
-          retarget_bank(*it->second, config.bank));
-  }
-  if (!plan) {
+    // The trace is bank-relative apart from the bank field: any non-bank-0
+    // miss is served by replicating the bank-0 twin, mapping (and caching)
+    // the twin first if this is the key's first sighting. Mapping at the
+    // *requested* bank instead would strand the plan under that bank's key
+    // and re-run the mapper for every other bank of a wave — and for
+    // bank 0 itself.
+    PlanKey twin_key = key;
+    twin_key.bank = 0;
+    auto twin = plans_.find(twin_key);
+    if (twin == plans_.end()) {
+      MapperConfig base_config = config;
+      base_config.bank = 0;
+      const RowCentricMapper mapper(geometry, params, base_config);
+      twin = plans_
+                 .emplace(twin_key,
+                          std::make_shared<const MappedNtt>(mapper.map(job)))
+                 .first;
+    }
+    plan = std::make_shared<const MappedNtt>(
+        retarget_bank(*twin->second, config.bank));
+  } else {
     const RowCentricMapper mapper(geometry, params, config);
     plan = std::make_shared<const MappedNtt>(mapper.map(job));
   }

@@ -58,8 +58,10 @@ struct PlanKey {
 class PlanCache {
  public:
   /// Return the memoized plan for (geometry, params, config, job), mapping
-  /// it on first use. A miss whose bank-0 twin is already cached is served
-  /// by rewriting bank ids instead of re-running the mapper.
+  /// it on first use. The mapper only ever runs for bank 0: a non-bank-0
+  /// miss maps and caches the bank-0 twin if absent, then serves the
+  /// requested bank by rewriting bank ids — so a wave touching banks in any
+  /// order costs exactly one mapper run per distinct non-bank key.
   std::shared_ptr<const MappedNtt> get_or_map(
       const dram::DramGeometry& geometry, const ntt::NttParams& params,
       const MapperConfig& config, const NttJob& job);
