@@ -235,9 +235,17 @@ int run_json(const std::string& path) {
 
 }  // namespace
 
+constexpr const char* kUsage =
+    "usage: bench_bank_parallel [--json [path]]\n"
+    "  Bank-level parallelism: modeled bank-scaling sweep plus host\n"
+    "  wall-clock throughput of the simulator stack.\n"
+    "  --json [path]  write the BENCH_host.json-style report to path\n"
+    "                 (\"-\"/no path = stdout)\n";
+
 int main(int argc, char** argv) {
-  if (const auto json_path = bench::consume_json_flag(argc, argv))
-    return run_json(*json_path);
+  const auto json_path = bench::consume_json_flag(argc, argv);
+  bench::finish_flags(argc, argv, kUsage);
+  if (json_path) return run_json(*json_path);
 
   bench::print_table1_header(
       "Bank-level parallelism (N = 1024, Nb = 4, one NTT per bank)");

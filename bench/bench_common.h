@@ -2,12 +2,16 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <utility>
 
 #include "dram/config.h"
 
@@ -38,7 +42,10 @@ inline std::optional<std::string> consume_json_flag(int& argc, char** argv) {
     const std::string_view arg = argv[i];
     if (arg == "--json") {
       path = "-";
-      if (i + 1 < argc && argv[i + 1][0] != '-') path = argv[++i];
+      // A value may follow; a lone "-" (stdout) is a value, not a flag.
+      if (i + 1 < argc &&
+          (argv[i + 1][0] != '-' || std::string_view(argv[i + 1]) == "-"))
+        path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       path = std::string(arg.substr(7));
     } else {
@@ -48,6 +55,54 @@ inline std::optional<std::string> consume_json_flag(int& argc, char** argv) {
   argc = out;
   argv[argc] = nullptr;
   return path;
+}
+
+/// Scan argv for `--name <value>` / `--name=value`; returns the value when
+/// present and strips the flag from argv (same contract as
+/// consume_json_flag). `name` includes the dashes, e.g. "--requests".
+/// A present flag with no value (end of argv, or another flag where the
+/// value belongs) is a usage error: reported to stderr, exit 2.
+inline std::optional<std::string> consume_value_flag(int& argc, char** argv,
+                                                     std::string_view name) {
+  std::optional<std::string> value;
+  const std::string prefixed = std::string(name) + "=";
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == name) {
+      if (i + 1 >= argc || (argv[i + 1][0] == '-' &&
+                            std::string_view(argv[i + 1]) != "-")) {
+        std::cerr << "missing value for " << name << "\n";
+        std::exit(2);
+      }
+      value = argv[++i];
+    } else if (arg.rfind(prefixed, 0) == 0) {
+      value = std::string(arg.substr(prefixed.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return value;
+}
+
+/// Shared tail of every bench flag parser, run after the known flags were
+/// consumed: `--help`/`-h` prints `usage` and exits 0; anything still left
+/// in argv is an unknown flag — rejected with the usage text and exit code
+/// 2 instead of the historical silent ignore.
+inline void finish_flags(int argc, char** argv, std::string_view usage) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage;
+      std::exit(0);
+    }
+  }
+  if (argc > 1) {
+    std::cerr << "unrecognized argument: " << argv[1] << "\n" << usage;
+    std::exit(2);
+  }
 }
 
 /// Minimal streaming JSON emitter — just what the bench reporters need:
@@ -145,6 +200,111 @@ inline void write_architecture(JsonWriter& json) {
   json.field("banks", g.banks);
   json.field("freq_mhz", t.freq_mhz);
   json.end_object();
+}
+
+/// Splice `fragment` (one or more already-rendered depth-1 members, leading
+/// separator excluded) into the top-level JSON object held in `text`,
+/// first deleting an existing `section_key` member so re-runs are
+/// idempotent. Returns false when `text` is not an appendable object (no
+/// trailing '}', or a present section whose comma/bracketing cannot be
+/// matched) — the caller falls back to a standalone report.
+inline bool splice_json_section(std::string& text, std::string_view section_key,
+                                std::string fragment) {
+  const std::string quoted = '"' + std::string(section_key) + '"';
+  if (const std::size_t prev = text.find(quoted); prev != std::string::npos) {
+    // Drop the previous section, ending at its value's *matching* close
+    // bracket (a hand-merged file may have members after it).
+    const std::size_t comma = text.rfind(',', prev);
+    const std::size_t open = text.find_first_of("[{", prev);
+    std::size_t close = std::string::npos;
+    if (open != std::string::npos) {
+      const char open_bracket = text[open];
+      const char close_bracket = open_bracket == '[' ? ']' : '}';
+      int depth = 0;
+      for (std::size_t i = open; i < text.size(); ++i) {
+        if (text[i] == open_bracket) ++depth;
+        if (text[i] == close_bracket && --depth == 0) {
+          close = i;
+          break;
+        }
+      }
+    }
+    if (comma == std::string::npos || close == std::string::npos) return false;
+    text.erase(comma, close + 1 - comma);
+  }
+  const std::size_t tail = text.find_last_not_of(" \t\r\n");
+  const std::size_t last_member =
+      tail != std::string::npos && tail > 0 && text[tail] == '}'
+          ? text.find_last_not_of(" \t\r\n", tail - 1)
+          : std::string::npos;
+  if (last_member == std::string::npos) return false;
+  while (!fragment.empty() && fragment.back() == '\n') fragment.pop_back();
+  // No separating comma after an empty object's '{'.
+  const char* separator = text[last_member] == '{' ? "" : ",";
+  text.insert(last_member + 1, separator + fragment);
+  return true;
+}
+
+/// Emit one bench section BENCH_host.json-style. `write_section` renders
+/// the section's depth-1 members into a JsonWriter positioned inside the
+/// top-level object. When `path` holds an existing JSON object (the file
+/// bench_bank_parallel --json wrote), the section is spliced in, replacing
+/// any previous run's; otherwise ("-" or absent/unappendable file) a
+/// standalone {schema, bench, architecture, section} report is written.
+/// Returns a process exit code.
+template <typename WriteSection>
+int write_host_section(const std::string& path, std::string_view bench_name,
+                       std::string_view section_key,
+                       WriteSection&& write_section) {
+  if (path != "-") {
+    std::string existing;
+    if (std::ifstream in(path); in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      existing = buf.str();
+    }
+    if (!existing.empty()) {
+      std::ostringstream os;
+      JsonWriter json(os);
+      json.begin_object();
+      write_section(json);
+      json.end_object();
+      // Render to a fragment for splicing at depth 1.
+      const std::string text = os.str();
+      const std::size_t open = text.find('{');
+      const std::size_t close = text.rfind('}');
+      std::string fragment = text.substr(open + 1, close - open - 1);
+      if (splice_json_section(existing, section_key, std::move(fragment))) {
+        std::ofstream file(path);
+        if (!(file << existing)) {
+          std::cerr << "cannot write " << path << "\n";
+          return 1;
+        }
+        return 0;
+      }
+      std::cerr << "warning: " << path << " has an unappendable \""
+                << section_key
+                << "\" section; writing a standalone report instead\n";
+    }
+  }
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.field("schema", "nttpim-bench-host-v1");
+  json.field("bench", bench_name);
+  write_architecture(json);
+  write_section(json);
+  json.end_object();
+  if (path == "-") {
+    std::cout << os.str();
+    return 0;
+  }
+  std::ofstream file(path);
+  if (!(file << os.str())) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace nttpim::bench

@@ -116,20 +116,6 @@ void write_section(bench::JsonWriter& json,
   json.end_array();
 }
 
-/// Render the section as a fragment (`"rns_limb_scaling": [...]`) indented
-/// for splicing at depth 1 of an existing top-level object.
-std::string section_fragment(const std::vector<LimbPoint>& points) {
-  std::ostringstream os;
-  bench::JsonWriter json(os);
-  json.begin_object();
-  write_section(json, points);
-  json.end_object();
-  std::string text = os.str();
-  const std::size_t open = text.find('{');
-  const std::size_t close = text.rfind('}');
-  return text.substr(open + 1, close - open - 1);
-}
-
 int run_json(const std::string& path) {
   bool all_verified = true;
   const auto points = sweep(all_verified);
@@ -138,91 +124,27 @@ int run_json(const std::string& path) {
                  "against the CPU backend\n";
     return 1;
   }
-
-  // Append mode: splice the section into an existing top-level JSON object
-  // (the BENCH_host.json written by bench_bank_parallel --json), replacing
-  // any previous rns_limb_scaling section so re-runs are idempotent.
-  std::string existing;
-  if (path != "-") {
-    if (std::ifstream in(path); in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      existing = buf.str();
-    }
-  }
-  if (const std::size_t prev = existing.find("\"rns_limb_scaling\"");
-      prev != std::string::npos) {
-    // Drop the previous section, ending at its array's *matching* ']' (a
-    // hand-merged file may have members after it). A file where the
-    // section has no preceding comma or no well-bracketed array is not
-    // appendable — fall through to the standalone rewrite instead.
-    const std::size_t comma = existing.rfind(',', prev);
-    const std::size_t open = existing.find('[', prev);
-    std::size_t close = std::string::npos;
-    if (open != std::string::npos) {
-      int depth = 0;
-      for (std::size_t i = open; i < existing.size(); ++i) {
-        if (existing[i] == '[') ++depth;
-        if (existing[i] == ']' && --depth == 0) {
-          close = i;
-          break;
-        }
-      }
-    }
-    if (comma != std::string::npos && close != std::string::npos) {
-      existing.erase(comma, close + 1 - comma);
-    } else {
-      std::cerr << "warning: " << path
-                << " has an unappendable rns_limb_scaling section; "
-                   "writing a standalone report instead\n";
-      existing.clear();
-    }
-  }
-  const std::size_t tail = existing.find_last_not_of(" \t\r\n");
-  const std::size_t last_member =
-      tail != std::string::npos && tail > 0 && existing[tail] == '}'
-          ? existing.find_last_not_of(" \t\r\n", tail - 1)
-          : std::string::npos;
-  if (last_member != std::string::npos) {
-    std::string fragment = section_fragment(points);
-    while (!fragment.empty() && fragment.back() == '\n') fragment.pop_back();
-    // No separating comma after an empty object's '{'.
-    const char* separator = existing[last_member] == '{' ? "" : ",";
-    existing.insert(last_member + 1, separator + fragment);
-    std::ofstream file(path);
-    if (!(file << existing)) {
-      std::cerr << "cannot write " << path << "\n";
-      return 1;
-    }
-    return 0;
-  }
-
-  // Standalone report.
-  std::ostringstream os;
-  bench::JsonWriter json(os);
-  json.begin_object();
-  json.field("schema", "nttpim-bench-host-v1");
-  json.field("bench", "bench_rns_limbs");
-  bench::write_architecture(json);
-  write_section(json, points);
-  json.end_object();
-  if (path == "-") {
-    std::cout << os.str();
-  } else {
-    std::ofstream file(path);
-    if (!(file << os.str())) {
-      std::cerr << "cannot write " << path << "\n";
-      return 1;
-    }
-  }
-  return 0;
+  // Append mode (shared with the other host benches): splice the section
+  // into an existing BENCH_host.json-style object, or write standalone.
+  return bench::write_host_section(
+      path, "bench_rns_limbs", "rns_limb_scaling",
+      [&](bench::JsonWriter& json) { write_section(json, points); });
 }
 
 }  // namespace
 
+constexpr const char* kUsage =
+    "usage: bench_rns_limbs [--json [path]]\n"
+    "  RNS multi-limb scaling: negacyclic products with limbs in {1,2,3,4},\n"
+    "  one limb prime per bank, two heterogeneous engine passes per product.\n"
+    "  --json [path]  append an rns_limb_scaling section to the\n"
+    "                 BENCH_host.json-style object at path (or write a\n"
+    "                 standalone report; \"-\"/no path = stdout)\n";
+
 int main(int argc, char** argv) {
-  if (const auto json_path = bench::consume_json_flag(argc, argv))
-    return run_json(*json_path);
+  const auto json_path = bench::consume_json_flag(argc, argv);
+  bench::finish_flags(argc, argv, kUsage);
+  if (json_path) return run_json(*json_path);
 
   bench::print_table1_header(
       "RNS multi-limb scaling (N = 1024, Nb = 4, one limb prime per bank)");

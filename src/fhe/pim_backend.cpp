@@ -203,14 +203,14 @@ void PimBackend::run_wave(std::span<const BatchItem> wave) {
                                      plans[j]->result_base_row,
                                      wave[j].params->n());
 
-  cycles_ += stats.cycles;
+  cycles_.fetch_add(stats.cycles, std::memory_order_relaxed);
   energy_nj_ += stats.energy.total_nj();
-  ++engine_passes_;
-  transforms_ += wave.size();
+  engine_passes_.fetch_add(1, std::memory_order_relaxed);
+  transforms_.fetch_add(wave.size(), std::memory_order_relaxed);
 }
 
 double PimBackend::total_us() const {
-  return static_cast<double>(cycles_) * (1e3 / freq_mhz_) / 1e3;
+  return static_cast<double>(total_cycles()) * (1e3 / freq_mhz_) / 1e3;
 }
 
 }  // namespace nttpim::fhe

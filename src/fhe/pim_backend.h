@@ -22,6 +22,7 @@
 // wall-clock drops.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -65,10 +66,19 @@ class NttBackend {
   virtual void transform_batch_mixed(std::span<const BatchItem> items);
 
   /// Number of transforms executed so far.
-  std::uint64_t transform_count() const noexcept { return transforms_; }
+  ///
+  /// Thread-safety contract: a backend is single-driver — all transform
+  /// methods require external synchronization — but the monotone counters
+  /// (this one, and PimBackend's total_cycles()/engine_passes()/plan-cache
+  /// counters) are relaxed atomics, safe to *read* from another thread
+  /// while a transform runs (e.g. a stats scraper sampling a serving
+  /// shard). A sample may lag in-flight work; it is never torn.
+  std::uint64_t transform_count() const noexcept {
+    return transforms_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  std::uint64_t transforms_ = 0;
+  std::atomic<std::uint64_t> transforms_{0};
 };
 
 /// Host-CPU reference backend.
@@ -129,11 +139,20 @@ class PimBackend final : public NttBackend {
   const dram::DramGeometry& geometry() const noexcept { return geometry_; }
   std::size_t num_banks() const noexcept { return device_.num_banks(); }
 
-  std::uint64_t total_cycles() const noexcept { return cycles_; }
+  /// Counter accessors (total_cycles/engine_passes/plan_cache_*,
+  /// transform_count) follow the NttBackend contract: safe to read while
+  /// another thread drives the backend. Everything else — transforms,
+  /// total_energy_nj(), last_wave(), recorded_waves() — requires the
+  /// backend to be quiescent or externally synchronized.
+  std::uint64_t total_cycles() const noexcept {
+    return cycles_.load(std::memory_order_relaxed);
+  }
   double total_energy_nj() const noexcept { return energy_nj_; }
   double total_us() const;
   /// Engine passes executed (one per single transform or batch wave).
-  std::uint64_t engine_passes() const noexcept { return engine_passes_; }
+  std::uint64_t engine_passes() const noexcept {
+    return engine_passes_.load(std::memory_order_relaxed);
+  }
   std::uint64_t plan_cache_hits() const noexcept { return plans_.hits(); }
   std::uint64_t plan_cache_misses() const noexcept { return plans_.misses(); }
 
@@ -175,9 +194,9 @@ class PimBackend final : public NttBackend {
   pim::PimDevice device_;
   sim::Engine engine_;
   mapping::PlanCache plans_;
-  std::uint64_t cycles_ = 0;
+  std::atomic<std::uint64_t> cycles_{0};
   double energy_nj_ = 0;
-  std::uint64_t engine_passes_ = 0;
+  std::atomic<std::uint64_t> engine_passes_{0};
   std::vector<WaveSlot> last_wave_;
   std::vector<RecordedWave> recorded_waves_;
   bool record_waves_ = false;

@@ -29,10 +29,10 @@ std::shared_ptr<const MappedNtt> PlanCache::get_or_map(
     const MapperConfig& config, const NttJob& job) {
   const PlanKey key = PlanKey::make(geometry, params, config, job);
   if (const auto it = plans_.find(key); it != plans_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
 
   std::shared_ptr<const MappedNtt> plan;
   if (config.bank != 0) {
@@ -66,8 +66,8 @@ std::shared_ptr<const MappedNtt> PlanCache::get_or_map(
 
 void PlanCache::clear() {
   plans_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace nttpim::mapping

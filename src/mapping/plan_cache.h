@@ -15,6 +15,7 @@
 // a fresh mapper run — the building block of the batched multi-bank backend.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -66,15 +67,23 @@ class PlanCache {
       const dram::DramGeometry& geometry, const ntt::NttParams& params,
       const MapperConfig& config, const NttJob& job);
 
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
+  /// hits()/misses() are relaxed atomics: safe to sample from another
+  /// thread while the owning thread maps (a serving shard's stats reader).
+  /// get_or_map/size/clear still require external synchronization — the
+  /// cache itself is single-driver, only the counters are share-readable.
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
   std::size_t size() const noexcept { return plans_.size(); }
   void clear();
 
  private:
   std::map<PlanKey, std::shared_ptr<const MappedNtt>> plans_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
 };
 
 }  // namespace nttpim::mapping

@@ -1,0 +1,304 @@
+#include "service/ntt_service.h"
+
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "dram/config.h"
+#include "fhe/pim_backend.h"
+#include "ntt/poly.h"
+
+namespace nttpim::service {
+
+namespace {
+
+WaveFormer::Config former_config(const ServiceConfig& cfg) {
+  WaveFormer::Config fc;
+  fc.capacity_items = cfg.queue_capacity;
+  fc.max_wave_items = cfg.wave_multiple * cfg.banks_per_shard;
+  fc.flush_window = cfg.flush_window;
+  fc.overflow = cfg.overflow;
+  fc.start_paused = cfg.start_paused;
+  return fc;
+}
+
+double elapsed_us(ServiceClock::time_point from, ServiceClock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+NttService::NttService(const ServiceConfig& config)
+    : cfg_(config), former_(former_config(config)), shard_stats_(config.shards) {
+  NTTPIM_EXPECT_MSG(cfg_.shards >= 1, "the service needs at least one shard");
+  NTTPIM_EXPECT_MSG(cfg_.banks_per_shard >= 1,
+                    "each shard device needs at least one bank");
+  NTTPIM_EXPECT_MSG(cfg_.num_buffers >= 2,
+                    "the PIM backend needs C2 support (Nb >= 2)");
+  NTTPIM_EXPECT_MSG(cfg_.wave_multiple >= 1, "wave_multiple must be >= 1");
+  workers_.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s)
+    workers_.emplace_back([this, s] { worker(s); });
+
+  // Readiness barrier: don't hand the service to callers until every shard
+  // device exists. On a failed construction, drain the survivors and
+  // rethrow here (the destructor never runs for a throwing constructor).
+  std::unique_lock lk(stats_mu_);
+  idle_cv_.wait(lk, [&] { return shards_ready_ == cfg_.shards; });
+  if (construction_error_) {
+    lk.unlock();
+    former_.close();
+    for (std::thread& t : workers_) t.join();
+    std::rethrow_exception(construction_error_);
+  }
+}
+
+NttService::~NttService() { shutdown(); }
+
+void NttService::validate(const Request& request) const {
+  NTTPIM_EXPECT_MSG(request.params != nullptr,
+                    "a request needs a parameter set");
+  NTTPIM_EXPECT_MSG(request.a.size() == request.params->n(),
+                    "polynomial length must equal the parameter set's N");
+  if (request.kind == Request::Kind::kMultiply)
+    NTTPIM_EXPECT_MSG(request.b.size() == request.params->n(),
+                      "second operand length must equal the parameter set's N");
+}
+
+std::future<std::vector<std::uint32_t>> NttService::submit(
+    std::vector<std::uint32_t> poly,
+    std::shared_ptr<const ntt::NttParams> params, bool inverse) {
+  Request r;
+  r.kind = Request::Kind::kTransform;
+  r.a = std::move(poly);
+  r.params = std::move(params);
+  r.inverse = inverse;
+  auto future = r.promise.get_future();
+  enqueue(std::move(r));
+  return future;
+}
+
+void NttService::submit(std::vector<std::uint32_t> poly,
+                        std::shared_ptr<const ntt::NttParams> params,
+                        bool inverse, Callback done) {
+  NTTPIM_EXPECT_MSG(done != nullptr, "fire-and-forget needs a callback");
+  Request r;
+  r.kind = Request::Kind::kTransform;
+  r.a = std::move(poly);
+  r.params = std::move(params);
+  r.inverse = inverse;
+  r.callback = std::move(done);
+  r.use_callback = true;
+  enqueue(std::move(r));
+}
+
+std::future<std::vector<std::uint32_t>> NttService::submit_multiply(
+    std::vector<std::uint32_t> a, std::vector<std::uint32_t> b,
+    std::shared_ptr<const ntt::NttParams> params) {
+  Request r;
+  r.kind = Request::Kind::kMultiply;
+  r.a = std::move(a);
+  r.b = std::move(b);
+  r.params = std::move(params);
+  auto future = r.promise.get_future();
+  enqueue(std::move(r));
+  return future;
+}
+
+void NttService::enqueue(Request&& request) {
+  validate(request);  // synchronous misuse -> std::invalid_argument here
+  {
+    // Count the request as accepted *before* the queue sees it, so drain()
+    // can never observe completed == accepted while a worker is finishing a
+    // request whose submit() hasn't returned yet. Undone on rejection.
+    const std::scoped_lock lk(stats_mu_);
+    ++submitted_;
+    ++accepted_;
+  }
+  switch (former_.submit(std::move(request))) {
+    case WaveFormer::SubmitResult::kAccepted:
+      return;
+    case WaveFormer::SubmitResult::kRejected:
+      {
+        const std::scoped_lock lk(stats_mu_);
+        --accepted_;
+        ++rejected_;
+      }
+      idle_cv_.notify_all();
+      // Only moved from on kAccepted -- the request is still whole here.
+      request.fail(std::make_exception_ptr(QueueFullError()));
+      return;
+    case WaveFormer::SubmitResult::kClosed:
+      {
+        const std::scoped_lock lk(stats_mu_);
+        --accepted_;
+        ++rejected_;
+      }
+      idle_cv_.notify_all();
+      request.fail(std::make_exception_ptr(ServiceStoppedError()));
+      return;
+  }
+}
+
+void NttService::worker(std::size_t shard) {
+  // The shard's entire execution state -- simulated device, engine, plan
+  // cache -- lives on this thread. Nothing here is shared, so waves on
+  // different shards are genuinely parallel host work.
+  std::optional<fhe::PimBackend> backend;
+  try {
+    backend.emplace(cfg_.num_buffers, cfg_.freq_mhz,
+                    dram::hbm2e_geometry(cfg_.banks_per_shard));
+  } catch (...) {
+    const std::scoped_lock lk(stats_mu_);
+    construction_error_ = std::current_exception();
+  }
+  {
+    const std::scoped_lock lk(stats_mu_);
+    ++shards_ready_;
+  }
+  idle_cv_.notify_all();
+  if (!backend) return;
+
+  for (;;) {
+    std::vector<Request> wave = former_.next_wave();
+    if (wave.empty()) return;  // closed and drained
+    execute_wave(shard, *backend, wave);
+  }
+}
+
+void NttService::execute_wave(std::size_t shard, fhe::PimBackend& backend,
+                              std::vector<Request>& wave) {
+  const auto wave_start = ServiceClock::now();
+  for (const Request& r : wave)
+    queue_latency_.record(elapsed_us(r.enqueued, wave_start));
+
+  // Pass 1: every transform in its requested direction, both operands of
+  // every multiply forward -- one heterogeneous engine pass.
+  std::vector<fhe::BatchItem> pass;
+  pass.reserve(wave.size() * 2);
+  for (Request& r : wave) {
+    if (r.kind == Request::Kind::kMultiply) {
+      pass.push_back({&r.a, r.params.get(), false});
+      pass.push_back({&r.b, r.params.get(), false});
+    } else {
+      pass.push_back({&r.a, r.params.get(), r.inverse});
+    }
+  }
+
+  std::uint64_t passes = 0;
+  std::uint64_t items = 0;
+  bool ok = true;
+  try {
+    backend.transform_batch_mixed(pass);
+    ++passes;
+    items += pass.size();
+
+    // Pass 2 (only if the wave had multiplies): pointwise products on the
+    // host, then the wave's inverse transforms as one more pass.
+    pass.clear();
+    for (Request& r : wave) {
+      if (r.kind != Request::Kind::kMultiply) continue;
+      r.a = ntt::pointwise_mul(r.a, r.b, r.params->q());
+      pass.push_back({&r.a, r.params.get(), true});
+    }
+    if (!pass.empty()) {
+      backend.transform_batch_mixed(pass);
+      ++passes;
+      items += pass.size();
+    }
+  } catch (...) {
+    // A wave fails as a unit: the device state after a mid-pass throw is
+    // unspecified, so every rider sees the same error.
+    ok = false;
+    const auto error = std::current_exception();
+    for (Request& r : wave) r.fail(error);
+  }
+
+  if (ok) {
+    const auto done = ServiceClock::now();
+    for (Request& r : wave) {
+      service_latency_.record(elapsed_us(r.enqueued, done));
+      r.deliver(std::move(r.a));
+    }
+  }
+
+  {
+    const std::scoped_lock lk(stats_mu_);
+    waves_ += 1;
+    engine_passes_ += passes;
+    batch_items_ += items;
+    if (ok)
+      completed_ += wave.size();
+    else
+      failed_ += wave.size();
+    ShardStats& ss = shard_stats_[shard];
+    ss.waves += 1;
+    ss.engine_passes += passes;
+    ss.batch_items += items;
+    ss.requests += wave.size();
+    ss.modeled_cycles = backend.total_cycles();
+  }
+  idle_cv_.notify_all();
+}
+
+void NttService::pause() { former_.pause(); }
+
+void NttService::resume() { former_.resume(); }
+
+void NttService::drain() {
+  std::unique_lock lk(stats_mu_);
+  idle_cv_.wait(lk, [&] { return completed_ + failed_ == accepted_; });
+}
+
+void NttService::shutdown() {
+  std::call_once(shutdown_once_, [&] {
+    former_.close();
+    for (std::thread& t : workers_) t.join();
+  });
+}
+
+void NttService::reset_stats() {
+  {
+    const std::scoped_lock lk(stats_mu_);
+    // Re-base the request counters while preserving the drain() invariant
+    // completed + failed <= accepted: what's still in flight carries over
+    // as the new epoch's accepted-but-pending backlog.
+    accepted_ -= completed_ + failed_;
+    submitted_ = accepted_;
+    completed_ = 0;
+    failed_ = 0;
+    rejected_ = 0;
+    waves_ = 0;
+    engine_passes_ = 0;
+    batch_items_ = 0;
+    for (ShardStats& ss : shard_stats_) ss = ShardStats{};
+  }
+  queue_latency_.reset();
+  service_latency_.reset();
+}
+
+ServiceStats NttService::stats() const {
+  ServiceStats s;
+  {
+    const std::scoped_lock lk(stats_mu_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.failed = failed_;
+    s.pending = accepted_ - completed_ - failed_;
+    s.waves = waves_;
+    s.engine_passes = engine_passes_;
+    s.batch_items = batch_items_;
+    s.mean_wave_occupancy =
+        engine_passes_ ? static_cast<double>(batch_items_) /
+                             static_cast<double>(engine_passes_)
+                       : 0;
+    s.shards = shard_stats_;
+  }
+  s.queue_latency = queue_latency_.summary();
+  s.service_latency = service_latency_.summary();
+  return s;
+}
+
+}  // namespace nttpim::service

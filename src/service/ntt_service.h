@@ -1,0 +1,176 @@
+// NttService: the async serving front end of the NTT-PIM stack.
+//
+//   client threads                 NttService
+//   --------------   submit()   -----------------------------------------
+//   poly, params  ------------>  bounded queue --> wave former --> shard 0
+//   future/callback   <-------   (backpressure)    (coalesce to    shard 1
+//                                                   mixed waves)     ...
+//                                                                  shard S-1
+//
+// Every entry point of the repo so far drives a backend synchronously:
+// one caller, one transform, one engine pass — wave occupancy 1. The
+// paper's deployment model is the opposite shape: many independent hosts
+// issue NTT "write requests" and the PIM executes them bank-parallel.
+// NttService closes that gap. Requests from any number of client threads
+// are coalesced by a WaveFormer into *mixed waves* (each request keeps its
+// own modulus and direction — the heterogeneous batching built in
+// PimBackend::transform_batch_mixed), and each wave is executed by one of
+// S shards. A shard is a worker thread owning a private PimBackend —
+// persistent simulated device plus plan cache — so independent devices run
+// in parallel while every plan cache stays thread-confined (no locking on
+// the hot path, which is also the TSan story: shard state is owned, not
+// shared).
+//
+// Request kinds:
+//  - transform: forward/inverse negacyclic NTT of one polynomial;
+//  - multiply: negacyclic product a*b — the shard folds both forward
+//    transforms into the wave's engine pass, does the pointwise product on
+//    the host, and runs the inverse transforms of the wave's multiplies as
+//    one second pass.
+//
+// Results come back through a std::future or a fire-and-forget Callback.
+// Backpressure is a bounded queue with block/reject policies; shutdown()
+// drains everything accepted before joining the shards. stats() is safe
+// to call at any time from any thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/request.h"
+#include "service/stats.h"
+#include "service/wave_former.h"
+
+namespace nttpim::fhe {
+class PimBackend;
+}
+
+namespace nttpim::service {
+
+struct ServiceConfig {
+  /// Worker threads, each owning one simulated PIM device.
+  std::size_t shards = 1;
+  /// Banks per shard device (dram::hbm2e_geometry(banks_per_shard)).
+  std::size_t banks_per_shard = 8;
+  /// Per-bank CU buffers (Nb) of each shard device.
+  std::size_t num_buffers = 4;
+  /// Device clock for the modeled-cycle accounting.
+  double freq_mhz = 1200.0;
+  /// Bounded-queue capacity, in batch items (a multiply counts 2).
+  std::size_t queue_capacity = 1024;
+  /// Waves flush at wave_multiple * banks_per_shard batch items: 1 fills
+  /// every bank once; k > 1 additionally stacks k items per bank in one
+  /// engine pass (amortizing pass overhead at the cost of latency).
+  std::size_t wave_multiple = 1;
+  /// ... or when the oldest pending request has waited this long.
+  std::chrono::microseconds flush_window{200};
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Start with wave forming gated; call resume() to open the valve.
+  /// (Deterministic staging for tests and pre-warmed deployments.)
+  bool start_paused = false;
+};
+
+class NttService {
+ public:
+  /// Spawns the shard workers and returns once every shard has finished
+  /// constructing its simulated device (a multi-bank PimBackend zeroes
+  /// hundreds of MB of simulated DRAM — without the barrier, early traffic
+  /// would race S concurrent constructions and measure boot, not serving).
+  /// Throws if any shard's device fails to construct.
+  explicit NttService(const ServiceConfig& config = {});
+  ~NttService();  ///< shutdown(): drains accepted work, joins shards
+
+  NttService(const NttService&) = delete;
+  NttService& operator=(const NttService&) = delete;
+
+  /// Async forward/inverse negacyclic NTT of `poly` (moved in). The future
+  /// yields the transformed coefficients, or throws QueueFullError /
+  /// ServiceStoppedError (backpressure) or the execution error.
+  std::future<std::vector<std::uint32_t>> submit(
+      std::vector<std::uint32_t> poly,
+      std::shared_ptr<const ntt::NttParams> params, bool inverse = false);
+
+  /// Fire-and-forget variant: `done` runs on a shard thread (see Callback).
+  void submit(std::vector<std::uint32_t> poly,
+              std::shared_ptr<const ntt::NttParams> params, bool inverse,
+              Callback done);
+
+  /// Async negacyclic product a*b in Z_q[X]/(X^N + 1).
+  std::future<std::vector<std::uint32_t>> submit_multiply(
+      std::vector<std::uint32_t> a, std::vector<std::uint32_t> b,
+      std::shared_ptr<const ntt::NttParams> params);
+
+  /// Gate / un-gate wave forming (submissions keep accumulating while
+  /// paused). Pausing never interrupts a wave already executing.
+  void pause();
+  void resume();
+
+  /// Block until every request accepted so far has completed or failed.
+  /// The service keeps accepting new work; with concurrent submitters this
+  /// is a moving target — it returns at some instant where the backlog hit
+  /// zero. Do not call from a Callback (deadlocks the shard on itself).
+  void drain();
+
+  /// Graceful stop: no new submissions (they fail with
+  /// ServiceStoppedError), every *accepted* request still executes, then
+  /// the shard threads are joined. Idempotent and thread-safe; implied by
+  /// the destructor. Un-pauses a paused service so the backlog drains.
+  void shutdown();
+
+  /// Snapshot, callable at any time from any thread. The request/wave
+  /// counters are read atomically as a group; the latency summaries are
+  /// sampled alongside but not under the same lock, so a wave completing
+  /// concurrently may show its latency samples one snapshot before its
+  /// counters (drain() first for fully settled numbers).
+  ServiceStats stats() const;
+
+  /// Zero the counters and latency windows so a subsequent stats() covers
+  /// only traffic from this point on — the post-warmup idiom of a load
+  /// test or a fresh deployment. Requests in flight stay pending (the
+  /// snapshot's `pending` survives a reset); they complete into the new
+  /// counting epoch.
+  void reset_stats();
+
+  const ServiceConfig& config() const noexcept { return cfg_; }
+  /// Banks of each shard device == batch items of a full wave_multiple=1
+  /// wave.
+  std::size_t num_banks() const noexcept { return cfg_.banks_per_shard; }
+
+ private:
+  void enqueue(Request&& request);
+  void worker(std::size_t shard);
+  void execute_wave(std::size_t shard, fhe::PimBackend& backend,
+                    std::vector<Request>& wave);
+  void validate(const Request& request) const;
+
+  const ServiceConfig cfg_;
+  WaveFormer former_;
+
+  mutable std::mutex stats_mu_;
+  std::condition_variable idle_cv_;  ///< drain() + constructor barrier
+  std::size_t shards_ready_ = 0;
+  std::exception_ptr construction_error_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t waves_ = 0;
+  std::uint64_t engine_passes_ = 0;
+  std::uint64_t batch_items_ = 0;
+  std::vector<ShardStats> shard_stats_;
+
+  LatencyRecorder queue_latency_;
+  LatencyRecorder service_latency_;
+
+  std::once_flag shutdown_once_;
+  std::vector<std::thread> workers_;  // last member: joined before teardown
+};
+
+}  // namespace nttpim::service

@@ -1,0 +1,112 @@
+// Request types of the async NTT serving runtime.
+//
+// A Request is the unit clients hand to NttService::submit(): one
+// polynomial to transform (forward or inverse negacyclic NTT) or one
+// negacyclic product of two polynomials. The service owns the coefficient
+// data for the request's lifetime — clients move vectors in and receive
+// the result through a std::future or a fire-and-forget callback, so no
+// client buffer has to stay alive while the request sits in the queue.
+//
+// Parameter sets travel as shared_ptr<const NttParams>: requests outlive
+// the submitting call, so a reference-held parameter set would be a
+// use-after-free trap. Sharing one parameter object across thousands of
+// requests is also what keeps per-request overhead at two pointer copies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "ntt/params.h"
+
+namespace nttpim::service {
+
+/// Clock every service latency figure is measured on.
+using ServiceClock = std::chrono::steady_clock;
+
+/// What submit() does when the bounded request queue is full.
+enum class OverflowPolicy {
+  kBlock,   ///< block the submitting thread until space frees up
+  kReject,  ///< fail the request immediately (QueueFullError in its future)
+};
+
+/// Backpressure rejection under OverflowPolicy::kReject: delivered through
+/// the request's future/callback, never thrown at the submit() call site.
+class QueueFullError : public std::runtime_error {
+ public:
+  QueueFullError()
+      : std::runtime_error(
+            "NttService queue full (OverflowPolicy::kReject)") {}
+};
+
+/// The service stopped accepting work (shutdown() raced the submission).
+class ServiceStoppedError : public std::runtime_error {
+ public:
+  ServiceStoppedError()
+      : std::runtime_error("NttService is shut down") {}
+};
+
+/// Fire-and-forget completion hook. Exactly one of (result, error) is
+/// meaningful: error == nullptr on success. Runs on a shard worker thread;
+/// it must not throw (exceptions are swallowed to keep the shard alive) and
+/// must not call back into the submitting service's blocking APIs
+/// (drain/shutdown) — that would deadlock the worker on itself.
+using Callback =
+    std::function<void(std::vector<std::uint32_t>&& result,
+                       std::exception_ptr error)>;
+
+/// One queued unit of work. Internal to the service and its wave-former;
+/// clients only ever see the submit() signatures.
+struct Request {
+  enum class Kind {
+    kTransform,  ///< forward/inverse negacyclic NTT of `a`
+    kMultiply,   ///< negacyclic product `a * b` in Z_q[X]/(X^N + 1)
+  };
+
+  Kind kind = Kind::kTransform;
+  std::vector<std::uint32_t> a;
+  std::vector<std::uint32_t> b;  ///< second operand, kMultiply only
+  std::shared_ptr<const ntt::NttParams> params;
+  bool inverse = false;  ///< direction, kTransform only
+  std::promise<std::vector<std::uint32_t>> promise;
+  Callback callback;      ///< when set, the promise is not used
+  bool use_callback = false;
+  ServiceClock::time_point enqueued{};  ///< stamped by the wave-former
+
+  /// Batch items this request contributes to a wave's *forward* engine
+  /// pass: a multiply transforms both operands.
+  std::size_t batch_items() const noexcept {
+    return kind == Kind::kMultiply ? 2 : 1;
+  }
+
+  /// Complete the request with `result` (moves it out).
+  void deliver(std::vector<std::uint32_t>&& result) {
+    if (use_callback) {
+      try {
+        callback(std::move(result), nullptr);
+      } catch (...) {  // see Callback: must-not-throw contract
+      }
+    } else {
+      promise.set_value(std::move(result));
+    }
+  }
+
+  /// Complete the request with an error.
+  void fail(std::exception_ptr error) {
+    if (use_callback) {
+      try {
+        callback({}, std::move(error));
+      } catch (...) {
+      }
+    } else {
+      promise.set_exception(std::move(error));
+    }
+  }
+};
+
+}  // namespace nttpim::service

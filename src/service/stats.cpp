@@ -1,0 +1,67 @@
+#include "service/stats.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nttpim::service {
+
+namespace {
+
+/// p-th percentile (nearest-rank) of a scratch copy of the window.
+double percentile(std::vector<double>& sorted_scratch, double p) {
+  if (sorted_scratch.empty()) return 0;
+  const auto n = sorted_scratch.size();
+  auto rank = static_cast<std::size_t>(p / 100.0 * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  std::nth_element(sorted_scratch.begin(), sorted_scratch.begin() + rank,
+                   sorted_scratch.end());
+  return sorted_scratch[rank];
+}
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder(std::size_t capacity) : capacity_(capacity) {
+  NTTPIM_EXPECT_MSG(capacity >= 1, "latency window needs at least 1 sample");
+  window_.reserve(std::min<std::size_t>(capacity, 1024));
+}
+
+void LatencyRecorder::record(double us) {
+  const std::scoped_lock lk(mu_);
+  ++count_;
+  sum_us_ += us;
+  max_us_ = std::max(max_us_, us);
+  if (window_.size() < capacity_) {
+    window_.push_back(us);
+  } else {
+    window_[next_] = us;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+void LatencyRecorder::reset() {
+  const std::scoped_lock lk(mu_);
+  window_.clear();
+  next_ = 0;
+  count_ = 0;
+  sum_us_ = 0;
+  max_us_ = 0;
+}
+
+LatencySummary LatencyRecorder::summary() const {
+  std::vector<double> scratch;
+  LatencySummary s;
+  {
+    const std::scoped_lock lk(mu_);
+    s.count = count_;
+    s.mean_us = count_ ? sum_us_ / static_cast<double>(count_) : 0;
+    s.max_us = max_us_;
+    scratch = window_;
+  }
+  s.p50_us = percentile(scratch, 50);
+  s.p95_us = percentile(scratch, 95);
+  s.p99_us = percentile(scratch, 99);
+  return s;
+}
+
+}  // namespace nttpim::service

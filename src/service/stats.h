@@ -1,0 +1,86 @@
+// Serving-runtime statistics: latency percentiles and wave occupancy.
+//
+// The number the whole subsystem exists to move is *mean wave occupancy* —
+// batch items per engine pass. A synchronous caller gets occupancy 1 (every
+// transform is its own pass); the wave-former's job is to push it toward
+// num_banks(), which is exactly the bank-level parallelism the paper defers
+// to future work (Sec. VII) and that MeNTT/BP-NTT identify as the PIM
+// utilization lever. ServiceStats reports it next to the latency cost paid
+// to get it (queue wait before a wave forms, total service time).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace nttpim::service {
+
+/// Summary of one latency population, in microseconds.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_us = 0;  ///< over every recorded sample
+  double p50_us = 0;   ///< percentiles over the retained window (below)
+  double p95_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+/// Thread-safe latency reservoir. The mean/max/count cover every sample
+/// ever recorded; percentiles are computed over a bounded ring of the most
+/// recent `capacity` samples so memory stays flat under serving workloads
+/// that run for days.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t capacity = 1 << 16);
+
+  void record(double us);
+  LatencySummary summary() const;
+  /// Drop every sample (post-warmup steady-state measurement).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> window_;  // ring buffer of the last `capacity_` samples
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_us_ = 0;
+  double max_us_ = 0;
+};
+
+/// Per-shard slice of the service counters (one shard = one worker thread
+/// owning one PimBackend).
+struct ShardStats {
+  std::uint64_t waves = 0;          ///< formed waves executed
+  std::uint64_t engine_passes = 0;  ///< 1 per wave + 1 if it had multiplies
+  std::uint64_t batch_items = 0;    ///< transforms issued across all passes
+  std::uint64_t requests = 0;       ///< requests completed (or failed)
+  /// The shard backend's cumulative simulated cycles — device lifetime
+  /// total, deliberately NOT re-based by NttService::reset_stats() (the
+  /// modeled-hardware account has no epochs).
+  std::uint64_t modeled_cycles = 0;
+};
+
+/// Snapshot of the service, safe to take while requests flow (see
+/// NttService::stats() for the exact coherence guarantees).
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< submit() calls observed
+  std::uint64_t completed = 0;  ///< requests delivered successfully
+  std::uint64_t rejected = 0;   ///< backpressure rejections (kReject/stopped)
+  std::uint64_t failed = 0;     ///< accepted but failed during execution
+  std::uint64_t pending = 0;    ///< accepted, not yet completed or failed
+
+  std::uint64_t waves = 0;
+  std::uint64_t engine_passes = 0;
+  std::uint64_t batch_items = 0;
+  /// batch_items / engine_passes — the utilization figure of merit.
+  double mean_wave_occupancy = 0;
+
+  LatencySummary queue_latency;    ///< submit -> wave starts executing
+  LatencySummary service_latency;  ///< submit -> result delivered
+
+  std::vector<ShardStats> shards;
+};
+
+}  // namespace nttpim::service

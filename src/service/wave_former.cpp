@@ -1,0 +1,117 @@
+#include "service/wave_former.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace nttpim::service {
+
+WaveFormer::WaveFormer(const Config& config)
+    : cfg_(config), paused_(config.start_paused) {
+  NTTPIM_EXPECT_MSG(cfg_.max_wave_items >= 1,
+                    "a wave must hold at least one batch item");
+  // >= 2 so a multiply (2 items) always fits: a kBlock submit whose request
+  // can never fit would wait forever.
+  NTTPIM_EXPECT_MSG(cfg_.capacity_items >= 2,
+                    "queue capacity must admit a multiply (2 batch items)");
+  NTTPIM_EXPECT_MSG(cfg_.flush_window.count() >= 0,
+                    "flush window must be non-negative");
+}
+
+WaveFormer::SubmitResult WaveFormer::submit(Request&& request) {
+  const std::size_t items = request.batch_items();
+  std::unique_lock lk(mu_);
+  if (cfg_.overflow == OverflowPolicy::kBlock) {
+    space_cv_.wait(lk, [&] {
+      return closed_ || pending_items_ + items <= cfg_.capacity_items;
+    });
+    if (closed_) return SubmitResult::kClosed;
+  } else {
+    if (closed_) return SubmitResult::kClosed;
+    if (pending_items_ + items > cfg_.capacity_items)
+      return SubmitResult::kRejected;
+  }
+  request.enqueued = ServiceClock::now();
+  pending_items_ += items;
+  queue_.push_back(std::move(request));
+  // notify_all: several consumers may be parked with different predicates
+  // (waiting for any work vs. waiting for a full wave).
+  ready_cv_.notify_all();
+  return SubmitResult::kAccepted;
+}
+
+std::vector<Request> WaveFormer::next_wave() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    ready_cv_.wait(lk, [&] {
+      return closed_ || (!paused_ && !queue_.empty());
+    });
+    if (queue_.empty()) {
+      if (closed_) return {};
+      continue;  // paused was lifted with nothing queued, or a spurious wake
+    }
+
+    // Wave forming: flush when full or when the *oldest* request has been
+    // waiting flush_window. close() flushes immediately (drain fast);
+    // pause() re-gates a consumer even mid-forming, so a staged backlog
+    // never leaks out as a partial wave while paused.
+    const auto deadline = queue_.front().enqueued + cfg_.flush_window;
+    ready_cv_.wait_until(lk, deadline, [&] {
+      return closed_ || paused_ ||
+             pending_items_ >= cfg_.max_wave_items;
+    });
+    if (paused_ && !closed_) continue;
+    if (queue_.empty()) continue;  // another consumer took the wave
+
+    std::vector<Request> wave;
+    std::size_t taken = 0;
+    while (!queue_.empty()) {
+      const std::size_t items = queue_.front().batch_items();
+      // Never split below one request per wave; otherwise respect the cap
+      // (a trailing multiply that would overflow waits for the next wave).
+      if (taken != 0 && taken + items > cfg_.max_wave_items) break;
+      taken += items;
+      wave.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      if (taken >= cfg_.max_wave_items) break;
+    }
+    pending_items_ -= taken;
+    space_cv_.notify_all();
+    return wave;
+  }
+}
+
+void WaveFormer::pause() {
+  const std::scoped_lock lk(mu_);
+  paused_ = true;
+}
+
+void WaveFormer::resume() {
+  {
+    const std::scoped_lock lk(mu_);
+    paused_ = false;
+  }
+  ready_cv_.notify_all();
+}
+
+void WaveFormer::close() {
+  {
+    const std::scoped_lock lk(mu_);
+    closed_ = true;
+    paused_ = false;  // a paused former still drains on shutdown
+  }
+  ready_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+std::size_t WaveFormer::pending_items() const {
+  const std::scoped_lock lk(mu_);
+  return pending_items_;
+}
+
+bool WaveFormer::closed() const {
+  const std::scoped_lock lk(mu_);
+  return closed_;
+}
+
+}  // namespace nttpim::service

@@ -1,0 +1,84 @@
+// Wave-forming coalescer: the bounded request queue of the serving runtime.
+//
+// Producers (client threads inside NttService::submit) push Requests into a
+// bounded queue; consumers (shard workers) pop *waves* — groups of requests
+// sized for one bank-parallel engine pass. A wave flushes when either
+//  - the pending pile reaches max_wave_items (NttService sets this to a
+//    multiple of the shard device's num_banks(), so a full wave occupies
+//    every bank), or
+//  - the oldest pending request has waited flush_window (latency bound:
+//    coalescing trades queueing delay for occupancy, and the window caps
+//    the delay a sparse load pays),
+// whichever comes first. Consumers pull independently, so S shards drain
+// the queue in parallel and the wave former doubles as the load balancer —
+// an idle shard simply grabs the next wave.
+//
+// Capacity is measured in *batch items* (a multiply counts 2), matching
+// what bounds device rows and engine-pass size. When full, submit() either
+// blocks or rejects per OverflowPolicy — the service's backpressure.
+//
+// pause()/resume() gate consumers only: while paused, submissions pile up
+// but no wave starts forming. This is how tests stage a deterministic
+// backlog (guaranteeing occupancy > 1 without sleep-based races) and how
+// an operator can stage work before opening the valve.
+//
+// close() stops new submissions (blocked producers wake and see kClosed),
+// un-pauses, and lets consumers drain everything already accepted — the
+// graceful-shutdown half of NttService::shutdown(). Once the queue is
+// empty, next_wave() returns an empty vector, the consumers' exit signal.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "service/request.h"
+
+namespace nttpim::service {
+
+class WaveFormer {
+ public:
+  struct Config {
+    std::size_t capacity_items = 1024;   ///< queue bound, in batch items
+    std::size_t max_wave_items = 8;      ///< flush size, in batch items
+    std::chrono::microseconds flush_window{200};  ///< flush deadline
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    bool start_paused = false;
+  };
+
+  enum class SubmitResult { kAccepted, kRejected, kClosed };
+
+  explicit WaveFormer(const Config& config);
+
+  /// Enqueue one request. `request` is moved from only on kAccepted; on
+  /// kRejected/kClosed the caller still owns it (and fails its promise).
+  /// kBlock blocks until space or close(); kReject never blocks.
+  SubmitResult submit(Request&& request);
+
+  /// Block until a wave is ready per the flush policy and return it.
+  /// Returns an empty vector only when the former is closed and drained.
+  /// Safe to call from many consumer threads.
+  std::vector<Request> next_wave();
+
+  void pause();
+  void resume();
+  void close();
+
+  std::size_t pending_items() const;
+  bool closed() const;
+
+ private:
+  const Config cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;  ///< consumers: work / flush / close
+  std::condition_variable space_cv_;  ///< blocked producers
+  std::deque<Request> queue_;
+  std::size_t pending_items_ = 0;
+  bool paused_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace nttpim::service

@@ -1,0 +1,352 @@
+// Deterministic concurrency tests of the async NTT serving runtime.
+//
+// Every test is sleep-free: synchronization is futures, drain(), and the
+// pause()/resume() staging hook (submit a backlog while wave forming is
+// gated, then open the valve), so occupancy and backpressure assertions
+// are exact rather than timing-dependent.
+#include <atomic>
+#include <future>
+#include <latch>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fhe/pim_backend.h"
+#include "ntt/params.h"
+#include "ntt/poly.h"
+#include "service/ntt_service.h"
+#include "service/wave_former.h"
+
+namespace {
+
+using namespace nttpim;
+using service::NttService;
+using service::ServiceConfig;
+
+std::shared_ptr<const ntt::NttParams> make_params(std::size_t n = 256,
+                                                  unsigned bits = 30) {
+  return std::make_shared<const ntt::NttParams>(ntt::NttParams::create(n, bits));
+}
+
+std::chrono::microseconds hour() { return std::chrono::microseconds(3600u * 1000000u); }
+
+// (a) N client threads x M requests, mixed directions and sizes, must be
+// bit-identical to a sequential CpuBackend run of the same inputs.
+TEST(ServiceE2E, ConcurrentClientsMatchCpuBackend) {
+  const auto p256 = make_params(256);
+  const auto p512 = make_params(512, 29);
+
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.banks_per_shard = 4;
+  cfg.flush_window = std::chrono::microseconds(200);
+  NttService svc(cfg);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRequests = 8;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      fhe::CpuBackend cpu;
+      for (std::size_t r = 0; r < kRequests; ++r) {
+        const auto& params = (r % 2 == 0) ? p256 : p512;
+        const bool inverse = r % 3 == 0;
+        auto poly = rng.residues(params->n(), params->q());
+        auto expected = poly;
+        if (inverse)
+          cpu.inverse(expected, *params);
+        else
+          cpu.forward(expected, *params);
+        if (svc.submit(std::move(poly), params, inverse).get() != expected)
+          mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  svc.drain();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, kThreads * kRequests);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+// (a') Negacyclic products through the service match the CPU reference
+// pipeline (forward, pointwise, inverse).
+TEST(ServiceE2E, MultiplyMatchesCpuReference) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.banks_per_shard = 4;
+  NttService svc(cfg);
+
+  Rng rng(7);
+  for (int i = 0; i < 3; ++i) {
+    auto a = rng.residues(params->n(), params->q());
+    auto b = rng.residues(params->n(), params->q());
+    fhe::CpuBackend cpu;
+    auto fa = a;
+    auto fb = b;
+    cpu.forward(fa, *params);
+    cpu.forward(fb, *params);
+    auto expected = ntt::pointwise_mul(fa, fb, params->q());
+    cpu.inverse(expected, *params);
+
+    EXPECT_EQ(svc.submit_multiply(std::move(a), std::move(b), params).get(),
+              expected);
+  }
+  svc.drain();  // a future resolves before the wave's counters land
+  const auto stats = svc.stats();
+  // Each multiply wave runs a forward pass (2 items) and an inverse pass.
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_GE(stats.engine_passes, 2u);
+}
+
+// (b) A staged backlog must coalesce: occupancy is exactly num_banks when
+// the backlog is a multiple of the wave size. pause() + huge window makes
+// this deterministic — no sleeps, no scheduling luck.
+TEST(ServiceE2E, WaveOccupancyAboveOneUnderConcurrentLoad) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.banks_per_shard = 8;
+  cfg.flush_window = hour();  // only size (or shutdown) flushes
+  cfg.start_paused = true;
+  NttService svc(cfg);
+
+  constexpr std::size_t kBacklog = 16;  // 2 full waves of 8
+  Rng rng(3);
+  std::vector<std::future<std::vector<std::uint32_t>>> futures;
+  for (std::size_t i = 0; i < kBacklog; ++i)
+    futures.push_back(svc.submit(rng.residues(params->n(), params->q()),
+                                 params));
+  EXPECT_EQ(svc.stats().pending, kBacklog);
+
+  svc.resume();
+  for (auto& f : futures) f.get();
+  svc.drain();
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, kBacklog);
+  EXPECT_EQ(stats.engine_passes, 2u);
+  EXPECT_EQ(stats.batch_items, kBacklog);
+  EXPECT_DOUBLE_EQ(stats.mean_wave_occupancy, 8.0);
+  EXPECT_GT(stats.mean_wave_occupancy, 1.0);
+}
+
+// (c) shutdown() drains: every accepted request completes, even the ones
+// still queued behind a paused former when shutdown is called.
+TEST(ServiceE2E, ShutdownDrainsQueue) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.banks_per_shard = 4;
+  cfg.flush_window = hour();
+  cfg.start_paused = true;
+  NttService svc(cfg);
+
+  constexpr std::size_t kBacklog = 10;  // 2.5 waves; the tail is partial
+  Rng rng(5);
+  std::vector<std::vector<std::uint32_t>> inputs;
+  std::vector<std::future<std::vector<std::uint32_t>>> futures;
+  for (std::size_t i = 0; i < kBacklog; ++i) {
+    inputs.push_back(rng.residues(params->n(), params->q()));
+    futures.push_back(svc.submit(inputs.back(), params));
+  }
+
+  svc.shutdown();  // never resumed: shutdown itself must open the valve
+
+  fhe::CpuBackend cpu;
+  for (std::size_t i = 0; i < kBacklog; ++i) {
+    auto expected = inputs[i];
+    cpu.forward(expected, *params);
+    EXPECT_EQ(futures[i].get(), expected);
+  }
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, kBacklog);
+  EXPECT_EQ(stats.pending, 0u);
+}
+
+// (d) Backpressure under kReject: the overflowing request's future fails
+// with QueueFullError; everything accepted still completes.
+TEST(ServiceUnit, RejectPolicySurfacesAsFailedFuture) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.banks_per_shard = 4;
+  cfg.queue_capacity = 4;
+  cfg.overflow = service::OverflowPolicy::kReject;
+  cfg.flush_window = hour();
+  cfg.start_paused = true;  // nothing drains: the queue must fill
+  NttService svc(cfg);
+
+  Rng rng(11);
+  std::vector<std::future<std::vector<std::uint32_t>>> accepted;
+  for (int i = 0; i < 4; ++i)
+    accepted.push_back(
+        svc.submit(rng.residues(params->n(), params->q()), params));
+
+  auto overflow = svc.submit(rng.residues(params->n(), params->q()), params);
+  EXPECT_THROW(overflow.get(), service::QueueFullError);
+
+  const auto stats_before = svc.stats();
+  EXPECT_EQ(stats_before.rejected, 1u);
+  EXPECT_EQ(stats_before.pending, 4u);
+
+  svc.resume();
+  for (auto& f : accepted) EXPECT_NO_THROW(f.get());
+  svc.shutdown();
+  EXPECT_EQ(svc.stats().completed, 4u);
+}
+
+// Submissions racing shutdown fail cleanly instead of hanging.
+TEST(ServiceUnit, SubmitAfterShutdownFailsFuture) {
+  const auto params = make_params(256);
+  NttService svc(ServiceConfig{});
+  svc.shutdown();
+  auto future = svc.submit(Rng(1).residues(params->n(), params->q()), params);
+  EXPECT_THROW(future.get(), service::ServiceStoppedError);
+  EXPECT_EQ(svc.stats().rejected, 1u);
+}
+
+// Fire-and-forget callbacks: success delivers a result, backpressure
+// delivers the error — on a shard (or submitting) thread, never lost.
+TEST(ServiceUnit, CallbackVariantDeliversResultAndErrors) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.banks_per_shard = 4;
+  NttService svc(cfg);
+
+  Rng rng(21);
+  auto poly = rng.residues(params->n(), params->q());
+  auto expected = poly;
+  fhe::CpuBackend cpu;
+  cpu.forward(expected, *params);
+
+  std::latch done(1);
+  std::atomic<bool> ok{false};
+  svc.submit(std::move(poly), params, /*inverse=*/false,
+             [&](std::vector<std::uint32_t>&& result,
+                 std::exception_ptr error) {
+               ok = !error && result == expected;
+               done.count_down();
+             });
+  done.wait();
+  EXPECT_TRUE(ok.load());
+
+  svc.shutdown();
+  std::latch failed(1);
+  std::atomic<bool> saw_error{false};
+  svc.submit(rng.residues(params->n(), params->q()), params, false,
+             [&](std::vector<std::uint32_t>&&, std::exception_ptr error) {
+               saw_error = error != nullptr;
+               failed.count_down();
+             });
+  failed.wait();
+  EXPECT_TRUE(saw_error.load());
+}
+
+// Synchronous argument validation happens at the submit() call site.
+TEST(ServiceUnit, SubmitValidatesArguments) {
+  const auto params = make_params(256);
+  NttService svc(ServiceConfig{});
+  EXPECT_THROW(svc.submit({1, 2, 3}, params), std::invalid_argument);
+  EXPECT_THROW(svc.submit(std::vector<std::uint32_t>(256, 0), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(svc.submit_multiply(std::vector<std::uint32_t>(256, 0),
+                                   std::vector<std::uint32_t>(8, 0), params),
+               std::invalid_argument);
+  EXPECT_THROW(NttService(ServiceConfig{.shards = 0}), std::invalid_argument);
+}
+
+// reset_stats() starts a clean epoch without disturbing in-flight
+// bookkeeping: pending backlog survives, counters restart at zero.
+TEST(ServiceUnit, ResetStatsStartsCleanEpoch) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.banks_per_shard = 4;
+  cfg.flush_window = hour();
+  cfg.start_paused = true;
+  NttService svc(cfg);
+
+  Rng rng(31);
+  auto warm = svc.submit(rng.residues(params->n(), params->q()), params);
+  auto staged = svc.submit(rng.residues(params->n(), params->q()), params);
+  svc.reset_stats();
+
+  auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, 2u);  // still pending: carried into the epoch
+  EXPECT_EQ(stats.pending, 2u);
+  EXPECT_EQ(stats.completed, 0u);
+
+  // A 2-item backlog never reaches the 4-item flush size and the window is
+  // an hour: shutdown() is what flushes it (close -> immediate drain).
+  svc.shutdown();
+  warm.get();
+  staged.get();
+  stats = svc.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.pending, 0u);
+}
+
+// Property: the wave-former never loses, duplicates, or fabricates a
+// request under concurrent producers and consumers, and every wave
+// respects the size cap.
+TEST(ServiceProperty, WaveFormerConservesRequestsUnderConcurrency) {
+  service::WaveFormer::Config cfg;
+  cfg.capacity_items = 64;
+  cfg.max_wave_items = 8;
+  cfg.flush_window = std::chrono::microseconds(50);
+  service::WaveFormer former(cfg);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 64;
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<std::uint64_t> oversized_waves{0};
+  std::vector<std::uint8_t> seen(kProducers * kPerProducer, 0);
+  std::mutex seen_mu;
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        auto wave = former.next_wave();
+        if (wave.empty()) return;
+        if (wave.size() > cfg.max_wave_items) oversized_waves.fetch_add(1);
+        const std::scoped_lock lk(seen_mu);
+        for (auto& r : wave) {
+          ++seen[r.a[0]];
+          r.promise.set_value({});
+          consumed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        service::Request r;
+        r.kind = service::Request::Kind::kTransform;
+        // Tag each request with a unique id in a[0] (never executed).
+        r.a = {static_cast<std::uint32_t>(p * kPerProducer + i)};
+        auto f = r.promise.get_future();
+        ASSERT_EQ(former.submit(std::move(r)),
+                  service::WaveFormer::SubmitResult::kAccepted);
+        f.get();  // closed loop keeps the bounded queue honest
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  former.close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(oversized_waves.load(), 0u);
+  for (const auto count : seen) EXPECT_EQ(count, 1);
+}
+
+}  // namespace
