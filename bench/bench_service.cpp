@@ -12,10 +12,20 @@
 //    figure the wave-former exists to raise;
 //  - service-latency percentiles, i.e. what the coalescing window costs.
 //
-// `--json <path>` appends a "service_throughput" section to an existing
-// BENCH_host.json-style object at <path> (or writes a standalone report),
-// exactly like bench_rns_limbs. `--requests <k>` shrinks the per-client
-// request count (CI smoke runs use a small k).
+// A second, skewed-load scenario exercises the dispatch layer: bursts of
+// expensive (N = 1024) and cheap (N = 256) requests are staged behind a
+// paused former so the wave stream alternates one hot size class with one
+// cold one. Blind round-robin assignment then pins every hot wave to the
+// same shard — the cross-device imbalance the cost-aware dispatcher and
+// work stealing exist to fix — and the scenario is run three ways (FIFO,
+// FIFO + stealing, cost-aware + stealing), reporting each mode's
+// busiest-shard share of the modeled device cycles and its stolen-wave
+// count.
+//
+// `--json <path>` appends "service_throughput" and "service_skewed_dispatch"
+// sections to an existing BENCH_host.json-style object at <path> (or
+// writes standalone reports), exactly like bench_rns_limbs. `--requests
+// <k>` shrinks the per-client request count (CI smoke runs use a small k).
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -141,6 +151,126 @@ SweepPoint run_point(const std::shared_ptr<const ntt::NttParams>& params,
   return p;
 }
 
+// ------------------------------------------------------- skewed dispatch
+
+constexpr std::size_t kSkewedBanksPerShard = 4;
+constexpr std::size_t kSkewedWaves = 24;  // alternating hot / cold classes
+constexpr std::size_t kSkewedHotN = 1024;
+constexpr std::size_t kSkewedColdN = 256;
+
+struct SkewedPoint {
+  const char* mode = "";
+  std::size_t requests = 0;
+  double seconds = 0;
+  double requests_per_sec = 0;
+  std::uint64_t stolen_waves = 0;
+  std::uint64_t busiest_shard_cycles = 0;
+  std::uint64_t total_shard_cycles = 0;
+  double busiest_share = 0;  ///< busiest / total modeled device cycles
+  bool verified = false;
+};
+
+/// One skewed-load run: 24 four-item waves staged behind a paused former,
+/// alternating N=1024 (hot) and N=256 (cold), released at once onto 2
+/// shards. Round-robin assignment resonates with the alternation — every
+/// hot wave lands on shard 0 — so the three dispatch modes separate
+/// cleanly in busiest-shard share.
+SkewedPoint run_skewed(const char* mode, bool cost_aware, bool stealing) {
+  const auto hot = std::make_shared<const ntt::NttParams>(
+      ntt::NttParams::create(kSkewedHotN, 29));
+  const auto cold = std::make_shared<const ntt::NttParams>(
+      ntt::NttParams::create(kSkewedColdN, 30));
+
+  service::ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.banks_per_shard = kSkewedBanksPerShard;
+  cfg.num_buffers = kNumBuffers;
+  cfg.queue_capacity = 4096;
+  cfg.flush_window = std::chrono::hours(1);  // only size flushes
+  cfg.start_paused = true;                   // stage the whole skew, then go
+  cfg.shard_queue_waves = 2;  // shallow queues: imbalance stalls dispatch
+  cfg.cost_aware_dispatch = cost_aware;
+  cfg.work_stealing = stealing;
+  service::NttService svc(cfg);
+
+  Rng rng(13);
+  fhe::CpuBackend cpu;
+  std::vector<std::future<std::vector<std::uint32_t>>> futures;
+  std::vector<std::vector<std::uint32_t>> expected;
+  for (std::size_t w = 0; w < kSkewedWaves; ++w) {
+    const auto& params = (w % 2 == 0) ? hot : cold;
+    for (std::size_t i = 0; i < kSkewedBanksPerShard; ++i) {
+      auto poly = rng.residues(params->n(), params->q());
+      expected.push_back(poly);
+      cpu.forward(expected.back(), *params);
+      futures.push_back(svc.submit(std::move(poly), params));
+    }
+  }
+
+  Stopwatch timer;
+  svc.resume();
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    if (futures[i].get() != expected[i]) ++mismatches;
+  const double seconds = timer.elapsed_ns() / 1e9;
+  svc.drain();  // settle the last wave's counters before the snapshot
+  svc.shutdown();
+
+  const service::ServiceStats stats = svc.stats();
+  SkewedPoint p;
+  p.mode = mode;
+  p.requests = futures.size();
+  p.seconds = seconds;
+  p.requests_per_sec = static_cast<double>(p.requests) / seconds;
+  for (const auto& shard : stats.shards) {
+    p.stolen_waves += shard.stolen_waves;
+    p.busiest_shard_cycles =
+        std::max(p.busiest_shard_cycles, shard.modeled_cycles);
+    p.total_shard_cycles += shard.modeled_cycles;
+  }
+  p.busiest_share = p.total_shard_cycles
+                        ? static_cast<double>(p.busiest_shard_cycles) /
+                              static_cast<double>(p.total_shard_cycles)
+                        : 0;
+  p.verified = mismatches == 0 && stats.completed == p.requests &&
+               stats.failed == 0;
+  return p;
+}
+
+std::vector<SkewedPoint> skewed_sweep(bool& all_verified) {
+  std::vector<SkewedPoint> points;
+  points.push_back(run_skewed("fifo", false, false));
+  points.push_back(run_skewed("fifo_steal", false, true));
+  points.push_back(run_skewed("cost_aware_steal", true, true));
+  for (const auto& p : points) all_verified = all_verified && p.verified;
+  return points;
+}
+
+void write_skewed_section(bench::JsonWriter& json,
+                          const std::vector<SkewedPoint>& points) {
+  json.begin_array("service_skewed_dispatch");
+  for (const auto& p : points) {
+    json.begin_object();
+    json.field("mode", p.mode);
+    json.field("shards", 2);
+    json.field("banks_per_shard", kSkewedBanksPerShard);
+    json.field("waves", kSkewedWaves);
+    json.field("n_hot", kSkewedHotN);
+    json.field("n_cold", kSkewedColdN);
+    json.field("requests", p.requests);
+    json.field("host_wall_clock", true);
+    json.field("host_cores", std::thread::hardware_concurrency());
+    json.field("requests_per_sec", p.requests_per_sec);
+    json.field("stolen_waves", p.stolen_waves);
+    json.field("busiest_shard_cycles", p.busiest_shard_cycles);
+    json.field("total_shard_cycles", p.total_shard_cycles);
+    json.field("busiest_share", p.busiest_share);
+    json.field("verified", p.verified);
+    json.end_object();
+  }
+  json.end_array();
+}
+
 std::vector<SweepPoint> sweep(std::size_t requests_per_client,
                               bool& all_verified) {
   const auto params = std::make_shared<const ntt::NttParams>(
@@ -198,22 +328,29 @@ void write_section(bench::JsonWriter& json,
 int run_json(const std::string& path, std::size_t requests_per_client) {
   bool all_verified = true;
   const auto points = sweep(requests_per_client, all_verified);
+  const auto skewed = skewed_sweep(all_verified);
   if (!all_verified) {
     std::cerr << "bench aborted: a served transform failed verification "
                  "against the CPU backend\n";
     return 1;
   }
-  return bench::write_host_section(
+  const int rc = bench::write_host_section(
       path, "bench_service", "service_throughput",
       [&](bench::JsonWriter& json) { write_section(json, points); });
+  if (rc != 0) return rc;
+  return bench::write_host_section(
+      path, "bench_service", "service_skewed_dispatch",
+      [&](bench::JsonWriter& json) { write_skewed_section(json, skewed); });
 }
 
 constexpr const char* kUsage =
     "usage: bench_service [--json [path]] [--requests <per-client>]\n"
     "  Closed-loop load generator for the async NTT serving runtime:\n"
     "  client count x shard count x flush window sweep reporting aggregate\n"
-    "  requests/sec, mean wave occupancy and latency percentiles.\n"
-    "  --json [path]       append a service_throughput section to the\n"
+    "  requests/sec, mean wave occupancy and latency percentiles, plus a\n"
+    "  skewed-load dispatch comparison (FIFO vs stealing vs cost-aware).\n"
+    "  --json [path]       append service_throughput and\n"
+    "                      service_skewed_dispatch sections to the\n"
     "                      BENCH_host.json-style object at path (or write\n"
     "                      a standalone report; \"-\"/no path = stdout)\n"
     "  --requests <count>  requests per client (default 32)\n";
@@ -263,5 +400,25 @@ int main(int argc, char** argv) {
                "requests/sec additionally needs >= shards free host cores "
                "(this host: "
             << std::thread::hardware_concurrency() << ").\n";
+
+  const auto skewed = skewed_sweep(all_verified);
+  std::cout << "\n==== Skewed dispatch (2 shards, alternating N="
+            << kSkewedHotN << " / N=" << kSkewedColdN << " waves) ====\n";
+  TablePrinter skew_table({"mode", "requests/s", "stolen waves",
+                           "busiest shard (cyc)", "busiest share",
+                           "verified"});
+  for (const auto& p : skewed)
+    skew_table.add_row({p.mode, TablePrinter::num(p.requests_per_sec, 1),
+                        std::to_string(p.stolen_waves),
+                        std::to_string(p.busiest_shard_cycles),
+                        TablePrinter::num(p.busiest_share),
+                        p.verified ? "YES" : "NO"});
+  skew_table.print(std::cout);
+  std::cout << "\nRound-robin assignment resonates with the alternating "
+               "size classes — every expensive wave lands on shard 0 "
+               "(busiest share ~ its cost share). Stealing lets the idle "
+               "shard take the oldest queued wave of the loaded one, and "
+               "cost-aware assignment avoids most of the imbalance before "
+               "it forms.\n";
   return all_verified ? EXIT_SUCCESS : EXIT_FAILURE;
 }

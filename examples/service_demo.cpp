@@ -6,7 +6,11 @@
 // coalesces everything into mixed waves and executes them on two shard
 // devices. The interesting output is the stats block: the same synchronous
 // one-request-at-a-time callers end up sharing bank-parallel engine passes
-// (mean wave occupancy > 1) without ever knowing about each other.
+// (mean wave occupancy > 1) without ever knowing about each other. Behind
+// the former sits the cost-aware dispatcher: waves are priced from cached
+// plans, assigned to the least-backlogged shard, and an idle shard steals
+// the oldest wave of a loaded peer (the per-shard "stolen" counts in the
+// stats block).
 #include <atomic>
 #include <cstdlib>
 #include <future>
@@ -125,7 +129,8 @@ int main() {
   for (std::size_t s = 0; s < stats.shards.size(); ++s)
     std::cout << (s ? ", " : "") << "shard " << s << ": "
               << stats.shards[s].requests << " requests / "
-              << stats.shards[s].waves << " waves";
+              << stats.shards[s].waves << " waves ("
+              << stats.shards[s].stolen_waves << " stolen)";
   std::cout << "\n  verified:       "
             << (mismatches == 0 && callback_ok ? "YES" : "NO") << "\n";
 

@@ -4,6 +4,7 @@
 
 #include "common/bitutil.h"
 #include "common/check.h"
+#include "mapping/act_model.h"
 #include "ntt/negacyclic.h"
 #include "pim/host.h"
 
@@ -125,6 +126,48 @@ void PimBackend::transform_batch(std::span<std::vector<std::uint32_t>> polys,
 void PimBackend::transform_batch_mixed(std::span<const BatchItem> items) {
   validate_batch_items(items);
   if (!items.empty()) run_wave(items);
+}
+
+namespace {
+
+/// Conservative per-item price for a never-mapped parameter set: scaled to
+/// sit a comfortable factor above the typical priced cost of a mapped
+/// n-point transform (see the calibration test in test_fhe), so a
+/// dispatcher treats unknown work as heavy rather than free.
+std::uint64_t conservative_item_cycles(std::size_t n) {
+  const auto log2n = static_cast<std::uint64_t>(exact_log2(n));
+  return 4 * static_cast<std::uint64_t>(n) * (log2n + 2);
+}
+
+}  // namespace
+
+std::uint64_t PimBackend::estimate_wave_cycles(
+    std::span<const BatchItem> items) const {
+  const dram::DramTiming timing = engine_config(freq_mhz_).timing;
+  const std::size_t banks = geometry_.banks;
+  std::vector<std::uint64_t> bank_cycles(std::min(banks, items.size()), 0);
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    const BatchItem& item = items[j];
+    NTTPIM_EXPECT_MSG(item.params != nullptr,
+                      "estimating a wave needs each item's parameter set");
+    mapping::MapperConfig config;
+    config.num_buffers = num_buffers_;
+    mapping::NttJob job;
+    job.direction = item.inverse ? mapping::Direction::kInverse
+                                 : mapping::Direction::kForward;
+    job.negacyclic = item.inverse;
+    const auto key =
+        mapping::PlanKey::make(geometry_, *item.params, config, job);
+    std::uint64_t cycles;
+    if (const auto counts = plans_.peek_counts(key))
+      cycles = mapping::ActModel::estimate_pass_cycles(*counts, timing);
+    else
+      cycles = conservative_item_cycles(item.params->n());
+    bank_cycles[j % banks] += cycles;
+  }
+  std::uint64_t makespan = 0;
+  for (const std::uint64_t c : bank_cycles) makespan = std::max(makespan, c);
+  return makespan;
 }
 
 void PimBackend::run_wave(std::span<const BatchItem> wave) {

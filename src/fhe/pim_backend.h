@@ -136,6 +136,19 @@ class PimBackend final : public NttBackend {
   /// order. Rejects aliased items (see BatchItem).
   void transform_batch_mixed(std::span<const BatchItem> items) override;
 
+  /// Price the wave `items` in modeled device cycles WITHOUT touching the
+  /// device: items are placed as transform_batch_mixed would place them
+  /// (item j in bank j % num_banks()); an item whose plan is already in
+  /// the plan cache costs its exact command counts priced through
+  /// ActModel::estimate_pass_cycles, an unmapped item costs a deliberately
+  /// conservative default (so unknown work repels further load until a
+  /// shard has actually mapped it); the wave's estimate is the busiest
+  /// bank's total, since banks run in parallel and same-bank items run
+  /// back-to-back. Unlike the transform methods this is safe to call from
+  /// another thread while this backend executes (PlanCache::peek_counts
+  /// contract) — it is what a cost-aware dispatcher compares per shard.
+  std::uint64_t estimate_wave_cycles(std::span<const BatchItem> items) const;
+
   const dram::DramGeometry& geometry() const noexcept { return geometry_; }
   std::size_t num_banks() const noexcept { return device_.num_banks(); }
 

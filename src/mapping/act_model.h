@@ -10,6 +10,7 @@
 
 #include "mapping/layout.h"
 #include "mapping/mapper.h"
+#include "mapping/trace.h"
 
 namespace nttpim::mapping {
 
@@ -67,6 +68,27 @@ struct ActModel {
     const unsigned stages = inter_row_stage_count(layout);
     acts += stages * inter_row_stage(layout, config);
     return acts;
+  }
+
+  /// Closed-form price of one mapped trace in device cycles: every command
+  /// class weighted by the timing it occupies the command bus / array for.
+  /// This is a scheduling *estimate*, not the engine: it ignores overlap
+  /// the engine's software pipelining wins and stalls it pays, but it is
+  /// deterministic, O(1) from cached TraceCounts, and ranks plans the same
+  /// way the simulator does — which is all a cost-aware dispatcher needs.
+  /// (Validated against engine cycles in test_fhe; stays within a small
+  /// constant factor across the paper's problem sizes.)
+  static std::uint64_t estimate_pass_cycles(const TraceCounts& counts,
+                                            const dram::DramTiming& t) {
+    std::uint64_t cycles = 0;
+    cycles += counts.acts * (t.trcd + t.trp);
+    cycles += (counts.column_reads + counts.column_writes) * t.tccd;
+    cycles += counts.c1_ops * t.c1_interval;
+    cycles += counts.c2_ops * t.c2_interval;
+    cycles += counts.scalar_bus * t.scalar_bu_latency;
+    cycles += counts.params * t.param_bus_cycles;
+    cycles += counts.buf_zeros * t.bufzero_latency;
+    return cycles;
   }
 };
 

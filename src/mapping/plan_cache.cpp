@@ -53,21 +53,38 @@ std::shared_ptr<const MappedNtt> PlanCache::get_or_map(
                  .emplace(twin_key,
                           std::make_shared<const MappedNtt>(mapper.map(job)))
                  .first;
+      record_counts(twin_key, *twin->second);
     }
     plan = std::make_shared<const MappedNtt>(
         retarget_bank(*twin->second, config.bank));
   } else {
     const RowCentricMapper mapper(geometry, params, config);
     plan = std::make_shared<const MappedNtt>(mapper.map(job));
+    record_counts(key, *plan);
   }
   plans_.emplace(key, plan);
   return plan;
+}
+
+void PlanCache::record_counts(const PlanKey& key, const MappedNtt& plan) {
+  const TraceCounts counts = count_commands(plan.trace);
+  const std::scoped_lock lk(counts_mu_);
+  counts_.emplace(key.cost_key(), counts);
+}
+
+std::optional<TraceCounts> PlanCache::peek_counts(const PlanKey& key) const {
+  const std::scoped_lock lk(counts_mu_);
+  if (const auto it = counts_.find(key.cost_key()); it != counts_.end())
+    return it->second;
+  return std::nullopt;
 }
 
 void PlanCache::clear() {
   plans_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  const std::scoped_lock lk(counts_mu_);
+  counts_.clear();
 }
 
 }  // namespace nttpim::mapping

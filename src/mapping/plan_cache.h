@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 
 #include "dram/config.h"
 #include "mapping/mapper.h"
@@ -54,6 +56,18 @@ struct PlanKey {
   static PlanKey make(const dram::DramGeometry& geometry,
                       const ntt::NttParams& params,
                       const MapperConfig& config, const NttJob& job);
+
+  /// The key under which this plan's *cost* is filed: bank and base row
+  /// zeroed, because neither changes a single command count — a trace is
+  /// bank-relative apart from the stamped bank id, and base_row only
+  /// shifts row addresses. One mapper run therefore prices the plan for
+  /// every placement.
+  PlanKey cost_key() const {
+    PlanKey key = *this;
+    key.bank = 0;
+    key.base_row = 0;
+    return key;
+  }
 };
 
 class PlanCache {
@@ -67,10 +81,21 @@ class PlanCache {
       const dram::DramGeometry& geometry, const ntt::NttParams& params,
       const MapperConfig& config, const NttJob& job);
 
+  /// Command counts of the cached plan for `key`, or nullopt when no plan
+  /// with that cost_key() has been mapped yet. Unlike get_or_map this IS
+  /// thread-safe against the owning thread: the counts live in a side map
+  /// under their own mutex, touched once per fresh mapper run, so a
+  /// dispatcher can price waves for a shard while the shard executes
+  /// (the cost-aware scheduling idea of MeNTT/BP-NTT-style balancers).
+  /// Returns counts, never cycles — pricing them against a clock is
+  /// ActModel::estimate_pass_cycles's job.
+  std::optional<TraceCounts> peek_counts(const PlanKey& key) const;
+
   /// hits()/misses() are relaxed atomics: safe to sample from another
   /// thread while the owning thread maps (a serving shard's stats reader).
   /// get_or_map/size/clear still require external synchronization — the
-  /// cache itself is single-driver, only the counters are share-readable.
+  /// cache itself is single-driver, only the counters (and peek_counts)
+  /// are share-readable.
   std::uint64_t hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
@@ -81,9 +106,13 @@ class PlanCache {
   void clear();
 
  private:
+  void record_counts(const PlanKey& key, const MappedNtt& plan);
+
   std::map<PlanKey, std::shared_ptr<const MappedNtt>> plans_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  mutable std::mutex counts_mu_;  ///< guards counts_ only (see peek_counts)
+  std::map<PlanKey, TraceCounts> counts_;
 };
 
 }  // namespace nttpim::mapping

@@ -1,0 +1,119 @@
+#include "service/dispatcher.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace nttpim::service {
+
+Dispatcher::Dispatcher(const Config& config, Estimator estimator)
+    : cfg_(config), estimate_(std::move(estimator)) {
+  NTTPIM_EXPECT_MSG(cfg_.shards >= 1, "the dispatcher needs a shard");
+  NTTPIM_EXPECT_MSG(estimate_ != nullptr, "the dispatcher needs an estimator");
+  for (std::size_t s = 0; s < cfg_.shards; ++s)
+    queues_.emplace_back(config.queue_capacity_waves);
+}
+
+void Dispatcher::dispatch(std::vector<Request>&& wave) {
+  NTTPIM_EXPECT(!wave.empty());
+  std::unique_lock lk(mu_);
+  for (;;) {
+    // Pick the target first, then wait for space *there*: cost-aware mode
+    // re-picks after every wake (backlogs moved while we slept), while
+    // round-robin keeps its strict order even when other queues are empty
+    // — blind assignment blocking behind one slow shard is exactly the
+    // pathology the skewed-load bench demonstrates.
+    std::size_t target;
+    if (cfg_.cost_aware) {
+      // Least estimated backlog among queues with space; when every queue
+      // is full, least backlog overall (and the wait below applies).
+      target = 0;
+      auto best = std::numeric_limits<std::uint64_t>::max();
+      bool target_has_space = false;
+      for (std::size_t s = 0; s < queues_.size(); ++s) {
+        const bool space = !queues_[s].full();
+        const std::uint64_t backlog = queues_[s].backlog_cycles();
+        if ((space && !target_has_space) ||
+            (space == target_has_space && backlog < best)) {
+          best = backlog;
+          target = s;
+          target_has_space = space;
+        }
+      }
+    } else {
+      target = rr_next_ % queues_.size();
+    }
+    if (closed_ || !queues_[target].full()) {
+      if (!cfg_.cost_aware) ++rr_next_;
+      QueuedWave priced;
+      priced.estimated_cycles = estimate_(target, wave);
+      priced.requests = std::move(wave);
+      queues_[target].push(std::move(priced));
+      ready_cv_.notify_all();
+      return;
+    }
+    space_cv_.wait(lk);
+  }
+}
+
+std::optional<Dispatcher::NextWave> Dispatcher::next_wave_for(
+    std::size_t shard) {
+  NTTPIM_EXPECT(shard < queues_.size());
+  std::unique_lock lk(mu_);
+  for (;;) {
+    if (!queues_[shard].empty()) {
+      QueuedWave wave = queues_[shard].take_oldest();
+      queues_[shard].begin_wave(wave.estimated_cycles);
+      space_cv_.notify_all();
+      return NextWave{std::move(wave.requests), wave.estimated_cycles,
+                      /*stolen=*/false};
+    }
+    // Steal: the oldest wave of the peer with the most queued cost. After
+    // close() an empty-handed worker drains peers even with stealing
+    // disabled (accepted work always executes), but those takes are drain
+    // reassignments, not policy steals — `stolen` stays false for them.
+    if (cfg_.work_stealing || closed_) {
+      std::size_t victim = queues_.size();
+      std::uint64_t most_queued = 0;
+      for (std::size_t s = 0; s < queues_.size(); ++s) {
+        if (s == shard || queues_[s].empty()) continue;
+        if (victim == queues_.size() ||
+            queues_[s].queued_cycles() > most_queued) {
+          victim = s;
+          most_queued = queues_[s].queued_cycles();
+        }
+      }
+      if (victim != queues_.size()) {
+        QueuedWave wave = queues_[victim].take_oldest();
+        queues_[shard].begin_wave(wave.estimated_cycles);
+        space_cv_.notify_all();
+        return NextWave{std::move(wave.requests), wave.estimated_cycles,
+                        /*stolen=*/cfg_.work_stealing};
+      }
+    }
+    if (closed_) return std::nullopt;
+    ready_cv_.wait(lk);
+  }
+}
+
+void Dispatcher::complete(std::size_t shard, std::uint64_t estimated_cycles) {
+  const std::scoped_lock lk(mu_);
+  queues_[shard].finish_wave(estimated_cycles);
+}
+
+void Dispatcher::close() {
+  {
+    const std::scoped_lock lk(mu_);
+    closed_ = true;
+  }
+  ready_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+std::uint64_t Dispatcher::backlog_cycles(std::size_t shard) const {
+  const std::scoped_lock lk(mu_);
+  return queues_[shard].backlog_cycles();
+}
+
+}  // namespace nttpim::service

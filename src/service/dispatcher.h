@@ -1,0 +1,116 @@
+// Cost-aware wave dispatch with cross-shard work stealing.
+//
+// PR 4's shards pulled whole waves straight off the shared wave-former;
+// assignment was "whoever asks next", so a shard chewing a huge mixed wave
+// could leave expensive waves queued behind it while its peers idled — the
+// load imbalance the paper's row-centric mapping avoids *inside* a device,
+// reproduced across devices. The Dispatcher closes that gap with the same
+// cost-model-driven scheduling MeNTT / BP-NTT use to balance in-memory NTT
+// lanes:
+//
+//   wave-former --> Dispatcher --> shard queue 0 --> worker 0
+//    (coalesce)      |  price &  > shard queue 1 --> worker 1
+//                    |  assign   > ...          <-- steal when idle
+//
+//  - Assignment: each formed wave is priced by an Estimator (backed by
+//    PimBackend::estimate_wave_cycles — cached plans priced through the
+//    ACT model, conservative default on a plan-cache miss, device never
+//    touched) and pushed onto the queue of the shard with the smallest
+//    estimated backlog (queued + executing cycles). `cost_aware = false`
+//    degrades to blind round-robin — the FIFO baseline the bench compares
+//    against.
+//  - Stealing: a worker whose own queue is empty takes the *oldest* queued
+//    wave of the most-loaded peer. Steals move whole waves, so the
+//    thread-confined backend / plan-cache contract is untouched — a wave
+//    executes entirely on whichever shard took it, and only the dispatch
+//    bookkeeping crosses threads (under the Dispatcher's one mutex).
+//  - Backpressure: per-shard queues are bounded in waves; dispatch()
+//    blocks while its target is full, which stops the wave-former from
+//    being drained, which backpressures submitters through the former's
+//    own bounded queue.
+//
+// close() ends intake; workers then drain every queue (an empty own queue
+// lets a worker take a leftover peer wave regardless of the stealing
+// policy — accepted work always executes) and next_wave_for() returns
+// nullopt once everything is gone.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "service/shard_queue.h"
+
+namespace nttpim::service {
+
+class Dispatcher {
+ public:
+  struct Config {
+    std::size_t shards = 1;
+    std::size_t queue_capacity_waves = 4;  ///< per-shard bound, in waves
+    bool cost_aware = true;     ///< least-backlog assignment (false = RR)
+    bool work_stealing = true;  ///< idle shards steal from loaded peers
+  };
+
+  /// Prices `wave` for `shard`, in modeled device cycles. Called on the
+  /// dispatching thread while shard workers execute, so it must only use
+  /// share-readable state (PimBackend::estimate_wave_cycles qualifies).
+  /// The wave is passed mutably because BatchItems reference its buffers;
+  /// the estimator must not actually modify it.
+  using Estimator =
+      std::function<std::uint64_t(std::size_t shard,
+                                  std::vector<Request>& wave)>;
+
+  Dispatcher(const Config& config, Estimator estimator);
+
+  /// Price one formed wave and enqueue it on the chosen shard's queue,
+  /// blocking while that queue is full. After close() the capacity bound
+  /// is waived instead of blocking forever (drain semantics: whatever the
+  /// former already accepted must still reach a queue).
+  void dispatch(std::vector<Request>&& wave);
+
+  struct NextWave {
+    std::vector<Request> requests;
+    std::uint64_t estimated_cycles = 0;
+    bool stolen = false;  ///< taken from a peer under the stealing policy
+  };
+
+  /// Block until `shard` has a wave to run: its own queue's oldest wave,
+  /// else — when stealing is enabled, or after close() — the oldest wave
+  /// of the peer with the most queued cost. Returns nullopt only when the
+  /// dispatcher is closed and every queue has drained (the worker's exit
+  /// signal). The returned wave's cost is already accounted as executing
+  /// on `shard`; pass it back through complete() when done.
+  std::optional<NextWave> next_wave_for(std::size_t shard);
+
+  /// Account the end of a wave next_wave_for(shard) handed out.
+  void complete(std::size_t shard, std::uint64_t estimated_cycles);
+
+  /// Stop intake and let workers drain; idempotent.
+  void close();
+
+  /// Estimated outstanding cost (queued + executing) of one shard, for
+  /// stats snapshots. Safe from any thread.
+  std::uint64_t backlog_cycles(std::size_t shard) const;
+
+  std::size_t shards() const noexcept { return cfg_.shards; }
+
+ private:
+  const Config cfg_;
+  Estimator estimate_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;  ///< workers: wave pushed / close
+  std::condition_variable space_cv_;  ///< dispatcher: queue space freed
+  /// deque, not vector: ShardQueue holds move-only Requests and emplacing
+  /// into a deque never relocates existing elements.
+  std::deque<ShardQueue> queues_;
+  std::size_t rr_next_ = 0;  ///< round-robin cursor (cost_aware = false)
+  bool closed_ = false;
+};
+
+}  // namespace nttpim::service

@@ -23,20 +23,63 @@ WaveFormer::Config former_config(const ServiceConfig& cfg) {
   return fc;
 }
 
+Dispatcher::Config dispatcher_config(const ServiceConfig& cfg) {
+  Dispatcher::Config dc;
+  dc.shards = cfg.shards;
+  dc.queue_capacity_waves = cfg.shard_queue_waves;
+  dc.cost_aware = cfg.cost_aware_dispatch;
+  dc.work_stealing = cfg.work_stealing;
+  return dc;
+}
+
 double elapsed_us(ServiceClock::time_point from, ServiceClock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Batch items of a wave's engine passes: pass 1 runs every transform in
+/// its requested direction plus both operands of every multiply forward;
+/// pass 2 runs the multiplies' inverse transforms. Items reference the
+/// wave's request buffers (stable addresses — the Request objects live in
+/// `wave`), so the same helper serves execution and cost estimation.
+struct WavePasses {
+  std::vector<fhe::BatchItem> forward;
+  std::vector<fhe::BatchItem> inverse;
+};
+
+WavePasses wave_passes(std::vector<Request>& wave) {
+  WavePasses passes;
+  passes.forward.reserve(wave.size() * 2);
+  for (Request& r : wave) {
+    if (r.kind == Request::Kind::kMultiply) {
+      passes.forward.push_back({&r.a, r.params.get(), false});
+      passes.forward.push_back({&r.b, r.params.get(), false});
+      passes.inverse.push_back({&r.a, r.params.get(), true});
+    } else {
+      passes.forward.push_back({&r.a, r.params.get(), r.inverse});
+    }
+  }
+  return passes;
 }
 
 }  // namespace
 
 NttService::NttService(const ServiceConfig& config)
-    : cfg_(config), former_(former_config(config)), shard_stats_(config.shards) {
+    : cfg_(config),
+      former_(former_config(config)),
+      dispatcher_(dispatcher_config(config),
+                  [this](std::size_t shard, std::vector<Request>& wave) {
+                    return estimate_wave(shard, wave);
+                  }),
+      backends_(config.shards, nullptr),
+      shard_stats_(config.shards) {
   NTTPIM_EXPECT_MSG(cfg_.shards >= 1, "the service needs at least one shard");
   NTTPIM_EXPECT_MSG(cfg_.banks_per_shard >= 1,
                     "each shard device needs at least one bank");
   NTTPIM_EXPECT_MSG(cfg_.num_buffers >= 2,
                     "the PIM backend needs C2 support (Nb >= 2)");
   NTTPIM_EXPECT_MSG(cfg_.wave_multiple >= 1, "wave_multiple must be >= 1");
+  NTTPIM_EXPECT_MSG(cfg_.shard_queue_waves >= 1,
+                    "each shard needs a dispatch queue of at least one wave");
   workers_.reserve(cfg_.shards);
   for (std::size_t s = 0; s < cfg_.shards; ++s)
     workers_.emplace_back([this, s] { worker(s); });
@@ -44,14 +87,20 @@ NttService::NttService(const ServiceConfig& config)
   // Readiness barrier: don't hand the service to callers until every shard
   // device exists. On a failed construction, drain the survivors and
   // rethrow here (the destructor never runs for a throwing constructor).
-  std::unique_lock lk(stats_mu_);
-  idle_cv_.wait(lk, [&] { return shards_ready_ == cfg_.shards; });
-  if (construction_error_) {
-    lk.unlock();
-    former_.close();
-    for (std::thread& t : workers_) t.join();
-    std::rethrow_exception(construction_error_);
+  {
+    std::unique_lock lk(stats_mu_);
+    idle_cv_.wait(lk, [&] { return shards_ready_ == cfg_.shards; });
+    if (construction_error_) {
+      lk.unlock();
+      former_.close();
+      dispatcher_.close();  // no dispatch thread yet: release the workers
+      for (std::thread& t : workers_) t.join();
+      std::rethrow_exception(construction_error_);
+    }
   }
+  // Started only after the barrier, so every backends_[] entry the
+  // estimator dereferences is already published.
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
 }
 
 NttService::~NttService() { shutdown(); }
@@ -144,7 +193,9 @@ void NttService::enqueue(Request&& request) {
 void NttService::worker(std::size_t shard) {
   // The shard's entire execution state -- simulated device, engine, plan
   // cache -- lives on this thread. Nothing here is shared, so waves on
-  // different shards are genuinely parallel host work.
+  // different shards are genuinely parallel host work. (The dispatch
+  // thread reads the published pointer, but only through the
+  // share-readable estimate path -- see backends_.)
   std::optional<fhe::PimBackend> backend;
   try {
     backend.emplace(cfg_.num_buffers, cfg_.freq_mhz,
@@ -155,57 +206,83 @@ void NttService::worker(std::size_t shard) {
   }
   {
     const std::scoped_lock lk(stats_mu_);
+    backends_[shard] = backend ? &*backend : nullptr;
     ++shards_ready_;
   }
   idle_cv_.notify_all();
   if (!backend) return;
 
   for (;;) {
-    std::vector<Request> wave = former_.next_wave();
-    if (wave.empty()) return;  // closed and drained
-    execute_wave(shard, *backend, wave);
+    auto next = dispatcher_.next_wave_for(shard);
+    if (!next) return;  // closed and every queue drained
+    if (next->stolen) {
+      const std::scoped_lock lk(stats_mu_);
+      ++shard_stats_[shard].stolen_waves;
+    }
+    execute_wave(shard, *backend, next->requests, next->estimated_cycles);
   }
 }
 
+void NttService::dispatch_loop() {
+  // Sole consumer of the wave-former: pull each formed wave, price it,
+  // hand it to the least-backlogged shard's queue (Dispatcher blocks when
+  // that queue is full, which stalls forming and backpressures
+  // submitters). An empty wave means the former is closed and drained --
+  // close the dispatcher so the workers drain their queues and exit.
+  for (;;) {
+    std::vector<Request> wave = former_.next_wave();
+    if (wave.empty()) {
+      dispatcher_.close();
+      return;
+    }
+    dispatcher_.dispatch(std::move(wave));
+  }
+}
+
+std::uint64_t NttService::estimate_wave(std::size_t shard,
+                                        std::vector<Request>& wave) const {
+  fhe::PimBackend* backend = backends_[shard];
+  if (backend == nullptr) return wave.size();  // construction failed; moot
+  WavePasses passes = wave_passes(wave);
+  // A multiply wave runs two passes back-to-back on the same device, so
+  // its cost is the sum of both makespans.
+  std::uint64_t cycles = backend->estimate_wave_cycles(passes.forward);
+  if (!passes.inverse.empty())
+    cycles += backend->estimate_wave_cycles(passes.inverse);
+  return cycles;
+}
+
 void NttService::execute_wave(std::size_t shard, fhe::PimBackend& backend,
-                              std::vector<Request>& wave) {
+                              std::vector<Request>& wave,
+                              std::uint64_t estimated_cycles) {
   const auto wave_start = ServiceClock::now();
   for (const Request& r : wave)
     queue_latency_.record(elapsed_us(r.enqueued, wave_start));
 
   // Pass 1: every transform in its requested direction, both operands of
-  // every multiply forward -- one heterogeneous engine pass.
-  std::vector<fhe::BatchItem> pass;
-  pass.reserve(wave.size() * 2);
-  for (Request& r : wave) {
-    if (r.kind == Request::Kind::kMultiply) {
-      pass.push_back({&r.a, r.params.get(), false});
-      pass.push_back({&r.b, r.params.get(), false});
-    } else {
-      pass.push_back({&r.a, r.params.get(), r.inverse});
-    }
-  }
+  // every multiply forward -- one heterogeneous engine pass. Pass 2 (only
+  // if the wave had multiplies): pointwise products on the host, then the
+  // wave's inverse transforms as one more pass. The inverse items already
+  // point at each multiply's `a` buffer, which the pointwise product
+  // overwrites in place.
+  const WavePasses wave_items = wave_passes(wave);
 
   std::uint64_t passes = 0;
   std::uint64_t items = 0;
   bool ok = true;
   try {
-    backend.transform_batch_mixed(pass);
+    backend.transform_batch_mixed(wave_items.forward);
     ++passes;
-    items += pass.size();
+    items += wave_items.forward.size();
 
-    // Pass 2 (only if the wave had multiplies): pointwise products on the
-    // host, then the wave's inverse transforms as one more pass.
-    pass.clear();
-    for (Request& r : wave) {
-      if (r.kind != Request::Kind::kMultiply) continue;
-      r.a = ntt::pointwise_mul(r.a, r.b, r.params->q());
-      pass.push_back({&r.a, r.params.get(), true});
-    }
-    if (!pass.empty()) {
-      backend.transform_batch_mixed(pass);
+    if (!wave_items.inverse.empty()) {
+      for (Request& r : wave) {
+        if (r.kind != Request::Kind::kMultiply) continue;
+        r.a = ntt::pointwise_mul(r.a, r.b, r.params->q());
+      }
+      backend.transform_batch_mixed(wave_items.inverse);
       ++passes;
-      items += pass.size();
+      items += wave_items.inverse.size();
     }
   } catch (...) {
     // A wave fails as a unit: the device state after a mid-pass throw is
@@ -222,6 +299,12 @@ void NttService::execute_wave(std::size_t shard, fhe::PimBackend& backend,
       r.deliver(std::move(r.a));
     }
   }
+
+  // Retire the dispatcher's backlog accounting *before* the drain-visible
+  // counters below: drain() returns when completed + failed == accepted,
+  // and a snapshot taken right after it must already see this wave's cost
+  // gone from estimated_backlog_cycles.
+  dispatcher_.complete(shard, estimated_cycles);
 
   {
     const std::scoped_lock lk(stats_mu_);
@@ -254,6 +337,9 @@ void NttService::drain() {
 void NttService::shutdown() {
   std::call_once(shutdown_once_, [&] {
     former_.close();
+    // The dispatch thread drains the former, pushes the tail waves, then
+    // closes the dispatcher -- which is what lets the workers finish.
+    dispatch_thread_.join();
     for (std::thread& t : workers_) t.join();
   });
 }
@@ -296,6 +382,11 @@ ServiceStats NttService::stats() const {
                        : 0;
     s.shards = shard_stats_;
   }
+  // Dispatcher backlog snapshots are taken outside stats_mu_ (the two
+  // locks never nest the other way, and the estimates are instantaneous
+  // gauges anyway).
+  for (std::size_t i = 0; i < s.shards.size(); ++i)
+    s.shards[i].estimated_backlog_cycles = dispatcher_.backlog_cycles(i);
   s.queue_latency = queue_latency_.summary();
   s.service_latency = service_latency_.summary();
   return s;

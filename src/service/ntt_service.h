@@ -28,6 +28,14 @@
 //    the host, and runs the inverse transforms of the wave's multiplies as
 //    one second pass.
 //
+// Between the former and the shards sits a Dispatcher (dispatcher.h):
+// formed waves are priced from cached plans (PimBackend::
+// estimate_wave_cycles) and assigned to the shard with the smallest
+// estimated backlog, each shard drains its own bounded wave queue, and an
+// idle shard steals the oldest queued wave of the most-loaded peer —
+// whole-wave steals, so every wave still executes entirely on one
+// thread-confined backend.
+//
 // Results come back through a std::future or a fire-and-forget Callback.
 // Backpressure is a bounded queue with block/reject policies; shutdown()
 // drains everything accepted before joining the shards. stats() is safe
@@ -43,6 +51,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/dispatcher.h"
 #include "service/request.h"
 #include "service/stats.h"
 #include "service/wave_former.h"
@@ -74,6 +83,18 @@ struct ServiceConfig {
   /// Start with wave forming gated; call resume() to open the valve.
   /// (Deterministic staging for tests and pre-warmed deployments.)
   bool start_paused = false;
+  /// Depth of each shard's dispatch queue, in waves. Deeper queues give
+  /// the cost-aware assignment and the thieves more to work with; 1
+  /// approaches the PR-4 behavior of handing each wave to the next free
+  /// shard.
+  std::size_t shard_queue_waves = 4;
+  /// Assign each formed wave to the shard with the smallest estimated
+  /// backlog (cost from cached plans via PimBackend::estimate_wave_cycles).
+  /// false = blind round-robin — the FIFO baseline of the dispatch bench.
+  bool cost_aware_dispatch = true;
+  /// Let a shard whose queue is empty steal the oldest queued wave from
+  /// the most-loaded peer (whole-wave steals; see dispatcher.h).
+  bool work_stealing = true;
 };
 
 class NttService {
@@ -145,12 +166,23 @@ class NttService {
  private:
   void enqueue(Request&& request);
   void worker(std::size_t shard);
+  void dispatch_loop();
+  std::uint64_t estimate_wave(std::size_t shard,
+                              std::vector<Request>& wave) const;
   void execute_wave(std::size_t shard, fhe::PimBackend& backend,
-                    std::vector<Request>& wave);
+                    std::vector<Request>& wave,
+                    std::uint64_t estimated_cycles);
   void validate(const Request& request) const;
 
   const ServiceConfig cfg_;
   WaveFormer former_;
+  Dispatcher dispatcher_;
+  /// Shard backends by index, published by each worker before the
+  /// readiness barrier (null = that shard's construction failed). Only the
+  /// dispatch thread reads them — it is started after the barrier and
+  /// exits before any worker can, so the pointers it sees are valid for
+  /// every estimate_wave call.
+  std::vector<fhe::PimBackend*> backends_;
 
   mutable std::mutex stats_mu_;
   std::condition_variable idle_cv_;  ///< drain() + constructor barrier
@@ -170,7 +202,10 @@ class NttService {
   LatencyRecorder service_latency_;
 
   std::once_flag shutdown_once_;
-  std::vector<std::thread> workers_;  // last member: joined before teardown
+  // Threads last: joined before any state above tears down. The dispatch
+  // thread is joined first (it closes the dispatcher, releasing workers).
+  std::thread dispatch_thread_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace nttpim::service

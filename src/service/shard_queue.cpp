@@ -1,0 +1,40 @@
+#include "service/shard_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace nttpim::service {
+
+ShardQueue::ShardQueue(std::size_t capacity_waves)
+    : capacity_(capacity_waves) {
+  NTTPIM_EXPECT_MSG(capacity_waves >= 1,
+                    "a shard queue must hold at least one wave");
+}
+
+void ShardQueue::push(QueuedWave&& wave) {
+  // No capacity check: full() is advisory (see the header) — the open
+  // Dispatcher blocks on it, the closing one pushes past it to drain.
+  queued_cycles_ += wave.estimated_cycles;
+  waves_.push_back(std::move(wave));
+}
+
+QueuedWave ShardQueue::take_oldest() {
+  NTTPIM_EXPECT_MSG(!waves_.empty(), "take from an empty shard queue");
+  QueuedWave wave = std::move(waves_.front());
+  waves_.pop_front();
+  queued_cycles_ -= wave.estimated_cycles;
+  return wave;
+}
+
+void ShardQueue::begin_wave(std::uint64_t estimated_cycles) {
+  executing_cycles_ += estimated_cycles;
+}
+
+void ShardQueue::finish_wave(std::uint64_t estimated_cycles) {
+  NTTPIM_EXPECT_MSG(executing_cycles_ >= estimated_cycles,
+                    "finishing a wave that never began");
+  executing_cycles_ -= estimated_cycles;
+}
+
+}  // namespace nttpim::service

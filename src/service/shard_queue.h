@@ -1,0 +1,79 @@
+// Per-shard dispatch queue: a bounded FIFO of priced waves.
+//
+// The dispatch layer (see dispatcher.h) holds one ShardQueue per shard.
+// Each entry is a formed wave plus the dispatcher's cycle estimate for it;
+// the queue keeps two running cost sums the dispatcher's decisions read:
+//  - queued_cycles: estimates of the waves sitting in the deque (what a
+//    thief can relieve a loaded shard of);
+//  - executing_cycles: estimates of waves this shard's worker has popped
+//    but not yet finished (committed work no steal can move).
+// Their sum, backlog_cycles(), is the shard's estimated time-to-idle — the
+// quantity cost-aware assignment minimizes and stealing balances.
+//
+// ShardQueue is deliberately NOT self-locking: whole-wave steals must
+// inspect and mutate two queues atomically, so the owning Dispatcher
+// serializes every access under its single mutex. Waves are coarse (one
+// bank-parallel engine pass each), so that one lock is nowhere near the
+// hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "service/request.h"
+
+namespace nttpim::service {
+
+/// One unit of dispatch: a formed wave plus its estimated execution cost
+/// in modeled device cycles (see PimBackend::estimate_wave_cycles).
+struct QueuedWave {
+  std::vector<Request> requests;
+  std::uint64_t estimated_cycles = 0;
+};
+
+class ShardQueue {
+ public:
+  /// `capacity_waves` is the advisory bound full() reports. The queue
+  /// itself admits pushes past it: capacity is the Dispatcher's policy
+  /// (it blocks on full() while open), and its close() drain path relies
+  /// on over-capacity pushes to land the tail waves instead of blocking
+  /// against workers that may already be gone.
+  explicit ShardQueue(std::size_t capacity_waves);
+
+  bool empty() const noexcept { return waves_.empty(); }
+  bool full() const noexcept { return waves_.size() >= capacity_; }
+  std::size_t size() const noexcept { return waves_.size(); }
+
+  std::uint64_t queued_cycles() const noexcept { return queued_cycles_; }
+  std::uint64_t executing_cycles() const noexcept {
+    return executing_cycles_;
+  }
+  std::uint64_t backlog_cycles() const noexcept {
+    return queued_cycles_ + executing_cycles_;
+  }
+
+  /// Append a priced wave (dispatcher side).
+  void push(QueuedWave&& wave);
+
+  /// Remove and return the oldest queued wave. Both the owner and a thief
+  /// take from this end: the owner for FIFO latency fairness, the thief
+  /// because the oldest wave has waited longest and is the least likely to
+  /// still be wanted by a busy owner.
+  QueuedWave take_oldest();
+
+  /// Account a wave this shard's worker started / finished executing (the
+  /// wave may have been taken from a *peer's* deque — the cost always
+  /// follows the executor).
+  void begin_wave(std::uint64_t estimated_cycles);
+  void finish_wave(std::uint64_t estimated_cycles);
+
+ private:
+  std::size_t capacity_;
+  std::deque<QueuedWave> waves_;
+  std::uint64_t queued_cycles_ = 0;
+  std::uint64_t executing_cycles_ = 0;
+};
+
+}  // namespace nttpim::service

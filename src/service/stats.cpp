@@ -1,6 +1,7 @@
 #include "service/stats.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -8,11 +9,17 @@ namespace nttpim::service {
 
 namespace {
 
-/// p-th percentile (nearest-rank) of a scratch copy of the window.
+/// p-th percentile (nearest-rank) of a scratch copy of the window: the
+/// smallest sample x such that at least p% of the population is <= x, i.e.
+/// the ceil(p/100 * n)-th smallest value. The floor() variant this
+/// replaces was off by one rank — p50 over [1..100] returned the 51st
+/// value, and p50 of a 2-sample window returned the max.
 double percentile(std::vector<double>& sorted_scratch, double p) {
   if (sorted_scratch.empty()) return 0;
   const auto n = sorted_scratch.size();
-  auto rank = static_cast<std::size_t>(p / 100.0 * static_cast<double>(n));
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank > 0) --rank;  // 1-based nearest rank -> 0-based index
   if (rank >= n) rank = n - 1;
   std::nth_element(sorted_scratch.begin(), sorted_scratch.begin() + rank,
                    sorted_scratch.end());

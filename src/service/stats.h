@@ -56,6 +56,14 @@ struct ShardStats {
   std::uint64_t engine_passes = 0;  ///< 1 per wave + 1 if it had multiplies
   std::uint64_t batch_items = 0;    ///< transforms issued across all passes
   std::uint64_t requests = 0;       ///< requests completed (or failed)
+  /// Waves this shard pulled from a *peer's* queue because its own was
+  /// empty (whole-wave steals; the dispatcher's load-balancing valve).
+  std::uint64_t stolen_waves = 0;
+  /// Snapshot of the dispatcher's cost estimate for this shard's
+  /// outstanding work (queued + executing waves), in modeled device
+  /// cycles. Instantaneous, not cumulative: it is what the dispatcher
+  /// compares when it assigns the next wave.
+  std::uint64_t estimated_backlog_cycles = 0;
   /// The shard backend's cumulative simulated cycles — device lifetime
   /// total, deliberately NOT re-based by NttService::reset_stats() (the
   /// modeled-hardware account has no epochs).

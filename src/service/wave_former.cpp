@@ -31,7 +31,7 @@ WaveFormer::SubmitResult WaveFormer::submit(Request&& request) {
     if (pending_items_ + items > cfg_.capacity_items)
       return SubmitResult::kRejected;
   }
-  request.enqueued = ServiceClock::now();
+  request.enqueued = now();
   pending_items_ += items;
   queue_.push_back(std::move(request));
   // notify_all: several consumers may be parked with different predicates
@@ -55,11 +55,23 @@ std::vector<Request> WaveFormer::next_wave() {
     // waiting flush_window. close() flushes immediately (drain fast);
     // pause() re-gates a consumer even mid-forming, so a staged backlog
     // never leaks out as a partial wave while paused.
-    const auto deadline = queue_.front().enqueued + cfg_.flush_window;
-    ready_cv_.wait_until(lk, deadline, [&] {
-      return closed_ || paused_ ||
-             pending_items_ >= cfg_.max_wave_items;
-    });
+    //
+    // The deadline is recomputed against the *current* front after every
+    // wake. Computing it once per wait (the previous code) let a waiter
+    // whose wave was taken by another consumer time out against the
+    // departed front's deadline and flush the new front's requests before
+    // their window elapsed, shrinking coalesced waves.
+    for (;;) {
+      if (closed_ || paused_) break;
+      if (queue_.empty()) break;  // another consumer took the wave
+      if (pending_items_ >= cfg_.max_wave_items) break;
+      const auto deadline = queue_.front().enqueued + cfg_.flush_window;
+      if (now() >= deadline) break;
+      if (cfg_.clock)
+        ready_cv_.wait(lk);  // fake time: tick()/submit/close re-wakes us
+      else
+        ready_cv_.wait_until(lk, deadline);
+    }
     if (paused_ && !closed_) continue;
     if (queue_.empty()) continue;  // another consumer took the wave
 
@@ -91,6 +103,14 @@ void WaveFormer::resume() {
     const std::scoped_lock lk(mu_);
     paused_ = false;
   }
+  ready_cv_.notify_all();
+}
+
+void WaveFormer::tick() {
+  // Taking the lock (not just notifying) closes the race with a consumer
+  // that read the fake time before the caller advanced it but has not yet
+  // parked on the condition variable.
+  const std::scoped_lock lk(mu_);
   ready_cv_.notify_all();
 }
 

@@ -32,6 +32,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -47,6 +48,12 @@ class WaveFormer {
     std::chrono::microseconds flush_window{200};  ///< flush deadline
     OverflowPolicy overflow = OverflowPolicy::kBlock;
     bool start_paused = false;
+    /// Testing hook: when set, enqueue timestamps and flush-window
+    /// deadlines are read through this function instead of
+    /// ServiceClock::now(), and deadline waits become plain condition
+    /// waits — advance the fake time, then call tick() so parked
+    /// consumers re-read it. Null (the default) means the real clock.
+    std::function<ServiceClock::time_point()> clock;
   };
 
   enum class SubmitResult { kAccepted, kRejected, kClosed };
@@ -67,10 +74,19 @@ class WaveFormer {
   void resume();
   void close();
 
+  /// Companion of Config::clock: wake every parked consumer so it
+  /// re-evaluates the (fake) time. A real clock needs no tick — the
+  /// deadline wait expires on its own.
+  void tick();
+
   std::size_t pending_items() const;
   bool closed() const;
 
  private:
+  ServiceClock::time_point now() const {
+    return cfg_.clock ? cfg_.clock() : ServiceClock::now();
+  }
+
   const Config cfg_;
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;  ///< consumers: work / flush / close

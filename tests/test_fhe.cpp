@@ -170,6 +170,66 @@ TEST(PimBackend, BatchRoundTripsThroughInverse) {
   EXPECT_EQ(polys, original);
 }
 
+// Cost estimation (the dispatcher's pricing input): a plan-cache miss is
+// priced by a deliberately conservative default, a hit by the cached
+// plan's command counts — close to what the engine actually charges — and
+// estimating never touches the device or its counters.
+TEST(PimBackend, EstimateWaveCyclesTracksEngineWithoutTouchingDevice) {
+  const ntt::NttParams params = ntt::NttParams::create(256, 30);
+  PimBackend pim(4);
+  BatchItem item{nullptr, &params, false};
+
+  const std::uint64_t miss_estimate = pim.estimate_wave_cycles({&item, 1});
+  EXPECT_GT(miss_estimate, 0u);
+  EXPECT_EQ(pim.total_cycles(), 0u);       // device untouched
+  EXPECT_EQ(pim.engine_passes(), 0u);
+  EXPECT_EQ(pim.plan_cache_misses(), 0u);  // ...and no plan was mapped
+
+  Rng rng(29);
+  auto poly = rng.residues(256, params.q());
+  pim.forward(poly, params);
+  const std::uint64_t actual = pim.total_cycles();
+
+  const std::uint64_t hit_estimate = pim.estimate_wave_cycles({&item, 1});
+  // The closed-form price ignores pipelining overlap and stalls; what
+  // matters for dispatch is that it sits within a small constant factor
+  // of the engine (empirically ~0.6x) and well under the miss default.
+  EXPECT_GE(hit_estimate, actual / 4);
+  EXPECT_LE(hit_estimate, actual * 4);
+  EXPECT_GT(miss_estimate, hit_estimate);
+  EXPECT_EQ(pim.total_cycles(), actual);  // estimating still costs nothing
+}
+
+// Wave pricing mirrors the executor's placement: items are spread
+// round-robin across banks (parallel), stacked items serialize within a
+// bank, and a bigger transform prices higher than a smaller one.
+TEST(PimBackend, EstimateWaveCyclesModelsBankParallelism) {
+  const ntt::NttParams p256 = ntt::NttParams::create(256, 30);
+  const ntt::NttParams p1024 = ntt::NttParams::create(1024, 30);
+  PimBackend pim(4, 1200.0, dram::hbm2e_geometry(2));
+
+  Rng rng(31);
+  auto a = rng.residues(256, p256.q());
+  auto b = rng.residues(1024, p1024.q());
+  pim.forward(a, p256);
+  pim.forward(b, p1024);
+
+  const BatchItem small{nullptr, &p256, false};
+  const BatchItem large{nullptr, &p1024, false};
+  const auto one_small = pim.estimate_wave_cycles({&small, 1});
+  const auto one_large = pim.estimate_wave_cycles({&large, 1});
+  EXPECT_GT(one_large, one_small);
+
+  // Two items land in different banks of the 2-bank device: the wave's
+  // makespan is the busier bank, not the sum.
+  const std::vector<BatchItem> pair{small, large};
+  EXPECT_EQ(pim.estimate_wave_cycles(pair), one_large);
+
+  // Three items: the third stacks behind the first in bank 0.
+  const std::vector<BatchItem> triple{large, small, large};
+  EXPECT_EQ(pim.estimate_wave_cycles(triple), 2 * one_large);
+}
+
 TEST(RqPoly, BasisMismatchRejected) {
   const RnsBasis basis_a(16, 2, 30);
   const RnsBasis basis_b(16, 2, 29);

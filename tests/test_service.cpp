@@ -17,6 +17,7 @@
 #include "fhe/pim_backend.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
+#include "service/dispatcher.h"
 #include "service/ntt_service.h"
 #include "service/wave_former.h"
 
@@ -290,6 +291,273 @@ TEST(ServiceUnit, ResetStatsStartsCleanEpoch) {
   stats = svc.stats();
   EXPECT_EQ(stats.completed, 2u);
   EXPECT_EQ(stats.pending, 0u);
+}
+
+// Regression (PR 5): nearest-rank percentiles. The old floor() rank was
+// off by one — p50 over [1..100] returned the 51st value and p50 of a
+// 2-sample window returned the max.
+TEST(ServiceUnit, PercentilesUseNearestRank) {
+  service::LatencyRecorder recorder;
+  for (int v = 100; v >= 1; --v) recorder.record(v);  // order must not matter
+  auto s = recorder.summary();
+  EXPECT_DOUBLE_EQ(s.p50_us, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95_us, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 99.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+
+  recorder.reset();
+  recorder.record(20);
+  recorder.record(10);
+  s = recorder.summary();
+  EXPECT_DOUBLE_EQ(s.p50_us, 10.0);  // the min, not the max
+  EXPECT_DOUBLE_EQ(s.p95_us, 20.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 20.0);
+
+  recorder.reset();
+  recorder.record(7);
+  s = recorder.summary();
+  EXPECT_DOUBLE_EQ(s.p50_us, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 7.0);
+}
+
+// Regression (PR 5): the wave-former's timeout flush must be judged
+// against the *current* front's deadline. The old code computed the
+// deadline once per wait; a waiter whose wave was taken by another
+// consumer then timed out against the departed front's deadline and
+// flushed fresh requests early, shrinking coalesced waves. Two consumers
+// and an injected clock make the schedule exact: no sleeps, no real time.
+TEST(ServiceUnit, WaveFormerTimeoutUsesCurrentFrontDeadline) {
+  std::atomic<std::int64_t> fake_us{0};
+  service::WaveFormer::Config cfg;
+  cfg.capacity_items = 16;
+  cfg.max_wave_items = 2;
+  cfg.flush_window = std::chrono::microseconds(100);
+  cfg.clock = [&] {
+    return service::ServiceClock::time_point(
+        std::chrono::microseconds(fake_us.load()));
+  };
+  service::WaveFormer former(cfg);
+
+  std::mutex waves_mu;
+  std::vector<std::vector<std::uint32_t>> waves;  // request tags per wave
+  auto consume = [&] {
+    for (;;) {
+      auto wave = former.next_wave();
+      if (wave.empty()) return;
+      std::vector<std::uint32_t> tags;
+      for (const auto& r : wave) tags.push_back(r.a[0]);
+      {
+        const std::scoped_lock lk(waves_mu);
+        waves.push_back(std::move(tags));
+      }
+      // Promises resolve only after the wave is published, so a test
+      // thread blocked on a future knows `waves` already has its wave.
+      for (auto& r : wave) r.promise.set_value({});
+    }
+  };
+  std::thread c1(consume);
+  std::thread c2(consume);
+
+  auto submit = [&](std::uint32_t tag) {
+    service::Request r;
+    r.a = {tag};
+    auto f = r.promise.get_future();
+    EXPECT_EQ(former.submit(std::move(r)),
+              service::WaveFormer::SubmitResult::kAccepted);
+    return f;
+  };
+
+  // Front 0 flushes alone, but only once its own window has elapsed.
+  auto f0 = submit(0);
+  fake_us = 100;
+  former.tick();
+  f0.get();
+
+  // Fresh front 1 (enqueued at t=100) must NOT flush before t=200 even
+  // though a consumer just serviced a deadline at t=100: request 2
+  // completes the full wave instead.
+  auto f1 = submit(1);
+  auto f2 = submit(2);
+  f1.get();
+  f2.get();
+
+  former.close();
+  c1.join();
+  c2.join();
+
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0], (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(waves[1], (std::vector<std::uint32_t>{1, 2}));
+}
+
+namespace dispatch_test {
+
+std::vector<service::Request> tagged_wave(std::uint32_t tag) {
+  std::vector<service::Request> wave(1);
+  wave[0].a = {tag};
+  return wave;
+}
+
+std::uint32_t tag_of(const std::vector<service::Request>& wave) {
+  return wave.at(0).a.at(0);
+}
+
+}  // namespace dispatch_test
+
+// An idle shard steals the *oldest* wave of the most-loaded peer; waves
+// from its own queue are not counted as steals. Single-threaded driving
+// of the Dispatcher makes every assignment and steal exact.
+TEST(ServiceUnit, DispatcherStealsOldestWaveFromLoadedPeer) {
+  service::Dispatcher::Config cfg;
+  cfg.shards = 2;
+  cfg.queue_capacity_waves = 4;
+  cfg.cost_aware = false;  // round-robin: tags 0,2 -> shard 0; 1,3 -> shard 1
+  cfg.work_stealing = true;
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t, std::vector<service::Request>&) {
+        return std::uint64_t{100};
+      });
+
+  for (std::uint32_t tag = 0; tag < 4; ++tag)
+    dispatcher.dispatch(dispatch_test::tagged_wave(tag));
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 200u);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 200u);
+
+  // Shard 0 drains its own queue first (FIFO), then steals shard 1's
+  // waves oldest-first.
+  const std::uint32_t expected_tags[] = {0, 2, 1, 3};
+  const bool expected_stolen[] = {false, false, true, true};
+  for (int i = 0; i < 4; ++i) {
+    auto next = dispatcher.next_wave_for(0);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(dispatch_test::tag_of(next->requests), expected_tags[i]);
+    EXPECT_EQ(next->stolen, expected_stolen[i]);
+    dispatcher.complete(0, next->estimated_cycles);
+  }
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 0u);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 0u);
+
+  dispatcher.close();
+  EXPECT_FALSE(dispatcher.next_wave_for(0).has_value());
+  EXPECT_FALSE(dispatcher.next_wave_for(1).has_value());
+}
+
+// Cost-aware assignment sends each wave to the smallest estimated
+// backlog, so cheap waves pile onto the shard not stuck behind an
+// expensive one; after close(), a drain take from a peer is not a steal.
+TEST(ServiceUnit, DispatcherCostAwareAssignsLeastBacklog) {
+  service::Dispatcher::Config cfg;
+  cfg.shards = 2;
+  cfg.cost_aware = true;
+  cfg.work_stealing = false;
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t, std::vector<service::Request>& wave) {
+        return dispatch_test::tag_of(wave) == 0 ? std::uint64_t{1000}
+                                                : std::uint64_t{100};
+      });
+
+  dispatcher.dispatch(dispatch_test::tagged_wave(0));  // 1000 -> shard 0
+  dispatcher.dispatch(dispatch_test::tagged_wave(1));  // 100  -> shard 1
+  dispatcher.dispatch(dispatch_test::tagged_wave(2));  // 100  -> shard 1
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 1000u);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 200u);
+
+  auto first = dispatcher.next_wave_for(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(first->requests), 1u);
+  EXPECT_FALSE(first->stolen);
+  auto second = dispatcher.next_wave_for(1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(second->requests), 2u);
+
+  // Stealing is off, so shard 1 would block on shard 0's wave — but after
+  // close() it drains the leftover as a reassignment, not a steal.
+  dispatcher.close();
+  auto drained = dispatcher.next_wave_for(1);
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(drained->requests), 0u);
+  EXPECT_FALSE(drained->stolen);
+}
+
+// close() must release a dispatch blocked on a full shard queue by
+// waiving the capacity bound: every accepted wave still lands and drains.
+TEST(ServiceUnit, DispatcherCloseReleasesBlockedDispatch) {
+  service::Dispatcher::Config cfg;
+  cfg.shards = 1;
+  cfg.queue_capacity_waves = 1;
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t, std::vector<service::Request>&) {
+        return std::uint64_t{1};
+      });
+
+  dispatcher.dispatch(dispatch_test::tagged_wave(0));  // fills the slot
+  std::thread blocked(
+      [&] { dispatcher.dispatch(dispatch_test::tagged_wave(1)); });
+  // Whichever side of the space wait close() lands on, the second wave
+  // must be enqueued past the bound rather than stuck or dropped.
+  dispatcher.close();
+  blocked.join();
+
+  auto first = dispatcher.next_wave_for(0);
+  auto second = dispatcher.next_wave_for(0);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(first->requests), 0u);
+  EXPECT_EQ(dispatch_test::tag_of(second->requests), 1u);
+  EXPECT_FALSE(dispatcher.next_wave_for(0).has_value());
+}
+
+// Property (PR 5): under a steal-heavy skewed load — bursts of expensive
+// and cheap waves staged behind a paused former — every accepted request
+// completes exactly once, whichever shard ends up executing it.
+TEST(ServiceProperty, StealingConservesRequestsUnderSkewedLoad) {
+  const auto cheap = make_params(256);
+  const auto costly = make_params(1024, 29);
+
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.banks_per_shard = 4;
+  cfg.flush_window = hour();
+  cfg.start_paused = true;
+  cfg.shard_queue_waves = 2;  // small queues force dispatch stalls + steals
+  NttService svc(cfg);
+
+  // 6 waves of 4: costly, cheap, costly, cheap, ... in submit order.
+  constexpr std::size_t kWaves = 6;
+  constexpr std::size_t kTotal = kWaves * 4;
+  Rng rng(47);
+  std::vector<std::atomic<int>> delivered(kTotal);
+  std::latch done(kTotal);
+  for (std::size_t w = 0; w < kWaves; ++w) {
+    const auto& params = (w % 2 == 0) ? costly : cheap;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t id = w * 4 + i;
+      svc.submit(rng.residues(params->n(), params->q()), params,
+                 /*inverse=*/false,
+                 [&, id](std::vector<std::uint32_t>&& result,
+                         std::exception_ptr error) {
+                   if (!error && !result.empty())
+                     delivered[id].fetch_add(1);
+                   done.count_down();
+                 });
+    }
+  }
+  svc.resume();
+  done.wait();
+  svc.drain();
+
+  for (std::size_t id = 0; id < kTotal; ++id)
+    EXPECT_EQ(delivered[id].load(), 1) << "request " << id;
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.waves, kWaves);
+  std::uint64_t requests = 0;
+  for (const auto& shard : stats.shards) {
+    requests += shard.requests;
+    EXPECT_EQ(shard.estimated_backlog_cycles, 0u);  // drained
+  }
+  EXPECT_EQ(requests, kTotal);
 }
 
 // Property: the wave-former never loses, duplicates, or fabricates a
