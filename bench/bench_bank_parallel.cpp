@@ -20,6 +20,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "fhe/cpu_backend.h"
 #include "fhe/pim_backend.h"
 #include "ntt/params.h"
 #include "sim/runner.h"

@@ -23,6 +23,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "fhe/cpu_backend.h"
 #include "fhe/pim_backend.h"
 #include "fhe/rns.h"
 #include "fhe/rns_poly.h"

@@ -22,10 +22,16 @@
 // busiest-shard share of the modeled device cycles and its stolen-wave
 // count.
 //
-// `--json <path>` appends "service_throughput" and "service_skewed_dispatch"
-// sections to an existing BENCH_host.json-style object at <path> (or
-// writes standalone reports), exactly like bench_rns_limbs. `--requests
-// <k>` shrinks the per-client request count (CI smoke runs use a small k).
+// A third scenario prices the heterogeneous backend tier: the same staged
+// bulk/small wave stream is served by a lone PIM shard and then by the
+// PIM shard plus a host-CPU worker pool, comparing how many waves the CPU
+// absorbs and the busiest backend's modeled makespan (see run_hetero).
+//
+// `--json <path>` appends "service_throughput", "service_skewed_dispatch"
+// and "service_hetero_backends" sections to an existing
+// BENCH_host.json-style object at <path> (or writes standalone reports),
+// exactly like bench_rns_limbs. `--requests <k>` shrinks the per-client
+// request count (CI smoke runs use a small k).
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -39,9 +45,14 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "fhe/cpu_backend.h"
 #include "fhe/pim_backend.h"
+#include "fhe/ntt_backend.h"
 #include "ntt/params.h"
+#include "service/backend.h"
+#include "service/dispatcher.h"
 #include "service/ntt_service.h"
+#include "service/request.h"
 
 namespace {
 
@@ -83,11 +94,11 @@ SweepPoint run_point(const std::shared_ptr<const ntt::NttParams>& params,
                      std::size_t window_us,
                      std::size_t requests_per_client) {
   service::ServiceConfig cfg;
-  cfg.shards = shards;
-  cfg.banks_per_shard = kBanksPerShard;
-  cfg.num_buffers = kNumBuffers;
-  cfg.queue_capacity = 4096;
-  cfg.flush_window = std::chrono::microseconds(window_us);
+  cfg.backend.shards = shards;
+  cfg.backend.banks_per_shard = kBanksPerShard;
+  cfg.backend.num_buffers = kNumBuffers;
+  cfg.former.queue_capacity = 4096;
+  cfg.former.flush_window = std::chrono::microseconds(window_us);
   service::NttService svc(cfg);
 
   // Warmup outside the timer: lets the shard threads finish building their
@@ -182,15 +193,15 @@ SkewedPoint run_skewed(const char* mode, bool cost_aware, bool stealing) {
       ntt::NttParams::create(kSkewedColdN, 30));
 
   service::ServiceConfig cfg;
-  cfg.shards = 2;
-  cfg.banks_per_shard = kSkewedBanksPerShard;
-  cfg.num_buffers = kNumBuffers;
-  cfg.queue_capacity = 4096;
-  cfg.flush_window = std::chrono::hours(1);  // only size flushes
-  cfg.start_paused = true;                   // stage the whole skew, then go
-  cfg.shard_queue_waves = 2;  // shallow queues: imbalance stalls dispatch
-  cfg.cost_aware_dispatch = cost_aware;
-  cfg.work_stealing = stealing;
+  cfg.backend.shards = 2;
+  cfg.backend.banks_per_shard = kSkewedBanksPerShard;
+  cfg.backend.num_buffers = kNumBuffers;
+  cfg.former.queue_capacity = 4096;
+  cfg.former.flush_window = std::chrono::hours(1);  // only size flushes
+  cfg.former.start_paused = true;                   // stage the whole skew, then go
+  cfg.dispatch.shard_queue_waves = 2;  // shallow queues: imbalance stalls dispatch
+  cfg.dispatch.cost_aware_dispatch = cost_aware;
+  cfg.dispatch.work_stealing = stealing;
   service::NttService svc(cfg);
 
   Rng rng(13);
@@ -271,6 +282,244 @@ void write_skewed_section(bench::JsonWriter& json,
   json.end_array();
 }
 
+// --------------------------------------------------- heterogeneous tier
+
+constexpr std::size_t kHeteroBanks = 4;
+constexpr std::size_t kHeteroWaves = 24;  // alternating bulk / small
+constexpr std::size_t kHeteroCpuLanes = 4;
+constexpr std::size_t kHeteroBulkN = 1024;
+constexpr std::size_t kHeteroSmallN = 256;
+
+struct HeteroPoint {
+  const char* mode = "";
+  std::size_t requests = 0;
+  double seconds = 0;
+  double requests_per_sec = 0;
+  std::uint64_t cpu_waves = 0;
+  std::uint64_t pim_waves = 0;
+  std::uint64_t cpu_requests = 0;
+  /// Live-run accounting: max over shards of estimated_executed_cycles
+  /// (the dispatcher's price for every wave the shard finished). Under
+  /// load the host CPU races the cycle *simulator*, so the live split is
+  /// wall-clock-shaped; the modeled_* fields below are the clean
+  /// modeled-makespan comparison.
+  std::uint64_t busiest_backend_est_cycles = 0;
+  std::uint64_t total_est_cycles = 0;
+  /// Modeled-dispatch replay (see run_hetero_replay): the same wave
+  /// stream greedily assigned on modeled backlogs alone — deterministic,
+  /// no execution racing — and the busiest backend's modeled serial
+  /// finish time. This is the makespan figure CI compares across modes.
+  std::uint64_t modeled_makespan_cycles = 0;
+  std::uint64_t modeled_pim_waves = 0;
+  std::uint64_t modeled_cpu_waves = 0;
+  bool verified = false;
+};
+
+/// Deterministic modeled-makespan replay of the hetero wave stream: build
+/// the backends directly from the same descriptors, warm the PIM plan
+/// cache with one wave of each size class (so prices are measured, not
+/// the conservative default), then feed every wave through a Dispatcher
+/// no worker ever pops. Assignment is then pure greedy on modeled
+/// backlogs — wall-clock never races the cycle simulator — and each
+/// shard's final backlog_cycles() is the modeled serial finish time of
+/// the waves routed to it. With measured prices the split lands exactly
+/// where the paper's deployment model wants it: bulk waves stay on the
+/// PIM (cheap in device cycles), small waves spill to the host CPU.
+struct HeteroReplay {
+  std::uint64_t makespan_cycles = 0;  ///< busiest backend's backlog
+  std::uint64_t pim_waves = 0;
+  std::uint64_t cpu_waves = 0;
+};
+
+HeteroReplay run_hetero_replay(
+    bool add_cpu, const std::shared_ptr<const ntt::NttParams>& bulk,
+    const std::shared_ptr<const ntt::NttParams>& small) {
+  std::vector<service::BackendDescriptor> descriptors = {
+      service::make_pim_descriptor(kHeteroBanks, kNumBuffers)};
+  if (add_cpu)
+    descriptors.push_back(service::make_cpu_descriptor(kHeteroCpuLanes));
+  std::vector<std::unique_ptr<fhe::NttBackend>> backends;
+  for (const auto& d : descriptors) backends.push_back(d.factory());
+
+  // Warm the PIM's plan cache so estimates come from measured traces.
+  {
+    Rng rng(31);
+    for (const auto& params : {bulk, small}) {
+      std::vector<std::vector<std::uint32_t>> polys;
+      std::vector<fhe::BatchItem> items;
+      for (std::size_t i = 0; i < kHeteroBanks; ++i)
+        polys.push_back(rng.residues(params->n(), params->q()));
+      for (auto& p : polys) items.push_back({&p, params.get(), false});
+      backends.front()->transform_batch_mixed(items);
+    }
+  }
+
+  service::Dispatcher::Config cfg;
+  cfg.shards.clear();
+  for (const auto& d : descriptors)
+    cfg.shards.push_back({d.kind, d.cost_scale});
+  cfg.queue_capacity_waves = kHeteroWaves;  // nothing pops: never block
+  cfg.cost_aware = true;
+  cfg.work_stealing = false;
+  service::Dispatcher dispatcher(
+      cfg, [&](std::size_t shard, std::vector<service::Request>& wave) {
+        std::vector<fhe::BatchItem> items;
+        items.reserve(wave.size());
+        for (auto& r : wave)
+          items.push_back({&r.a, r.params.get(), r.inverse});
+        return backends[shard]->estimate_wave_cycles(items);
+      });
+
+  Rng rng(29);
+  std::vector<std::uint64_t> backlog(descriptors.size(), 0);
+  std::vector<std::uint64_t> assigned(descriptors.size(), 0);
+  for (std::size_t w = 0; w < kHeteroWaves; ++w) {
+    const auto& params = (w % 2 == 0) ? bulk : small;
+    std::vector<service::Request> wave(kHeteroBanks);
+    for (auto& r : wave) {
+      r.a = rng.residues(params->n(), params->q());
+      r.params = params;
+    }
+    dispatcher.dispatch(std::move(wave));
+    // The shard whose backlog grew is the assignee (prices are > 0).
+    for (std::size_t s = 0; s < descriptors.size(); ++s) {
+      const std::uint64_t b = dispatcher.backlog_cycles(s);
+      if (b != backlog[s]) {
+        backlog[s] = b;
+        ++assigned[s];
+      }
+    }
+  }
+
+  HeteroReplay r;
+  for (std::size_t s = 0; s < descriptors.size(); ++s) {
+    r.makespan_cycles = std::max(r.makespan_cycles, backlog[s]);
+    if (descriptors[s].kind == service::BackendKind::kCpu)
+      r.cpu_waves += assigned[s];
+    else
+      r.pim_waves += assigned[s];
+  }
+  return r;
+}
+
+/// One heterogeneous-tier run: the bulk/small wave stream staged behind a
+/// paused former, released onto a single 4-bank PIM shard ("pim_only") or
+/// the same shard next to a host-CPU worker pool ("mixed"). Shallow
+/// dispatch queues make the simulated device back up immediately — the
+/// overflow traffic the CPU tier exists to absorb: cost-aware dispatch
+/// spills waves to the CPU whenever its price-plus-backlog beats the
+/// queued-up PIM's. Work stealing is off here on purpose: steals trigger
+/// on wall-clock idleness (the host CPU races a cycle *simulator*), while
+/// this scenario compares *modeled* makespans, so routing must stay
+/// purely price-driven.
+HeteroPoint run_hetero(const char* mode, bool add_cpu) {
+  const auto bulk = std::make_shared<const ntt::NttParams>(
+      ntt::NttParams::create(kHeteroBulkN, 29));
+  const auto small = std::make_shared<const ntt::NttParams>(
+      ntt::NttParams::create(kHeteroSmallN, 30));
+
+  service::ServiceConfig cfg;
+  cfg.backend.descriptors = {
+      service::make_pim_descriptor(kHeteroBanks, kNumBuffers)};
+  if (add_cpu)
+    cfg.backend.descriptors.push_back(
+        service::make_cpu_descriptor(kHeteroCpuLanes));
+  cfg.backend.banks_per_shard = kHeteroBanks;
+  cfg.former.queue_capacity = 4096;
+  cfg.former.flush_window = std::chrono::hours(1);  // only size flushes
+  cfg.former.start_paused = true;  // stage the whole burst, then go
+  cfg.dispatch.shard_queue_waves = 2;  // shallow: overflow reaches dispatch
+  cfg.dispatch.cost_aware_dispatch = true;
+  cfg.dispatch.work_stealing = false;  // see above
+  service::NttService svc(cfg);
+
+  Rng rng(29);
+  fhe::CpuBackend cpu;
+  std::vector<std::future<std::vector<std::uint32_t>>> futures;
+  std::vector<std::vector<std::uint32_t>> expected;
+  for (std::size_t w = 0; w < kHeteroWaves; ++w) {
+    const auto& params = (w % 2 == 0) ? bulk : small;
+    for (std::size_t i = 0; i < kHeteroBanks; ++i) {
+      auto poly = rng.residues(params->n(), params->q());
+      expected.push_back(poly);
+      cpu.forward(expected.back(), *params);
+      futures.push_back(svc.submit(std::move(poly), params));
+    }
+  }
+
+  Stopwatch timer;
+  svc.resume();
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    if (futures[i].get() != expected[i]) ++mismatches;
+  const double seconds = timer.elapsed_ns() / 1e9;
+  svc.drain();  // settle the last wave's counters before the snapshot
+  svc.shutdown();
+
+  const service::ServiceStats stats = svc.stats();
+  HeteroPoint p;
+  p.mode = mode;
+  p.requests = futures.size();
+  p.seconds = seconds;
+  p.requests_per_sec = static_cast<double>(p.requests) / seconds;
+  for (const auto& shard : stats.shards) {
+    if (shard.kind == service::BackendKind::kCpu) {
+      p.cpu_waves += shard.waves;
+      p.cpu_requests += shard.requests;
+    } else {
+      p.pim_waves += shard.waves;
+    }
+    p.busiest_backend_est_cycles =
+        std::max(p.busiest_backend_est_cycles, shard.estimated_executed_cycles);
+    p.total_est_cycles += shard.estimated_executed_cycles;
+  }
+  p.verified = mismatches == 0 && stats.completed == p.requests &&
+               stats.failed == 0;
+
+  const HeteroReplay replay = run_hetero_replay(add_cpu, bulk, small);
+  p.modeled_makespan_cycles = replay.makespan_cycles;
+  p.modeled_pim_waves = replay.pim_waves;
+  p.modeled_cpu_waves = replay.cpu_waves;
+  return p;
+}
+
+std::vector<HeteroPoint> hetero_sweep(bool& all_verified) {
+  std::vector<HeteroPoint> points;
+  points.push_back(run_hetero("pim_only", false));
+  points.push_back(run_hetero("mixed", true));
+  for (const auto& p : points) all_verified = all_verified && p.verified;
+  return points;
+}
+
+void write_hetero_section(bench::JsonWriter& json,
+                          const std::vector<HeteroPoint>& points) {
+  json.begin_array("service_hetero_backends");
+  for (const auto& p : points) {
+    json.begin_object();
+    json.field("mode", p.mode);
+    json.field("pim_banks", kHeteroBanks);
+    json.field("cpu_lanes", kHeteroCpuLanes);
+    json.field("waves", kHeteroWaves);
+    json.field("n_bulk", kHeteroBulkN);
+    json.field("n_small", kHeteroSmallN);
+    json.field("requests", p.requests);
+    json.field("host_wall_clock", true);
+    json.field("host_cores", std::thread::hardware_concurrency());
+    json.field("requests_per_sec", p.requests_per_sec);
+    json.field("cpu_waves", p.cpu_waves);
+    json.field("pim_waves", p.pim_waves);
+    json.field("cpu_requests", p.cpu_requests);
+    json.field("busiest_backend_est_cycles", p.busiest_backend_est_cycles);
+    json.field("total_est_cycles", p.total_est_cycles);
+    json.field("modeled_makespan_cycles", p.modeled_makespan_cycles);
+    json.field("modeled_pim_waves", p.modeled_pim_waves);
+    json.field("modeled_cpu_waves", p.modeled_cpu_waves);
+    json.field("verified", p.verified);
+    json.end_object();
+  }
+  json.end_array();
+}
+
 std::vector<SweepPoint> sweep(std::size_t requests_per_client,
                               bool& all_verified) {
   const auto params = std::make_shared<const ntt::NttParams>(
@@ -329,18 +578,23 @@ int run_json(const std::string& path, std::size_t requests_per_client) {
   bool all_verified = true;
   const auto points = sweep(requests_per_client, all_verified);
   const auto skewed = skewed_sweep(all_verified);
+  const auto hetero = hetero_sweep(all_verified);
   if (!all_verified) {
     std::cerr << "bench aborted: a served transform failed verification "
                  "against the CPU backend\n";
     return 1;
   }
-  const int rc = bench::write_host_section(
+  int rc = bench::write_host_section(
       path, "bench_service", "service_throughput",
       [&](bench::JsonWriter& json) { write_section(json, points); });
   if (rc != 0) return rc;
-  return bench::write_host_section(
+  rc = bench::write_host_section(
       path, "bench_service", "service_skewed_dispatch",
       [&](bench::JsonWriter& json) { write_skewed_section(json, skewed); });
+  if (rc != 0) return rc;
+  return bench::write_host_section(
+      path, "bench_service", "service_hetero_backends",
+      [&](bench::JsonWriter& json) { write_hetero_section(json, hetero); });
 }
 
 constexpr const char* kUsage =
@@ -348,9 +602,11 @@ constexpr const char* kUsage =
     "  Closed-loop load generator for the async NTT serving runtime:\n"
     "  client count x shard count x flush window sweep reporting aggregate\n"
     "  requests/sec, mean wave occupancy and latency percentiles, plus a\n"
-    "  skewed-load dispatch comparison (FIFO vs stealing vs cost-aware).\n"
-    "  --json [path]       append service_throughput and\n"
-    "                      service_skewed_dispatch sections to the\n"
+    "  skewed-load dispatch comparison (FIFO vs stealing vs cost-aware)\n"
+    "  and a heterogeneous-tier comparison (PIM-only vs PIM + CPU pool).\n"
+    "  --json [path]       append service_throughput,\n"
+    "                      service_skewed_dispatch and\n"
+    "                      service_hetero_backends sections to the\n"
     "                      BENCH_host.json-style object at path (or write\n"
     "                      a standalone report; \"-\"/no path = stdout)\n"
     "  --requests <count>  requests per client (default 32)\n";
@@ -420,5 +676,28 @@ int main(int argc, char** argv) {
                "shard take the oldest queued wave of the loaded one, and "
                "cost-aware assignment avoids most of the imbalance before "
                "it forms.\n";
+
+  const auto hetero = hetero_sweep(all_verified);
+  std::cout << "\n==== Heterogeneous tier (bulk N=" << kHeteroBulkN
+            << " / small N=" << kHeteroSmallN
+            << " waves, PIM-only vs PIM + CPU pool) ====\n";
+  TablePrinter hetero_table({"mode", "requests/s", "pim waves", "cpu waves",
+                             "modeled makespan (cyc)", "modeled pim/cpu",
+                             "verified"});
+  for (const auto& p : hetero)
+    hetero_table.add_row(
+        {p.mode, TablePrinter::num(p.requests_per_sec, 1),
+         std::to_string(p.pim_waves), std::to_string(p.cpu_waves),
+         std::to_string(p.modeled_makespan_cycles),
+         std::to_string(p.modeled_pim_waves) + "/" +
+             std::to_string(p.modeled_cpu_waves),
+         p.verified ? "YES" : "NO"});
+  hetero_table.print(std::cout);
+  std::cout << "\nLive run: a host-CPU pool next to the PIM shard absorbs "
+               "the overflow the moment the device backs up (cpu waves, "
+               "requests/s). Modeled replay: greedy dispatch on modeled "
+               "backlogs alone keeps bulk waves on the PIM, spills small "
+               "waves to the CPU, and cuts the busiest backend's modeled "
+               "makespan versus queueing every wave on one device.\n";
   return all_verified ? EXIT_SUCCESS : EXIT_FAILURE;
 }

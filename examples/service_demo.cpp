@@ -3,14 +3,16 @@
 // Eight client threads hammer one NttService with a mix of forward
 // transforms, inverse transforms and negacyclic products, each verifying
 // its own results against the host CPU reference — while the service
-// coalesces everything into mixed waves and executes them on two shard
-// devices. The interesting output is the stats block: the same synchronous
-// one-request-at-a-time callers end up sharing bank-parallel engine passes
-// (mean wave occupancy > 1) without ever knowing about each other. Behind
-// the former sits the cost-aware dispatcher: waves are priced from cached
-// plans, assigned to the least-backlogged shard, and an idle shard steals
-// the oldest wave of a loaded peer (the per-shard "stolen" counts in the
-// stats block).
+// coalesces everything into mixed waves and executes them on a
+// *heterogeneous* shard pair: one simulated PIM device next to a host-CPU
+// worker pool, the deployment shape the paper assumes. The interesting
+// output is the stats block: the same synchronous one-request-at-a-time
+// callers end up sharing bank-parallel engine passes (mean wave occupancy
+// > 1) without ever knowing about each other. Behind the former sits the
+// cost-aware dispatcher: waves are priced by each backend's own cost model
+// in one modeled-cycle unit, assigned to whichever shard clears them
+// soonest, and an idle shard steals the oldest compatible wave of a loaded
+// peer (the per-shard "stolen" counts in the stats block).
 #include <atomic>
 #include <cstdlib>
 #include <future>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "fhe/cpu_backend.h"
 #include "fhe/pim_backend.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
@@ -53,9 +56,12 @@ int main() {
       std::make_shared<const ntt::NttParams>(ntt::NttParams::create(kN, 30));
 
   service::ServiceConfig cfg;
-  cfg.shards = 2;
-  cfg.banks_per_shard = 4;
-  cfg.flush_window = std::chrono::microseconds(300);
+  // Heterogeneous tier: a 4-bank simulated PIM device next to a 2-lane
+  // host-CPU pool. banks_per_shard still sizes the waves the former cuts.
+  cfg.backend.descriptors = {service::make_pim_descriptor(/*banks=*/4),
+                             service::make_cpu_descriptor(/*threads=*/2)};
+  cfg.backend.banks_per_shard = 4;
+  cfg.former.flush_window = std::chrono::microseconds(300);
   service::NttService svc(cfg);
 
   std::atomic<std::uint64_t> mismatches{0};
@@ -73,7 +79,9 @@ int main() {
         if (svc.submit(poly, params).get() != expected) ++mismatches;
         // ...one round-trip through an inverse transform...
         auto inverse_expected = poly;
-        if (svc.submit(std::move(expected), params, /*inverse=*/true).get() !=
+        service::SubmitOptions inverse;
+        inverse.inverse = true;
+        if (svc.submit(std::move(expected), params, inverse).get() !=
             inverse_expected)
           ++mismatches;
         // ...and one negacyclic product.
@@ -97,7 +105,7 @@ int main() {
     auto expected = poly;
     fhe::CpuBackend cpu;
     cpu.forward(expected, *params);
-    svc.submit(std::move(poly), params, /*inverse=*/false,
+    svc.submit(std::move(poly), params, service::SubmitOptions{},
                [&, expected](std::vector<std::uint32_t>&& result,
                              std::exception_ptr error) {
                  callback_ok = !error && result == expected;
@@ -112,8 +120,8 @@ int main() {
 
   std::cout << "Async serving runtime: " << kClients
             << " concurrent clients x " << kRoundsPerClient
-            << " rounds (forward + inverse + multiply), 2 shards x "
-            << cfg.banks_per_shard << " banks:\n"
+            << " rounds (forward + inverse + multiply), pim + cpu shards, "
+            << cfg.backend.banks_per_shard << "-item waves:\n"
             << "  requests:       " << stats.completed << " completed, "
             << stats.failed << " failed\n"
             << "  waves:          " << stats.waves << " ("
@@ -127,7 +135,8 @@ int main() {
             << stats.service_latency.p95_us << " us\n"
             << "  per shard:      ";
   for (std::size_t s = 0; s < stats.shards.size(); ++s)
-    std::cout << (s ? ", " : "") << "shard " << s << ": "
+    std::cout << (s ? ", " : "") << "shard " << s << " ("
+              << service::to_string(stats.shards[s].kind) << "): "
               << stats.shards[s].requests << " requests / "
               << stats.shards[s].waves << " waves ("
               << stats.shards[s].stolen_waves << " stolen)";

@@ -1,0 +1,130 @@
+// Host-CPU serving backend.
+//
+// The CPU reference kernels (ntt/reference + the per-(n,q) twiddle cache)
+// started life as validation golden models; CpuBackend promotes them to a
+// first-class *serving* backend so the dispatcher can route traffic to
+// whichever backend — PIM shard or CPU worker — clears it soonest. That is
+// the deployment model NTT-PIM (and MeNTT/BP-NTT) assume: the host CPU
+// path coexists with the in-memory accelerator, absorbing small transforms
+// and overflow traffic while bulk RNS waves stay on the PIM.
+//
+// Two things make it production-shaped rather than a loop around the
+// golden model:
+//  - transform_batch_mixed() dispatches the wave's items over a small
+//    worker pool (Config::threads lanes, item j on lane j % lanes; the
+//    calling thread drives lane 0), preserving the distinct-vector
+//    contract — lanes touch disjoint polynomials, so the only shared state
+//    is the relaxed transform counter. threads <= 1 degrades to the tight
+//    serial loop.
+//  - estimate_wave_cycles() is a calibrated cost model in the same
+//    modeled-cycle unit as the PIM backend's (see NttBackend): one item
+//    costs cycles_per_point_stage * n * log2(n) modeled cycles — the
+//    classic n log n fit, with the constant either the documented default
+//    fit of the reference kernel or measured on the deployment host by
+//    measure_cycles_per_point_stage(). A wave's price replays the pool's
+//    lane placement and returns the busiest lane's total, mirroring how
+//    PimBackend prices its bank placement.
+//
+// Thread-safety follows the NttBackend contract: single driver for the
+// transform methods (the pool is internal), share-readable monotone
+// counters, and estimate_wave_cycles safe from any thread (pure arithmetic
+// on immutable config).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "fhe/ntt_backend.h"
+
+namespace nttpim::fhe {
+
+class CpuBackend final : public NttBackend {
+ public:
+  struct Config {
+    /// Worker-pool lanes for transform_batch_mixed (the calling thread
+    /// drives lane 0, so `threads` lanes spawn threads-1 pool threads).
+    /// <= 1 means the serial tight loop.
+    std::size_t threads = 1;
+    /// Modeled device clock the cost model normalizes to, in MHz. Keep it
+    /// equal to the PIM shards' freq_mhz so estimates share one unit.
+    double freq_mhz = 1200.0;
+    /// Fitted cost constant: one n-point transform is priced at
+    /// cycles_per_point_stage * n * log2(n) modeled cycles. The default is
+    /// the documented fit of the reference negacyclic kernel (measured
+    /// ns/(n log2 n) * freq); calibrate on the deployment host with
+    /// measure_cycles_per_point_stage() for tighter routing.
+    double cycles_per_point_stage = 6.0;
+  };
+
+  CpuBackend() : CpuBackend(Config{}) {}
+  explicit CpuBackend(const Config& config);
+  ~CpuBackend() override;  ///< joins the worker pool
+
+  CpuBackend(const CpuBackend&) = delete;
+  CpuBackend& operator=(const CpuBackend&) = delete;
+
+  void forward(std::vector<std::uint32_t>& a,
+               const ntt::NttParams& params) override;
+  void inverse(std::vector<std::uint32_t>& a,
+               const ntt::NttParams& params) override;
+
+  /// One wave, item j executed on lane j % threads. The wave fails as a
+  /// unit: if any item's transform throws, the first error is rethrown
+  /// after every lane finished and the wave's output state is unspecified
+  /// (same contract as a mid-pass PIM failure).
+  void transform_batch_mixed(std::span<const BatchItem> items) override;
+
+  /// Busiest-lane makespan of the fitted per-item prices (see Config).
+  /// Items may carry a null poly; safe from any thread at any time.
+  std::uint64_t estimate_wave_cycles(
+      std::span<const BatchItem> items) const override;
+
+  /// Cost-model price of everything executed so far — the CPU has no cycle
+  /// simulator, so its modeled-hardware account *is* the calibrated model
+  /// (deterministic for a fixed Config, unlike wall-clock).
+  std::uint64_t modeled_cycles() const noexcept override {
+    return modeled_cycles_.load(std::memory_order_relaxed);
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+  std::size_t lanes() const noexcept { return lanes_; }
+
+  /// Microbenchmark the reference negacyclic kernel on this host and
+  /// return the fitted cycles_per_point_stage at `freq_mhz`: the best of
+  /// `reps` timed n-point forward transforms, as modeled cycles per
+  /// n*log2(n). Takes ~reps transforms of wall-clock; call it once at
+  /// deployment and reuse the constant.
+  static double measure_cycles_per_point_stage(double freq_mhz = 1200.0,
+                                               std::size_t n = 1024,
+                                               int reps = 9);
+
+ private:
+  /// Price of one n-point transform in modeled cycles.
+  std::uint64_t item_cycles(std::size_t n) const;
+  /// Execute every item of batch_ whose index % lanes_ == lane.
+  void run_lane(std::size_t lane) noexcept;
+  void pool_main(std::size_t lane);
+
+  const Config cfg_;
+  const std::size_t lanes_;
+  std::atomic<std::uint64_t> modeled_cycles_{0};
+
+  // Batch rendezvous: transform_batch_mixed publishes the wave under mu_,
+  // bumps the epoch, runs lane 0 itself, and waits for the pool lanes.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< pool: new epoch / stop
+  std::condition_variable done_cv_;  ///< caller: all pool lanes finished
+  std::span<const BatchItem> batch_{};
+  std::uint64_t epoch_ = 0;
+  std::size_t lanes_running_ = 0;
+  std::exception_ptr batch_error_;  ///< first failing item's error
+  bool stop_ = false;
+  std::vector<std::thread> pool_;  ///< lanes 1..lanes_-1
+};
+
+}  // namespace nttpim::fhe

@@ -20,51 +20,6 @@ sim::EngineConfig engine_config(double freq_mhz) {
 
 }  // namespace
 
-namespace {
-
-// Shared contract of every transform_batch_mixed implementation: items are
-// complete and reference pairwise-distinct polynomials (an aliased output
-// would be transformed twice here and written back in unspecified order on
-// the PIM).
-void validate_batch_items(std::span<const BatchItem> items) {
-  std::vector<const std::vector<std::uint32_t>*> polys;
-  polys.reserve(items.size());
-  for (const auto& item : items) {
-    NTTPIM_EXPECT_MSG(item.poly != nullptr && item.params != nullptr,
-                      "batch item needs a polynomial and a parameter set");
-    polys.push_back(item.poly);
-  }
-  std::sort(polys.begin(), polys.end());
-  NTTPIM_EXPECT_MSG(
-      std::adjacent_find(polys.begin(), polys.end()) == polys.end(),
-      "batch items must not alias the same polynomial (write-back order "
-      "of aliased outputs is unspecified)");
-}
-
-}  // namespace
-
-void NttBackend::transform_batch_mixed(std::span<const BatchItem> items) {
-  validate_batch_items(items);
-  for (const auto& item : items) {
-    if (item.inverse)
-      inverse(*item.poly, *item.params);
-    else
-      forward(*item.poly, *item.params);
-  }
-}
-
-void CpuBackend::forward(std::vector<std::uint32_t>& a,
-                         const ntt::NttParams& params) {
-  ntt::forward_negacyclic_ntt(a, params);
-  ++transforms_;
-}
-
-void CpuBackend::inverse(std::vector<std::uint32_t>& a,
-                         const ntt::NttParams& params) {
-  ntt::inverse_negacyclic_ntt(a, params);
-  ++transforms_;
-}
-
 PimBackend::PimBackend(std::size_t num_buffers, double freq_mhz,
                        const dram::DramGeometry& geometry)
     : geometry_(geometry),
@@ -128,19 +83,6 @@ void PimBackend::transform_batch_mixed(std::span<const BatchItem> items) {
   if (!items.empty()) run_wave(items);
 }
 
-namespace {
-
-/// Conservative per-item price for a never-mapped parameter set: scaled to
-/// sit a comfortable factor above the typical priced cost of a mapped
-/// n-point transform (see the calibration test in test_fhe), so a
-/// dispatcher treats unknown work as heavy rather than free.
-std::uint64_t conservative_item_cycles(std::size_t n) {
-  const auto log2n = static_cast<std::uint64_t>(exact_log2(n));
-  return 4 * static_cast<std::uint64_t>(n) * (log2n + 2);
-}
-
-}  // namespace
-
 std::uint64_t PimBackend::estimate_wave_cycles(
     std::span<const BatchItem> items) const {
   const dram::DramTiming timing = engine_config(freq_mhz_).timing;
@@ -162,7 +104,7 @@ std::uint64_t PimBackend::estimate_wave_cycles(
     if (const auto counts = plans_.peek_counts(key))
       cycles = mapping::ActModel::estimate_pass_cycles(*counts, timing);
     else
-      cycles = conservative_item_cycles(item.params->n());
+      cycles = default_item_cycles(item.params->n());
     bank_cycles[j % banks] += cycles;
   }
   std::uint64_t makespan = 0;

@@ -1,10 +1,6 @@
-// NTT execution backends for the FHE layer.
-//
-// Ring operations are expressed against the NttBackend interface so the
-// same FHE code can run its transforms either on the host CPU or through
-// the full NTT-PIM stack (host interface -> mapper -> cycle simulator),
-// demonstrating the paper's deployment model: the application issues NTT
-// "write requests" and the PIM executes them in-memory.
+// The simulated NTT-PIM execution backend (see ntt_backend.h for the
+// NttBackend interface it implements and cpu_backend.h for its host-CPU
+// peer in the heterogeneous serving tier).
 //
 // PimBackend is throughput-shaped: it owns one persistent simulated device
 // (constructed once, not per transform), memoizes mapped command traces in
@@ -30,65 +26,13 @@
 
 #include "dram/command.h"
 #include "dram/config.h"
+#include "fhe/ntt_backend.h"
 #include "mapping/plan_cache.h"
 #include "ntt/params.h"
 #include "pim/device.h"
 #include "sim/engine.h"
 
 namespace nttpim::fhe {
-
-/// One polynomial of a heterogeneous batch: its own modulus (parameter
-/// set) and its own transform direction. `poly` and `params` must outlive
-/// the batch call; distinct items must not alias the same vector (the
-/// write-back order of aliased outputs would be unspecified — square via
-/// fhe::rns_negacyclic_multiply, which transforms shared operands once).
-struct BatchItem {
-  std::vector<std::uint32_t>* poly = nullptr;
-  const ntt::NttParams* params = nullptr;
-  bool inverse = false;
-};
-
-class NttBackend {
- public:
-  virtual ~NttBackend() = default;
-
-  /// In-place forward negacyclic NTT, natural order.
-  virtual void forward(std::vector<std::uint32_t>& a,
-                       const ntt::NttParams& params) = 0;
-  /// In-place inverse negacyclic NTT, natural order.
-  virtual void inverse(std::vector<std::uint32_t>& a,
-                       const ntt::NttParams& params) = 0;
-
-  /// Heterogeneous batch: every item carries its own parameter set and
-  /// direction. The base implementation simply runs the items in order
-  /// through forward()/inverse(); PimBackend overrides it with a single
-  /// bank-parallel engine pass. Items must reference distinct vectors.
-  virtual void transform_batch_mixed(std::span<const BatchItem> items);
-
-  /// Number of transforms executed so far.
-  ///
-  /// Thread-safety contract: a backend is single-driver — all transform
-  /// methods require external synchronization — but the monotone counters
-  /// (this one, and PimBackend's total_cycles()/engine_passes()/plan-cache
-  /// counters) are relaxed atomics, safe to *read* from another thread
-  /// while a transform runs (e.g. a stats scraper sampling a serving
-  /// shard). A sample may lag in-flight work; it is never torn.
-  std::uint64_t transform_count() const noexcept {
-    return transforms_.load(std::memory_order_relaxed);
-  }
-
- protected:
-  std::atomic<std::uint64_t> transforms_{0};
-};
-
-/// Host-CPU reference backend.
-class CpuBackend final : public NttBackend {
- public:
-  void forward(std::vector<std::uint32_t>& a,
-               const ntt::NttParams& params) override;
-  void inverse(std::vector<std::uint32_t>& a,
-               const ntt::NttParams& params) override;
-};
 
 /// Backend that executes every transform on the simulated NTT-PIM device
 /// and accumulates the simulated cycle/energy cost.
@@ -124,7 +68,8 @@ class PimBackend final : public NttBackend {
   /// forward()/inverse(); total_cycles() advances by the *makespan* of each
   /// shared pass, which is what makes this a throughput API.
   void transform_batch(std::span<std::vector<std::uint32_t>> polys,
-                       const ntt::NttParams& params, bool inverse = false);
+                       const ntt::NttParams& params,
+                       bool inverse = false) override;
 
   /// Heterogeneous wave: ONE engine pass for the whole span. Item j runs in
   /// bank j % num_banks(); when a bank receives several items they are
@@ -147,7 +92,8 @@ class PimBackend final : public NttBackend {
   /// back-to-back. Unlike the transform methods this is safe to call from
   /// another thread while this backend executes (PlanCache::peek_counts
   /// contract) — it is what a cost-aware dispatcher compares per shard.
-  std::uint64_t estimate_wave_cycles(std::span<const BatchItem> items) const;
+  std::uint64_t estimate_wave_cycles(
+      std::span<const BatchItem> items) const override;
 
   const dram::DramGeometry& geometry() const noexcept { return geometry_; }
   std::size_t num_banks() const noexcept { return device_.num_banks(); }
@@ -159,6 +105,10 @@ class PimBackend final : public NttBackend {
   /// backend to be quiescent or externally synchronized.
   std::uint64_t total_cycles() const noexcept {
     return cycles_.load(std::memory_order_relaxed);
+  }
+  /// The simulated engine cycles ARE this backend's modeled account.
+  std::uint64_t modeled_cycles() const noexcept override {
+    return total_cycles();
   }
   double total_energy_nj() const noexcept { return energy_nj_; }
   double total_us() const;

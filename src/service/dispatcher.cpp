@@ -1,6 +1,7 @@
 #include "service/dispatcher.h"
 
-#include <limits>
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/check.h"
@@ -9,45 +10,79 @@ namespace nttpim::service {
 
 Dispatcher::Dispatcher(const Config& config, Estimator estimator)
     : cfg_(config), estimate_(std::move(estimator)) {
-  NTTPIM_EXPECT_MSG(cfg_.shards >= 1, "the dispatcher needs a shard");
+  NTTPIM_EXPECT_MSG(!cfg_.shards.empty(), "the dispatcher needs a shard");
   NTTPIM_EXPECT_MSG(estimate_ != nullptr, "the dispatcher needs an estimator");
-  for (std::size_t s = 0; s < cfg_.shards; ++s)
+  for (const Shard& shard : cfg_.shards)
+    NTTPIM_EXPECT_MSG(shard.cost_scale > 0, "cost_scale must be positive");
+  for (std::size_t s = 0; s < cfg_.shards.size(); ++s)
     queues_.emplace_back(config.queue_capacity_waves);
+}
+
+std::uint64_t Dispatcher::priced_for(std::size_t shard,
+                                     std::vector<Request>& wave) const {
+  const std::uint64_t raw = estimate_(shard, wave);
+  if (raw == kIncompatibleCycles) return kIncompatibleCycles;
+  const double scaled =
+      std::ceil(static_cast<double>(raw) * cfg_.shards[shard].cost_scale);
+  // Clamp below the sentinel so a huge scaled price stays "very expensive"
+  // instead of becoming "incompatible".
+  const auto max_price =
+      static_cast<double>(kIncompatibleCycles - 1);
+  return scaled >= max_price ? kIncompatibleCycles - 1
+                             : static_cast<std::uint64_t>(scaled);
 }
 
 void Dispatcher::dispatch(std::vector<Request>&& wave) {
   NTTPIM_EXPECT(!wave.empty());
   std::unique_lock lk(mu_);
+  // Price the wave once per shard (heterogeneous backends price the same
+  // wave differently); incompatible shards drop out here.
+  std::vector<std::uint64_t> price(queues_.size());
+  bool any_compatible = false;
+  for (std::size_t s = 0; s < queues_.size(); ++s) {
+    price[s] = priced_for(s, wave);
+    any_compatible |= price[s] != kIncompatibleCycles;
+  }
+  NTTPIM_CHECK_MSG(any_compatible, "no shard can execute the wave");
   for (;;) {
     // Pick the target first, then wait for space *there*: cost-aware mode
     // re-picks after every wake (backlogs moved while we slept), while
     // round-robin keeps its strict order even when other queues are empty
     // — blind assignment blocking behind one slow shard is exactly the
     // pathology the skewed-load bench demonstrates.
-    std::size_t target;
+    std::size_t target = queues_.size();
     if (cfg_.cost_aware) {
-      // Least estimated backlog among queues with space; when every queue
-      // is full, least backlog overall (and the wait below applies).
-      target = 0;
+      // Smallest completion estimate (backlog + this wave's price) among
+      // compatible queues with space; when every compatible queue is
+      // full, smallest overall (and the wait below applies).
       auto best = std::numeric_limits<std::uint64_t>::max();
       bool target_has_space = false;
       for (std::size_t s = 0; s < queues_.size(); ++s) {
+        if (price[s] == kIncompatibleCycles) continue;
         const bool space = !queues_[s].full();
-        const std::uint64_t backlog = queues_[s].backlog_cycles();
-        if ((space && !target_has_space) ||
-            (space == target_has_space && backlog < best)) {
-          best = backlog;
+        const std::uint64_t eta = queues_[s].backlog_cycles() + price[s];
+        if (target == queues_.size() || (space && !target_has_space) ||
+            (space == target_has_space && eta < best)) {
+          best = eta;
           target = s;
           target_has_space = space;
         }
       }
     } else {
-      target = rr_next_ % queues_.size();
+      // Round-robin over compatible shards: the cursor advances past the
+      // chosen shard only once the push happens, keeping the strict order.
+      for (std::size_t probe = 0; probe < queues_.size(); ++probe) {
+        const std::size_t s = (rr_next_ + probe) % queues_.size();
+        if (price[s] != kIncompatibleCycles) {
+          target = s;
+          break;
+        }
+      }
     }
     if (closed_ || !queues_[target].full()) {
-      if (!cfg_.cost_aware) ++rr_next_;
+      if (!cfg_.cost_aware) rr_next_ = target + 1;
       QueuedWave priced;
-      priced.estimated_cycles = estimate_(target, wave);
+      priced.estimated_cycles = price[target];
       priced.requests = std::move(wave);
       queues_[target].push(std::move(priced));
       ready_cv_.notify_all();
@@ -63,33 +98,39 @@ std::optional<Dispatcher::NextWave> Dispatcher::next_wave_for(
   std::unique_lock lk(mu_);
   for (;;) {
     if (!queues_[shard].empty()) {
+      // Own waves are compatible by construction (dispatch() only assigns
+      // compatible shards) and already priced for this backend.
       QueuedWave wave = queues_[shard].take_oldest();
       queues_[shard].begin_wave(wave.estimated_cycles);
       space_cv_.notify_all();
       return NextWave{std::move(wave.requests), wave.estimated_cycles,
                       /*stolen=*/false};
     }
-    // Steal: the oldest wave of the peer with the most queued cost. After
-    // close() an empty-handed worker drains peers even with stealing
+    // Steal: from the most-loaded peer that holds a wave this shard's
+    // backend can run, its oldest such wave, re-priced for the thief.
+    // After close() an empty-handed worker drains peers even with stealing
     // disabled (accepted work always executes), but those takes are drain
     // reassignments, not policy steals — `stolen` stays false for them.
     if (cfg_.work_stealing || closed_) {
-      std::size_t victim = queues_.size();
-      std::uint64_t most_queued = 0;
-      for (std::size_t s = 0; s < queues_.size(); ++s) {
-        if (s == shard || queues_[s].empty()) continue;
-        if (victim == queues_.size() ||
-            queues_[s].queued_cycles() > most_queued) {
-          victim = s;
-          most_queued = queues_[s].queued_cycles();
+      // Victim order: queued cost, descending.
+      std::vector<std::size_t> victims;
+      victims.reserve(queues_.size());
+      for (std::size_t s = 0; s < queues_.size(); ++s)
+        if (s != shard && !queues_[s].empty()) victims.push_back(s);
+      std::sort(victims.begin(), victims.end(), [&](auto a, auto b) {
+        return queues_[a].queued_cycles() > queues_[b].queued_cycles();
+      });
+      for (const std::size_t victim : victims) {
+        for (std::size_t i = 0; i < queues_[victim].size(); ++i) {
+          const std::uint64_t cycles =
+              priced_for(shard, queues_[victim].wave_at(i).requests);
+          if (cycles == kIncompatibleCycles) continue;
+          QueuedWave wave = queues_[victim].take_at(i);
+          queues_[shard].begin_wave(cycles);
+          space_cv_.notify_all();
+          return NextWave{std::move(wave.requests), cycles,
+                          /*stolen=*/cfg_.work_stealing};
         }
-      }
-      if (victim != queues_.size()) {
-        QueuedWave wave = queues_[victim].take_oldest();
-        queues_[shard].begin_wave(wave.estimated_cycles);
-        space_cv_.notify_all();
-        return NextWave{std::move(wave.requests), wave.estimated_cycles,
-                        /*stolen=*/cfg_.work_stealing};
       }
     }
     if (closed_) return std::nullopt;

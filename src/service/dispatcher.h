@@ -12,15 +12,21 @@
 //    (coalesce)      |  price &  > shard queue 1 --> worker 1
 //                    |  assign   > ...          <-- steal when idle
 //
-//  - Assignment: each formed wave is priced by an Estimator (backed by
-//    PimBackend::estimate_wave_cycles — cached plans priced through the
-//    ACT model, conservative default on a plan-cache miss, device never
-//    touched) and pushed onto the queue of the shard with the smallest
-//    estimated backlog (queued + executing cycles). `cost_aware = false`
-//    degrades to blind round-robin — the FIFO baseline the bench compares
-//    against.
-//  - Stealing: a worker whose own queue is empty takes the *oldest* queued
-//    wave of the most-loaded peer. Steals move whole waves, so the
+//  - Assignment: each formed wave is priced *per shard* by an Estimator
+//    (backed by each backend's own estimate_wave_cycles — all in the
+//    shared modeled-cycle unit, see fhe/ntt_backend.h), scaled by the
+//    shard's cost_scale, and pushed onto the queue of the shard that
+//    would clear it soonest (smallest backlog + price). With
+//    heterogeneous shards this is what routes cheap waves to a CPU worker
+//    while bulk waves stay on the PIM. `cost_aware = false` degrades to
+//    blind round-robin — the FIFO baseline the bench compares against.
+//  - Compatibility: an Estimator may return kIncompatibleCycles to mark a
+//    (shard, wave) pair unrunnable; assignment and stealing both skip such
+//    pairs. (Every current backend runs every wave — the sentinel is the
+//    general mechanism for restricted future backends, and for tests.)
+//  - Stealing: a worker whose own queue is empty takes the oldest queued
+//    wave *it is compatible with* from the most-loaded peer, re-priced
+//    for the thief's backend. Steals move whole waves, so the
 //    thread-confined backend / plan-cache contract is untouched — a wave
 //    executes entirely on whichever shard took it, and only the dispatch
 //    bookkeeping crosses threads (under the Dispatcher's one mutex).
@@ -40,52 +46,77 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "service/backend.h"
 #include "service/shard_queue.h"
 
 namespace nttpim::service {
 
 class Dispatcher {
  public:
+  /// Dispatch-relevant slice of one shard's BackendDescriptor.
+  struct Shard {
+    BackendKind kind = BackendKind::kPim;
+    /// Multiplies this shard's raw estimates before any comparison or
+    /// accounting (see BackendDescriptor::cost_scale).
+    double cost_scale = 1.0;
+  };
+
   struct Config {
-    std::size_t shards = 1;
+    /// One entry per shard, in worker order.
+    std::vector<Shard> shards = {Shard{}};
     std::size_t queue_capacity_waves = 4;  ///< per-shard bound, in waves
     bool cost_aware = true;     ///< least-backlog assignment (false = RR)
     bool work_stealing = true;  ///< idle shards steal from loaded peers
   };
 
-  /// Prices `wave` for `shard`, in modeled device cycles. Called on the
-  /// dispatching thread while shard workers execute, so it must only use
-  /// share-readable state (PimBackend::estimate_wave_cycles qualifies).
-  /// The wave is passed mutably because BatchItems reference its buffers;
-  /// the estimator must not actually modify it.
+  /// Estimator return value marking a (shard, wave) pair the shard's
+  /// backend cannot execute: assignment skips the shard, thieves skip the
+  /// wave.
+  static constexpr std::uint64_t kIncompatibleCycles =
+      std::numeric_limits<std::uint64_t>::max();
+
+  /// Prices `wave` for `shard`, in the backend's *raw* modeled device
+  /// cycles (the dispatcher applies the shard's cost_scale), or
+  /// kIncompatibleCycles. Called with the dispatcher's mutex held, on the
+  /// dispatching thread and on stealing workers, while other shards
+  /// execute — so it must only use share-readable state
+  /// (NttBackend::estimate_wave_cycles qualifies) and must not call back
+  /// into the Dispatcher. The wave is passed mutably because BatchItems
+  /// reference its buffers; the estimator must not actually modify it.
   using Estimator =
       std::function<std::uint64_t(std::size_t shard,
                                   std::vector<Request>& wave)>;
 
   Dispatcher(const Config& config, Estimator estimator);
 
-  /// Price one formed wave and enqueue it on the chosen shard's queue,
-  /// blocking while that queue is full. After close() the capacity bound
-  /// is waived instead of blocking forever (drain semantics: whatever the
-  /// former already accepted must still reach a queue).
+  /// Price one formed wave per shard and enqueue it on the chosen
+  /// compatible shard's queue, blocking while that queue is full. After
+  /// close() the capacity bound is waived instead of blocking forever
+  /// (drain semantics: whatever the former already accepted must still
+  /// reach a queue). Throws std::logic_error if no shard can run the wave.
   void dispatch(std::vector<Request>&& wave);
 
   struct NextWave {
     std::vector<Request> requests;
+    /// The executing shard's scaled price (re-priced on a steal).
     std::uint64_t estimated_cycles = 0;
     bool stolen = false;  ///< taken from a peer under the stealing policy
   };
 
   /// Block until `shard` has a wave to run: its own queue's oldest wave,
-  /// else — when stealing is enabled, or after close() — the oldest wave
-  /// of the peer with the most queued cost. Returns nullopt only when the
-  /// dispatcher is closed and every queue has drained (the worker's exit
-  /// signal). The returned wave's cost is already accounted as executing
-  /// on `shard`; pass it back through complete() when done.
+  /// else — when stealing is enabled, or after close() — the oldest
+  /// compatible wave of the most-loaded peer that has one, re-priced for
+  /// this shard's backend. Returns nullopt only when the dispatcher is
+  /// closed and every wave this shard could run has drained (a closed
+  /// dispatcher strands nothing: an incompatible leftover is, by
+  /// construction, compatible with the shard it was assigned to). The
+  /// returned wave's cost is already accounted as executing on `shard`;
+  /// pass it back through complete() when done.
   std::optional<NextWave> next_wave_for(std::size_t shard);
 
   /// Account the end of a wave next_wave_for(shard) handed out.
@@ -98,9 +129,14 @@ class Dispatcher {
   /// stats snapshots. Safe from any thread.
   std::uint64_t backlog_cycles(std::size_t shard) const;
 
-  std::size_t shards() const noexcept { return cfg_.shards; }
+  std::size_t shards() const noexcept { return cfg_.shards.size(); }
 
  private:
+  /// estimate_(shard, wave) with the shard's cost_scale applied
+  /// (kIncompatibleCycles passes through unscaled). Caller holds mu_.
+  std::uint64_t priced_for(std::size_t shard,
+                           std::vector<Request>& wave) const;
+
   const Config cfg_;
   Estimator estimate_;
   mutable std::mutex mu_;

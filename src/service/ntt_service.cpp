@@ -5,30 +5,50 @@
 #include <utility>
 
 #include "common/check.h"
-#include "dram/config.h"
-#include "fhe/pim_backend.h"
+#include "fhe/ntt_backend.h"
 #include "ntt/poly.h"
 
 namespace nttpim::service {
 
 namespace {
 
+std::vector<BackendDescriptor> resolve_descriptors(const ServiceConfig& cfg) {
+  const BackendConfig& bc = cfg.backend;
+  if (!bc.descriptors.empty()) {
+    for (const BackendDescriptor& d : bc.descriptors)
+      NTTPIM_EXPECT_MSG(d.factory != nullptr,
+                        "every backend descriptor needs a factory");
+    return bc.descriptors;
+  }
+  NTTPIM_EXPECT_MSG(bc.shards >= 1, "the service needs at least one shard");
+  std::vector<BackendDescriptor> resolved;
+  resolved.reserve(bc.shards);
+  for (std::size_t s = 0; s < bc.shards; ++s)
+    resolved.push_back(make_pim_descriptor(bc.banks_per_shard, bc.num_buffers,
+                                           bc.freq_mhz));
+  return resolved;
+}
+
 WaveFormer::Config former_config(const ServiceConfig& cfg) {
   WaveFormer::Config fc;
-  fc.capacity_items = cfg.queue_capacity;
-  fc.max_wave_items = cfg.wave_multiple * cfg.banks_per_shard;
-  fc.flush_window = cfg.flush_window;
-  fc.overflow = cfg.overflow;
-  fc.start_paused = cfg.start_paused;
+  fc.capacity_items = cfg.former.queue_capacity;
+  fc.max_wave_items = cfg.former.wave_multiple * cfg.backend.banks_per_shard;
+  fc.flush_window = cfg.former.flush_window;
+  fc.overflow = cfg.former.overflow;
+  fc.start_paused = cfg.former.start_paused;
   return fc;
 }
 
-Dispatcher::Config dispatcher_config(const ServiceConfig& cfg) {
+Dispatcher::Config dispatcher_config(
+    const ServiceConfig& cfg, const std::vector<BackendDescriptor>& resolved) {
   Dispatcher::Config dc;
-  dc.shards = cfg.shards;
-  dc.queue_capacity_waves = cfg.shard_queue_waves;
-  dc.cost_aware = cfg.cost_aware_dispatch;
-  dc.work_stealing = cfg.work_stealing;
+  dc.shards.clear();
+  dc.shards.reserve(resolved.size());
+  for (const BackendDescriptor& d : resolved)
+    dc.shards.push_back({d.kind, d.cost_scale});
+  dc.queue_capacity_waves = cfg.dispatch.shard_queue_waves;
+  dc.cost_aware = cfg.dispatch.cost_aware_dispatch;
+  dc.work_stealing = cfg.dispatch.work_stealing;
   return dc;
 }
 
@@ -65,31 +85,30 @@ WavePasses wave_passes(std::vector<Request>& wave) {
 
 NttService::NttService(const ServiceConfig& config)
     : cfg_(config),
+      resolved_(resolve_descriptors(config)),
       former_(former_config(config)),
-      dispatcher_(dispatcher_config(config),
+      dispatcher_(dispatcher_config(config, resolved_),
                   [this](std::size_t shard, std::vector<Request>& wave) {
                     return estimate_wave(shard, wave);
                   }),
-      backends_(config.shards, nullptr),
-      shard_stats_(config.shards) {
-  NTTPIM_EXPECT_MSG(cfg_.shards >= 1, "the service needs at least one shard");
-  NTTPIM_EXPECT_MSG(cfg_.banks_per_shard >= 1,
-                    "each shard device needs at least one bank");
-  NTTPIM_EXPECT_MSG(cfg_.num_buffers >= 2,
-                    "the PIM backend needs C2 support (Nb >= 2)");
-  NTTPIM_EXPECT_MSG(cfg_.wave_multiple >= 1, "wave_multiple must be >= 1");
-  NTTPIM_EXPECT_MSG(cfg_.shard_queue_waves >= 1,
+      backends_(resolved_.size(), nullptr),
+      shard_stats_(resolved_.size()) {
+  NTTPIM_EXPECT_MSG(cfg_.backend.banks_per_shard >= 1,
+                    "wave sizing needs at least one bank per shard");
+  NTTPIM_EXPECT_MSG(cfg_.former.wave_multiple >= 1,
+                    "wave_multiple must be >= 1");
+  NTTPIM_EXPECT_MSG(cfg_.dispatch.shard_queue_waves >= 1,
                     "each shard needs a dispatch queue of at least one wave");
-  workers_.reserve(cfg_.shards);
-  for (std::size_t s = 0; s < cfg_.shards; ++s)
+  workers_.reserve(resolved_.size());
+  for (std::size_t s = 0; s < resolved_.size(); ++s)
     workers_.emplace_back([this, s] { worker(s); });
 
   // Readiness barrier: don't hand the service to callers until every shard
-  // device exists. On a failed construction, drain the survivors and
+  // backend exists. On a failed construction, drain the survivors and
   // rethrow here (the destructor never runs for a throwing constructor).
   {
     std::unique_lock lk(stats_mu_);
-    idle_cv_.wait(lk, [&] { return shards_ready_ == cfg_.shards; });
+    idle_cv_.wait(lk, [&] { return shards_ready_ == resolved_.size(); });
     if (construction_error_) {
       lk.unlock();
       former_.close();
@@ -117,12 +136,14 @@ void NttService::validate(const Request& request) const {
 
 std::future<std::vector<std::uint32_t>> NttService::submit(
     std::vector<std::uint32_t> poly,
-    std::shared_ptr<const ntt::NttParams> params, bool inverse) {
+    std::shared_ptr<const ntt::NttParams> params, SubmitOptions options) {
   Request r;
   r.kind = Request::Kind::kTransform;
   r.a = std::move(poly);
   r.params = std::move(params);
-  r.inverse = inverse;
+  r.inverse = options.inverse;
+  r.priority = options.priority;
+  r.deadline = options.deadline;
   auto future = r.promise.get_future();
   enqueue(std::move(r));
   return future;
@@ -130,13 +151,15 @@ std::future<std::vector<std::uint32_t>> NttService::submit(
 
 void NttService::submit(std::vector<std::uint32_t> poly,
                         std::shared_ptr<const ntt::NttParams> params,
-                        bool inverse, Callback done) {
+                        const SubmitOptions& options, Callback done) {
   NTTPIM_EXPECT_MSG(done != nullptr, "fire-and-forget needs a callback");
   Request r;
   r.kind = Request::Kind::kTransform;
   r.a = std::move(poly);
   r.params = std::move(params);
-  r.inverse = inverse;
+  r.inverse = options.inverse;
+  r.priority = options.priority;
+  r.deadline = options.deadline;
   r.callback = std::move(done);
   r.use_callback = true;
   enqueue(std::move(r));
@@ -144,15 +167,33 @@ void NttService::submit(std::vector<std::uint32_t> poly,
 
 std::future<std::vector<std::uint32_t>> NttService::submit_multiply(
     std::vector<std::uint32_t> a, std::vector<std::uint32_t> b,
-    std::shared_ptr<const ntt::NttParams> params) {
+    std::shared_ptr<const ntt::NttParams> params, SubmitOptions options) {
   Request r;
   r.kind = Request::Kind::kMultiply;
   r.a = std::move(a);
   r.b = std::move(b);
   r.params = std::move(params);
+  r.priority = options.priority;
+  r.deadline = options.deadline;
   auto future = r.promise.get_future();
   enqueue(std::move(r));
   return future;
+}
+
+std::future<std::vector<std::uint32_t>> NttService::submit(
+    std::vector<std::uint32_t> poly,
+    std::shared_ptr<const ntt::NttParams> params, bool inverse) {
+  SubmitOptions options;
+  options.inverse = inverse;
+  return submit(std::move(poly), std::move(params), options);
+}
+
+void NttService::submit(std::vector<std::uint32_t> poly,
+                        std::shared_ptr<const ntt::NttParams> params,
+                        bool inverse, Callback done) {
+  SubmitOptions options;
+  options.inverse = inverse;
+  submit(std::move(poly), std::move(params), options, std::move(done));
 }
 
 void NttService::enqueue(Request&& request) {
@@ -191,22 +232,24 @@ void NttService::enqueue(Request&& request) {
 }
 
 void NttService::worker(std::size_t shard) {
-  // The shard's entire execution state -- simulated device, engine, plan
-  // cache -- lives on this thread. Nothing here is shared, so waves on
-  // different shards are genuinely parallel host work. (The dispatch
-  // thread reads the published pointer, but only through the
-  // share-readable estimate path -- see backends_.)
-  std::optional<fhe::PimBackend> backend;
+  // The shard's entire execution state -- backend, and for a PIM shard its
+  // simulated device, engine and plan cache -- is built here and lives on
+  // this thread. Nothing here is shared, so waves on different shards are
+  // genuinely parallel host work. (The dispatch thread and stealing peers
+  // read the published pointer, but only through the share-readable
+  // estimate path -- see backends_.)
+  std::unique_ptr<fhe::NttBackend> backend;
   try {
-    backend.emplace(cfg_.num_buffers, cfg_.freq_mhz,
-                    dram::hbm2e_geometry(cfg_.banks_per_shard));
+    backend = resolved_[shard].factory();
+    NTTPIM_CHECK_MSG(backend != nullptr,
+                     "a backend factory returned null");
   } catch (...) {
     const std::scoped_lock lk(stats_mu_);
     construction_error_ = std::current_exception();
   }
   {
     const std::scoped_lock lk(stats_mu_);
-    backends_[shard] = backend ? &*backend : nullptr;
+    backends_[shard] = backend.get();
     ++shards_ready_;
   }
   idle_cv_.notify_all();
@@ -225,7 +268,7 @@ void NttService::worker(std::size_t shard) {
 
 void NttService::dispatch_loop() {
   // Sole consumer of the wave-former: pull each formed wave, price it,
-  // hand it to the least-backlogged shard's queue (Dispatcher blocks when
+  // hand it to the best compatible shard's queue (Dispatcher blocks when
   // that queue is full, which stalls forming and backpressures
   // submitters). An empty wave means the former is closed and drained --
   // close the dispatcher so the workers drain their queues and exit.
@@ -241,10 +284,10 @@ void NttService::dispatch_loop() {
 
 std::uint64_t NttService::estimate_wave(std::size_t shard,
                                         std::vector<Request>& wave) const {
-  fhe::PimBackend* backend = backends_[shard];
+  fhe::NttBackend* backend = backends_[shard];
   if (backend == nullptr) return wave.size();  // construction failed; moot
   WavePasses passes = wave_passes(wave);
-  // A multiply wave runs two passes back-to-back on the same device, so
+  // A multiply wave runs two passes back-to-back on the same backend, so
   // its cost is the sum of both makespans.
   std::uint64_t cycles = backend->estimate_wave_cycles(passes.forward);
   if (!passes.inverse.empty())
@@ -252,7 +295,7 @@ std::uint64_t NttService::estimate_wave(std::size_t shard,
   return cycles;
 }
 
-void NttService::execute_wave(std::size_t shard, fhe::PimBackend& backend,
+void NttService::execute_wave(std::size_t shard, fhe::NttBackend& backend,
                               std::vector<Request>& wave,
                               std::uint64_t estimated_cycles) {
   const auto wave_start = ServiceClock::now();
@@ -285,7 +328,7 @@ void NttService::execute_wave(std::size_t shard, fhe::PimBackend& backend,
       items += wave_items.inverse.size();
     }
   } catch (...) {
-    // A wave fails as a unit: the device state after a mid-pass throw is
+    // A wave fails as a unit: the backend state after a mid-pass throw is
     // unspecified, so every rider sees the same error.
     ok = false;
     const auto error = std::current_exception();
@@ -320,7 +363,8 @@ void NttService::execute_wave(std::size_t shard, fhe::PimBackend& backend,
     ss.engine_passes += passes;
     ss.batch_items += items;
     ss.requests += wave.size();
-    ss.modeled_cycles = backend.total_cycles();
+    ss.estimated_executed_cycles += estimated_cycles;
+    ss.modeled_cycles = backend.modeled_cycles();
   }
   idle_cv_.notify_all();
 }
@@ -384,9 +428,12 @@ ServiceStats NttService::stats() const {
   }
   // Dispatcher backlog snapshots are taken outside stats_mu_ (the two
   // locks never nest the other way, and the estimates are instantaneous
-  // gauges anyway).
-  for (std::size_t i = 0; i < s.shards.size(); ++i)
+  // gauges anyway). The backend kind is re-stamped from the resolved
+  // descriptors so it survives reset_stats().
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    s.shards[i].kind = resolved_[i].kind;
     s.shards[i].estimated_backlog_cycles = dispatcher_.backlog_cycles(i);
+  }
   s.queue_latency = queue_latency_.summary();
   s.service_latency = service_latency_.summary();
   return s;

@@ -14,12 +14,18 @@
 // NttService closes that gap. Requests from any number of client threads
 // are coalesced by a WaveFormer into *mixed waves* (each request keeps its
 // own modulus and direction — the heterogeneous batching built in
-// PimBackend::transform_batch_mixed), and each wave is executed by one of
-// S shards. A shard is a worker thread owning a private PimBackend —
-// persistent simulated device plus plan cache — so independent devices run
-// in parallel while every plan cache stays thread-confined (no locking on
+// transform_batch_mixed), and each wave is executed by one of S shards.
+//
+// A shard is a worker thread owning a private fhe::NttBackend built from
+// its BackendConfig descriptor — a simulated PIM device with its plan
+// cache, or a host-CPU worker pool (see service/backend.h). The backend
+// lives entirely on its worker thread, so independent backends run in
+// parallel while every plan cache stays thread-confined (no locking on
 // the hot path, which is also the TSan story: shard state is owned, not
-// shared).
+// shared). Mixing kinds is the point: the default config is PIM-only, but
+// a descriptor list like {pim8, cpu2} reproduces the paper's deployment
+// shape where the host CPU path coexists with the accelerator, absorbing
+// small transforms and overflow while bulk waves stay in-memory.
 //
 // Request kinds:
 //  - transform: forward/inverse negacyclic NTT of one polynomial;
@@ -29,12 +35,13 @@
 //    one second pass.
 //
 // Between the former and the shards sits a Dispatcher (dispatcher.h):
-// formed waves are priced from cached plans (PimBackend::
-// estimate_wave_cycles) and assigned to the shard with the smallest
-// estimated backlog, each shard drains its own bounded wave queue, and an
-// idle shard steals the oldest queued wave of the most-loaded peer —
-// whole-wave steals, so every wave still executes entirely on one
-// thread-confined backend.
+// formed waves are priced per shard by each backend's own cost model
+// (NttBackend::estimate_wave_cycles — one modeled-cycle unit across
+// backends) and assigned to the shard that would clear them soonest; each
+// shard drains its own bounded wave queue, and an idle shard steals the
+// oldest compatible queued wave of the most-loaded peer — whole-wave
+// steals, so every wave still executes entirely on one thread-confined
+// backend.
 //
 // Results come back through a std::future or a fire-and-forget Callback.
 // Backpressure is a bounded queue with block/reject policies; shutdown()
@@ -51,59 +58,89 @@
 #include <thread>
 #include <vector>
 
+#include "service/backend.h"
 #include "service/dispatcher.h"
 #include "service/request.h"
 #include "service/stats.h"
 #include "service/wave_former.h"
 
 namespace nttpim::fhe {
-class PimBackend;
+class NttBackend;
 }
 
 namespace nttpim::service {
 
-struct ServiceConfig {
-  /// Worker threads, each owning one simulated PIM device.
-  std::size_t shards = 1;
-  /// Banks per shard device (dram::hbm2e_geometry(banks_per_shard)).
-  std::size_t banks_per_shard = 8;
-  /// Per-bank CU buffers (Nb) of each shard device.
-  std::size_t num_buffers = 4;
-  /// Device clock for the modeled-cycle accounting.
-  double freq_mhz = 1200.0;
+/// Wave-forming / admission half of the service configuration.
+struct FormerConfig {
   /// Bounded-queue capacity, in batch items (a multiply counts 2).
   std::size_t queue_capacity = 1024;
   /// Waves flush at wave_multiple * banks_per_shard batch items: 1 fills
-  /// every bank once; k > 1 additionally stacks k items per bank in one
-  /// engine pass (amortizing pass overhead at the cost of latency).
+  /// every bank of a PIM shard once; k > 1 additionally stacks k items
+  /// per bank in one engine pass (amortizing pass overhead at the cost of
+  /// latency). CPU shards have no banks — waves stay PIM-sized and the
+  /// CPU lanes simply split whatever arrives.
   std::size_t wave_multiple = 1;
-  /// ... or when the oldest pending request has waited this long.
+  /// ... or flush when the oldest pending request has waited this long.
   std::chrono::microseconds flush_window{200};
   OverflowPolicy overflow = OverflowPolicy::kBlock;
   /// Start with wave forming gated; call resume() to open the valve.
   /// (Deterministic staging for tests and pre-warmed deployments.)
   bool start_paused = false;
+};
+
+/// Dispatch-policy half of the service configuration.
+struct DispatchConfig {
   /// Depth of each shard's dispatch queue, in waves. Deeper queues give
   /// the cost-aware assignment and the thieves more to work with; 1
   /// approaches the PR-4 behavior of handing each wave to the next free
   /// shard.
   std::size_t shard_queue_waves = 4;
-  /// Assign each formed wave to the shard with the smallest estimated
-  /// backlog (cost from cached plans via PimBackend::estimate_wave_cycles).
-  /// false = blind round-robin — the FIFO baseline of the dispatch bench.
+  /// Price each formed wave per shard (each backend's own
+  /// estimate_wave_cycles, scaled by its descriptor's cost_scale) and
+  /// assign it to the shard that would clear it soonest. false = blind
+  /// round-robin — the FIFO baseline of the dispatch bench.
   bool cost_aware_dispatch = true;
-  /// Let a shard whose queue is empty steal the oldest queued wave from
-  /// the most-loaded peer (whole-wave steals; see dispatcher.h).
+  /// Let a shard whose queue is empty steal the oldest compatible queued
+  /// wave from the most-loaded peer (whole-wave steals; see dispatcher.h).
   bool work_stealing = true;
+};
+
+/// Execution-tier half of the service configuration: what the shards are.
+struct BackendConfig {
+  /// When `descriptors` is empty: number of identical PIM shards to build
+  /// from the three fields below. Ignored otherwise.
+  std::size_t shards = 1;
+  /// Banks per default PIM shard device — also the wave-sizing unit of
+  /// the former (see FormerConfig::wave_multiple), regardless of the
+  /// descriptor list.
+  std::size_t banks_per_shard = 8;
+  /// Per-bank CU buffers (Nb) of each default PIM shard device.
+  std::size_t num_buffers = 4;
+  /// Device clock for the modeled-cycle accounting (default descriptors
+  /// only; explicit descriptors carry their own).
+  double freq_mhz = 1200.0;
+  /// Explicit shard list: one backend per descriptor, in worker order
+  /// (see make_pim_descriptor / make_cpu_descriptor). Non-empty wins over
+  /// `shards`; this is how a heterogeneous tier — PIM devices plus CPU
+  /// workers — is configured.
+  std::vector<BackendDescriptor> descriptors;
+};
+
+/// Service configuration, one sub-struct per layer of the pipeline:
+/// admission (former), routing (dispatch), execution (backend).
+struct ServiceConfig {
+  BackendConfig backend;
+  FormerConfig former;
+  DispatchConfig dispatch;
 };
 
 class NttService {
  public:
   /// Spawns the shard workers and returns once every shard has finished
-  /// constructing its simulated device (a multi-bank PimBackend zeroes
-  /// hundreds of MB of simulated DRAM — without the barrier, early traffic
-  /// would race S concurrent constructions and measure boot, not serving).
-  /// Throws if any shard's device fails to construct.
+  /// constructing its backend (a multi-bank PimBackend zeroes hundreds of
+  /// MB of simulated DRAM — without the barrier, early traffic would race
+  /// S concurrent constructions and measure boot, not serving). Throws if
+  /// any shard's backend fails to construct.
   explicit NttService(const ServiceConfig& config = {});
   ~NttService();  ///< shutdown(): drains accepted work, joins shards
 
@@ -112,20 +149,34 @@ class NttService {
 
   /// Async forward/inverse negacyclic NTT of `poly` (moved in). The future
   /// yields the transformed coefficients, or throws QueueFullError /
-  /// ServiceStoppedError (backpressure) or the execution error.
+  /// ServiceStoppedError (backpressure) or the execution error. Direction
+  /// and QoS hints travel in `options` (see SubmitOptions).
   std::future<std::vector<std::uint32_t>> submit(
       std::vector<std::uint32_t> poly,
-      std::shared_ptr<const ntt::NttParams> params, bool inverse = false);
+      std::shared_ptr<const ntt::NttParams> params, SubmitOptions options = {});
 
   /// Fire-and-forget variant: `done` runs on a shard thread (see Callback).
   void submit(std::vector<std::uint32_t> poly,
-              std::shared_ptr<const ntt::NttParams> params, bool inverse,
-              Callback done);
+              std::shared_ptr<const ntt::NttParams> params,
+              const SubmitOptions& options, Callback done);
 
-  /// Async negacyclic product a*b in Z_q[X]/(X^N + 1).
+  /// Async negacyclic product a*b in Z_q[X]/(X^N + 1). `options.inverse`
+  /// is ignored (the product defines its own directions).
   std::future<std::vector<std::uint32_t>> submit_multiply(
       std::vector<std::uint32_t> a, std::vector<std::uint32_t> b,
-      std::shared_ptr<const ntt::NttParams> params);
+      std::shared_ptr<const ntt::NttParams> params, SubmitOptions options = {});
+
+  /// Pre-SubmitOptions spellings, kept one release for call-site
+  /// migration. The bool parameter has no default on purpose: the
+  /// two-argument call already resolves to the SubmitOptions overload.
+  [[deprecated("pass SubmitOptions{.inverse = ...} instead of a bool")]]
+  std::future<std::vector<std::uint32_t>> submit(
+      std::vector<std::uint32_t> poly,
+      std::shared_ptr<const ntt::NttParams> params, bool inverse);
+  [[deprecated("pass SubmitOptions{.inverse = ...} instead of a bool")]]
+  void submit(std::vector<std::uint32_t> poly,
+              std::shared_ptr<const ntt::NttParams> params, bool inverse,
+              Callback done);
 
   /// Gate / un-gate wave forming (submissions keep accumulating while
   /// paused). Pausing never interrupts a wave already executing.
@@ -159,9 +210,15 @@ class NttService {
   void reset_stats();
 
   const ServiceConfig& config() const noexcept { return cfg_; }
-  /// Banks of each shard device == batch items of a full wave_multiple=1
-  /// wave.
-  std::size_t num_banks() const noexcept { return cfg_.banks_per_shard; }
+  /// Resolved shard descriptors, in worker order (the defaults-expanded
+  /// form of config().backend).
+  const std::vector<BackendDescriptor>& shard_descriptors() const noexcept {
+    return resolved_;
+  }
+  std::size_t shards() const noexcept { return resolved_.size(); }
+  /// Banks of each default PIM shard device == batch items of a full
+  /// wave_multiple=1 wave.
+  std::size_t num_banks() const noexcept { return cfg_.backend.banks_per_shard; }
 
  private:
   void enqueue(Request&& request);
@@ -169,20 +226,23 @@ class NttService {
   void dispatch_loop();
   std::uint64_t estimate_wave(std::size_t shard,
                               std::vector<Request>& wave) const;
-  void execute_wave(std::size_t shard, fhe::PimBackend& backend,
+  void execute_wave(std::size_t shard, fhe::NttBackend& backend,
                     std::vector<Request>& wave,
                     std::uint64_t estimated_cycles);
   void validate(const Request& request) const;
 
   const ServiceConfig cfg_;
+  /// One descriptor per shard: config().backend.descriptors, or `shards`
+  /// copies of the default PIM descriptor.
+  const std::vector<BackendDescriptor> resolved_;
   WaveFormer former_;
   Dispatcher dispatcher_;
   /// Shard backends by index, published by each worker before the
   /// readiness barrier (null = that shard's construction failed). Only the
-  /// dispatch thread reads them — it is started after the barrier and
-  /// exits before any worker can, so the pointers it sees are valid for
-  /// every estimate_wave call.
-  std::vector<fhe::PimBackend*> backends_;
+  /// dispatch thread and stealing workers read them — through the
+  /// share-readable estimate path, and only after the barrier — so the
+  /// pointers they see are valid for every estimate_wave call.
+  std::vector<fhe::NttBackend*> backends_;
 
   mutable std::mutex stats_mu_;
   std::condition_variable idle_cv_;  ///< drain() + constructor barrier

@@ -18,6 +18,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -51,6 +52,23 @@ class ServiceStoppedError : public std::runtime_error {
       : std::runtime_error("NttService is shut down") {}
 };
 
+/// Per-request options of every NttService::submit() variant, so growing
+/// the submission surface never multiplies overloads again.
+///
+/// `priority` and `deadline` are *reserved*: they travel with the request
+/// and are visible to the dispatch layer, but no current policy acts on
+/// them (the QoS roadmap item — EDF wave forming and priority dispatch —
+/// will consume them without another API change). Only `inverse` affects
+/// execution today.
+struct SubmitOptions {
+  /// Transform direction (transforms only; ignored by submit_multiply).
+  bool inverse = false;
+  /// Reserved: larger = more urgent. Not yet acted on.
+  int priority = 0;
+  /// Reserved: absolute completion target. Not yet acted on.
+  std::optional<ServiceClock::time_point> deadline;
+};
+
 /// Fire-and-forget completion hook. Exactly one of (result, error) is
 /// meaningful: error == nullptr on success. Runs on a shard worker thread;
 /// it must not throw (exceptions are swallowed to keep the shard alive) and
@@ -73,6 +91,8 @@ struct Request {
   std::vector<std::uint32_t> b;  ///< second operand, kMultiply only
   std::shared_ptr<const ntt::NttParams> params;
   bool inverse = false;  ///< direction, kTransform only
+  int priority = 0;      ///< reserved (see SubmitOptions)
+  std::optional<ServiceClock::time_point> deadline;  ///< reserved
   std::promise<std::vector<std::uint32_t>> promise;
   Callback callback;      ///< when set, the promise is not used
   bool use_callback = false;

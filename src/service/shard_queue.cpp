@@ -19,10 +19,20 @@ void ShardQueue::push(QueuedWave&& wave) {
   waves_.push_back(std::move(wave));
 }
 
-QueuedWave ShardQueue::take_oldest() {
-  NTTPIM_EXPECT_MSG(!waves_.empty(), "take from an empty shard queue");
-  QueuedWave wave = std::move(waves_.front());
-  waves_.pop_front();
+const QueuedWave& ShardQueue::wave_at(std::size_t i) const {
+  NTTPIM_EXPECT_MSG(i < waves_.size(), "wave index out of range");
+  return waves_[i];
+}
+
+QueuedWave& ShardQueue::wave_at(std::size_t i) {
+  NTTPIM_EXPECT_MSG(i < waves_.size(), "wave index out of range");
+  return waves_[i];
+}
+
+QueuedWave ShardQueue::take_at(std::size_t i) {
+  NTTPIM_EXPECT_MSG(i < waves_.size(), "take index out of range");
+  QueuedWave wave = std::move(waves_[i]);
+  waves_.erase(waves_.begin() + static_cast<std::ptrdiff_t>(i));
   queued_cycles_ -= wave.estimated_cycles;
   return wave;
 }

@@ -61,7 +61,18 @@ class ShardQueue {
   /// take from this end: the owner for FIFO latency fairness, the thief
   /// because the oldest wave has waited longest and is the least likely to
   /// still be wanted by a busy owner.
-  QueuedWave take_oldest();
+  QueuedWave take_oldest() { return take_at(0); }
+
+  /// Inspect the i-th queued wave (0 = oldest) without removing it — how
+  /// a thief checks backend compatibility before committing to a steal.
+  /// (Mutable overload because the Estimator signature takes the request
+  /// vector mutably; estimators must not actually modify it.)
+  const QueuedWave& wave_at(std::size_t i) const;
+  QueuedWave& wave_at(std::size_t i);
+
+  /// Remove and return the i-th queued wave (0 = oldest): take_oldest()
+  /// generalized so a thief can skip waves its backend cannot run.
+  QueuedWave take_at(std::size_t i);
 
   /// Account a wave this shard's worker started / finished executing (the
   /// wave may have been taken from a *peer's* deque — the cost always

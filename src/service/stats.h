@@ -14,6 +14,8 @@
 #include <mutex>
 #include <vector>
 
+#include "service/backend.h"
+
 namespace nttpim::service {
 
 /// Summary of one latency population, in microseconds.
@@ -50,8 +52,11 @@ class LatencyRecorder {
 };
 
 /// Per-shard slice of the service counters (one shard = one worker thread
-/// owning one PimBackend).
+/// owning one NttBackend).
 struct ShardStats {
+  /// What executes this shard's waves (from its BackendDescriptor; always
+  /// re-stamped by stats(), so it survives reset_stats()).
+  BackendKind kind = BackendKind::kPim;
   std::uint64_t waves = 0;          ///< formed waves executed
   std::uint64_t engine_passes = 0;  ///< 1 per wave + 1 if it had multiplies
   std::uint64_t batch_items = 0;    ///< transforms issued across all passes
@@ -64,9 +69,16 @@ struct ShardStats {
   /// cycles. Instantaneous, not cumulative: it is what the dispatcher
   /// compares when it assigns the next wave.
   std::uint64_t estimated_backlog_cycles = 0;
-  /// The shard backend's cumulative simulated cycles — device lifetime
-  /// total, deliberately NOT re-based by NttService::reset_stats() (the
-  /// modeled-hardware account has no epochs).
+  /// Sum of the dispatcher's estimates for every wave this shard has
+  /// *finished executing* — the deterministic makespan proxy the hetero
+  /// bench compares across backends (wall-clock-free, epoch-reset by
+  /// reset_stats() like the other counters).
+  std::uint64_t estimated_executed_cycles = 0;
+  /// The shard backend's cumulative modeled cycles (simulated engine
+  /// cycles for PIM, cost-model price for CPU — see
+  /// NttBackend::modeled_cycles) — backend lifetime total, deliberately
+  /// NOT re-based by NttService::reset_stats() (the modeled-hardware
+  /// account has no epochs).
   std::uint64_t modeled_cycles = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include "common/random.h"
 #include "fhe/bfv.h"
+#include "fhe/cpu_backend.h"
 #include "fhe/pim_backend.h"
 #include "fhe/rns.h"
 #include "fhe/rq.h"

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/random.h"
+#include "fhe/cpu_backend.h"
 #include "fhe/pim_backend.h"
 #include "fhe/rns.h"
 #include "fhe/rns_poly.h"

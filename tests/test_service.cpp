@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "fhe/cpu_backend.h"
 #include "fhe/pim_backend.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
@@ -34,6 +35,12 @@ std::shared_ptr<const ntt::NttParams> make_params(std::size_t n = 256,
 
 std::chrono::microseconds hour() { return std::chrono::microseconds(3600u * 1000000u); }
 
+service::SubmitOptions inv(bool inverse) {
+  service::SubmitOptions options;
+  options.inverse = inverse;
+  return options;
+}
+
 // (a) N client threads x M requests, mixed directions and sizes, must be
 // bit-identical to a sequential CpuBackend run of the same inputs.
 TEST(ServiceE2E, ConcurrentClientsMatchCpuBackend) {
@@ -41,9 +48,9 @@ TEST(ServiceE2E, ConcurrentClientsMatchCpuBackend) {
   const auto p512 = make_params(512, 29);
 
   ServiceConfig cfg;
-  cfg.shards = 2;
-  cfg.banks_per_shard = 4;
-  cfg.flush_window = std::chrono::microseconds(200);
+  cfg.backend.shards = 2;
+  cfg.backend.banks_per_shard = 4;
+  cfg.former.flush_window = std::chrono::microseconds(200);
   NttService svc(cfg);
 
   constexpr std::size_t kThreads = 4;
@@ -63,7 +70,8 @@ TEST(ServiceE2E, ConcurrentClientsMatchCpuBackend) {
           cpu.inverse(expected, *params);
         else
           cpu.forward(expected, *params);
-        if (svc.submit(std::move(poly), params, inverse).get() != expected)
+        if (svc.submit(std::move(poly), params, inv(inverse)).get() !=
+            expected)
           mismatches.fetch_add(1);
       }
     });
@@ -83,7 +91,7 @@ TEST(ServiceE2E, ConcurrentClientsMatchCpuBackend) {
 TEST(ServiceE2E, MultiplyMatchesCpuReference) {
   const auto params = make_params(256);
   ServiceConfig cfg;
-  cfg.banks_per_shard = 4;
+  cfg.backend.banks_per_shard = 4;
   NttService svc(cfg);
 
   Rng rng(7);
@@ -114,10 +122,10 @@ TEST(ServiceE2E, MultiplyMatchesCpuReference) {
 TEST(ServiceE2E, WaveOccupancyAboveOneUnderConcurrentLoad) {
   const auto params = make_params(256);
   ServiceConfig cfg;
-  cfg.shards = 1;
-  cfg.banks_per_shard = 8;
-  cfg.flush_window = hour();  // only size (or shutdown) flushes
-  cfg.start_paused = true;
+  cfg.backend.shards = 1;
+  cfg.backend.banks_per_shard = 8;
+  cfg.former.flush_window = hour();  // only size (or shutdown) flushes
+  cfg.former.start_paused = true;
   NttService svc(cfg);
 
   constexpr std::size_t kBacklog = 16;  // 2 full waves of 8
@@ -145,9 +153,9 @@ TEST(ServiceE2E, WaveOccupancyAboveOneUnderConcurrentLoad) {
 TEST(ServiceE2E, ShutdownDrainsQueue) {
   const auto params = make_params(256);
   ServiceConfig cfg;
-  cfg.banks_per_shard = 4;
-  cfg.flush_window = hour();
-  cfg.start_paused = true;
+  cfg.backend.banks_per_shard = 4;
+  cfg.former.flush_window = hour();
+  cfg.former.start_paused = true;
   NttService svc(cfg);
 
   constexpr std::size_t kBacklog = 10;  // 2.5 waves; the tail is partial
@@ -177,11 +185,11 @@ TEST(ServiceE2E, ShutdownDrainsQueue) {
 TEST(ServiceUnit, RejectPolicySurfacesAsFailedFuture) {
   const auto params = make_params(256);
   ServiceConfig cfg;
-  cfg.banks_per_shard = 4;
-  cfg.queue_capacity = 4;
-  cfg.overflow = service::OverflowPolicy::kReject;
-  cfg.flush_window = hour();
-  cfg.start_paused = true;  // nothing drains: the queue must fill
+  cfg.backend.banks_per_shard = 4;
+  cfg.former.queue_capacity = 4;
+  cfg.former.overflow = service::OverflowPolicy::kReject;
+  cfg.former.flush_window = hour();
+  cfg.former.start_paused = true;  // nothing drains: the queue must fill
   NttService svc(cfg);
 
   Rng rng(11);
@@ -218,7 +226,7 @@ TEST(ServiceUnit, SubmitAfterShutdownFailsFuture) {
 TEST(ServiceUnit, CallbackVariantDeliversResultAndErrors) {
   const auto params = make_params(256);
   ServiceConfig cfg;
-  cfg.banks_per_shard = 4;
+  cfg.backend.banks_per_shard = 4;
   NttService svc(cfg);
 
   Rng rng(21);
@@ -229,7 +237,7 @@ TEST(ServiceUnit, CallbackVariantDeliversResultAndErrors) {
 
   std::latch done(1);
   std::atomic<bool> ok{false};
-  svc.submit(std::move(poly), params, /*inverse=*/false,
+  svc.submit(std::move(poly), params, inv(false),
              [&](std::vector<std::uint32_t>&& result,
                  std::exception_ptr error) {
                ok = !error && result == expected;
@@ -241,7 +249,7 @@ TEST(ServiceUnit, CallbackVariantDeliversResultAndErrors) {
   svc.shutdown();
   std::latch failed(1);
   std::atomic<bool> saw_error{false};
-  svc.submit(rng.residues(params->n(), params->q()), params, false,
+  svc.submit(rng.residues(params->n(), params->q()), params, inv(false),
              [&](std::vector<std::uint32_t>&&, std::exception_ptr error) {
                saw_error = error != nullptr;
                failed.count_down();
@@ -260,7 +268,9 @@ TEST(ServiceUnit, SubmitValidatesArguments) {
   EXPECT_THROW(svc.submit_multiply(std::vector<std::uint32_t>(256, 0),
                                    std::vector<std::uint32_t>(8, 0), params),
                std::invalid_argument);
-  EXPECT_THROW(NttService(ServiceConfig{.shards = 0}), std::invalid_argument);
+  ServiceConfig zero_shards;
+  zero_shards.backend.shards = 0;
+  EXPECT_THROW(NttService{zero_shards}, std::invalid_argument);
 }
 
 // reset_stats() starts a clean epoch without disturbing in-flight
@@ -268,9 +278,9 @@ TEST(ServiceUnit, SubmitValidatesArguments) {
 TEST(ServiceUnit, ResetStatsStartsCleanEpoch) {
   const auto params = make_params(256);
   ServiceConfig cfg;
-  cfg.banks_per_shard = 4;
-  cfg.flush_window = hour();
-  cfg.start_paused = true;
+  cfg.backend.banks_per_shard = 4;
+  cfg.former.flush_window = hour();
+  cfg.former.start_paused = true;
   NttService svc(cfg);
 
   Rng rng(31);
@@ -409,7 +419,7 @@ std::uint32_t tag_of(const std::vector<service::Request>& wave) {
 // of the Dispatcher makes every assignment and steal exact.
 TEST(ServiceUnit, DispatcherStealsOldestWaveFromLoadedPeer) {
   service::Dispatcher::Config cfg;
-  cfg.shards = 2;
+  cfg.shards.resize(2);
   cfg.queue_capacity_waves = 4;
   cfg.cost_aware = false;  // round-robin: tags 0,2 -> shard 0; 1,3 -> shard 1
   cfg.work_stealing = true;
@@ -447,7 +457,7 @@ TEST(ServiceUnit, DispatcherStealsOldestWaveFromLoadedPeer) {
 // expensive one; after close(), a drain take from a peer is not a steal.
 TEST(ServiceUnit, DispatcherCostAwareAssignsLeastBacklog) {
   service::Dispatcher::Config cfg;
-  cfg.shards = 2;
+  cfg.shards.resize(2);
   cfg.cost_aware = true;
   cfg.work_stealing = false;
   service::Dispatcher dispatcher(
@@ -483,7 +493,7 @@ TEST(ServiceUnit, DispatcherCostAwareAssignsLeastBacklog) {
 // waiving the capacity bound: every accepted wave still lands and drains.
 TEST(ServiceUnit, DispatcherCloseReleasesBlockedDispatch) {
   service::Dispatcher::Config cfg;
-  cfg.shards = 1;
+  cfg.shards.resize(1);
   cfg.queue_capacity_waves = 1;
   service::Dispatcher dispatcher(
       cfg, [](std::size_t, std::vector<service::Request>&) {
@@ -507,6 +517,107 @@ TEST(ServiceUnit, DispatcherCloseReleasesBlockedDispatch) {
   EXPECT_FALSE(dispatcher.next_wave_for(0).has_value());
 }
 
+// Heterogeneous routing: with per-shard estimators, cost-aware dispatch
+// sends each wave to the backend that clears it soonest — a bulk wave
+// stays on the PIM shard even though the CPU shard is idle, while a small
+// wave goes to the CPU once the PIM is backlogged (the deployment shape
+// of the paper: CPU absorbs the cheap tail, PIM keeps the bulk).
+TEST(ServiceUnit, DispatcherRoutesBulkToPimCheapToCpu) {
+  service::Dispatcher::Config cfg;
+  cfg.shards = {{service::BackendKind::kPim, 1.0},
+                {service::BackendKind::kCpu, 1.0}};
+  cfg.cost_aware = true;
+  cfg.work_stealing = false;
+  // Tag 0 is a bulk RNS wave (bank-parallel PIM: 100; serial-ish CPU:
+  // 800); tag 1 is a small wave where the backends are close (50 vs 60).
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t shard, std::vector<service::Request>& wave) {
+        const bool bulk = dispatch_test::tag_of(wave) == 0;
+        if (shard == 0) return bulk ? std::uint64_t{100} : std::uint64_t{50};
+        return bulk ? std::uint64_t{800} : std::uint64_t{60};
+      });
+
+  // Bulk: 0+100 on PIM beats 0+800 on CPU, idle CPU notwithstanding.
+  dispatcher.dispatch(dispatch_test::tagged_wave(0));
+  // Cheap: PIM would finish it at 100+50 = 150, the CPU at 60 — routed to
+  // the CPU even though its own estimate is the worse of the two.
+  dispatcher.dispatch(dispatch_test::tagged_wave(1));
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 100u);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 60u);
+
+  auto pim_wave = dispatcher.next_wave_for(0);
+  ASSERT_TRUE(pim_wave.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(pim_wave->requests), 0u);
+  EXPECT_EQ(pim_wave->estimated_cycles, 100u);
+  auto cpu_wave = dispatcher.next_wave_for(1);
+  ASSERT_TRUE(cpu_wave.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(cpu_wave->requests), 1u);
+  EXPECT_EQ(cpu_wave->estimated_cycles, 60u);
+}
+
+// cost_scale derates a shard's estimates at dispatch time: with identical
+// raw estimates, the discounted shard wins and its stored price is the
+// scaled one.
+TEST(ServiceUnit, DispatcherAppliesCostScale) {
+  service::Dispatcher::Config cfg;
+  cfg.shards = {{service::BackendKind::kPim, 1.0},
+                {service::BackendKind::kPim, 0.5}};
+  cfg.cost_aware = true;
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t, std::vector<service::Request>&) {
+        return std::uint64_t{100};
+      });
+  dispatcher.dispatch(dispatch_test::tagged_wave(0));
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 0u);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 50u);
+}
+
+// Stealing respects backend compatibility: a thief skips queued waves its
+// backend cannot run (kIncompatibleCycles), steals the oldest one it can
+// — re-priced for its own backend — and after close() an all-incompatible
+// leftover queue releases the thief instead of stranding it.
+TEST(ServiceUnit, DispatcherStealRespectsBackendCompatibility) {
+  service::Dispatcher::Config cfg;
+  cfg.shards = {{service::BackendKind::kPim, 1.0},
+                {service::BackendKind::kCpu, 1.0}};
+  cfg.cost_aware = true;
+  cfg.work_stealing = true;
+  // Shard 1 (CPU) cannot run tag-0 waves at all and prices everything
+  // else at 1000 — expensive enough that dispatch assigns both waves to
+  // shard 0 and only stealing ever moves one.
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t shard, std::vector<service::Request>& wave) {
+        if (shard == 0) return std::uint64_t{100};
+        if (dispatch_test::tag_of(wave) == 0)
+          return service::Dispatcher::kIncompatibleCycles;
+        return std::uint64_t{1000};
+      });
+
+  dispatcher.dispatch(dispatch_test::tagged_wave(0));  // shard 0 (only fit)
+  dispatcher.dispatch(dispatch_test::tagged_wave(1));  // 200 < 1000: shard 0
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 200u);
+
+  // The thief must skip the older-but-incompatible tag 0 and take tag 1,
+  // re-priced for its own backend.
+  auto stolen = dispatcher.next_wave_for(1);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(stolen->requests), 1u);
+  EXPECT_TRUE(stolen->stolen);
+  EXPECT_EQ(stolen->estimated_cycles, 1000u);
+  dispatcher.complete(1, stolen->estimated_cycles);
+
+  // Only the CPU-incompatible wave remains. After close(), shard 1 exits
+  // empty-handed (nothing it can run) and shard 0 drains its own wave.
+  dispatcher.close();
+  EXPECT_FALSE(dispatcher.next_wave_for(1).has_value());
+  auto own = dispatcher.next_wave_for(0);
+  ASSERT_TRUE(own.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(own->requests), 0u);
+  EXPECT_FALSE(own->stolen);
+  dispatcher.complete(0, own->estimated_cycles);
+  EXPECT_FALSE(dispatcher.next_wave_for(0).has_value());
+}
+
 // Property (PR 5): under a steal-heavy skewed load — bursts of expensive
 // and cheap waves staged behind a paused former — every accepted request
 // completes exactly once, whichever shard ends up executing it.
@@ -515,11 +626,11 @@ TEST(ServiceProperty, StealingConservesRequestsUnderSkewedLoad) {
   const auto costly = make_params(1024, 29);
 
   ServiceConfig cfg;
-  cfg.shards = 2;
-  cfg.banks_per_shard = 4;
-  cfg.flush_window = hour();
-  cfg.start_paused = true;
-  cfg.shard_queue_waves = 2;  // small queues force dispatch stalls + steals
+  cfg.backend.shards = 2;
+  cfg.backend.banks_per_shard = 4;
+  cfg.former.flush_window = hour();
+  cfg.former.start_paused = true;
+  cfg.dispatch.shard_queue_waves = 2;  // small queues force stalls + steals
   NttService svc(cfg);
 
   // 6 waves of 4: costly, cheap, costly, cheap, ... in submit order.
@@ -532,8 +643,7 @@ TEST(ServiceProperty, StealingConservesRequestsUnderSkewedLoad) {
     const auto& params = (w % 2 == 0) ? costly : cheap;
     for (std::size_t i = 0; i < 4; ++i) {
       const std::size_t id = w * 4 + i;
-      svc.submit(rng.residues(params->n(), params->q()), params,
-                 /*inverse=*/false,
+      svc.submit(rng.residues(params->n(), params->q()), params, inv(false),
                  [&, id](std::vector<std::uint32_t>&& result,
                          std::exception_ptr error) {
                    if (!error && !result.empty())
@@ -615,6 +725,173 @@ TEST(ServiceProperty, WaveFormerConservesRequestsUnderConcurrency) {
   EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
   EXPECT_EQ(oversized_waves.load(), 0u);
   for (const auto count : seen) EXPECT_EQ(count, 1);
+}
+
+// Heterogeneous serving E2E: a mixed PIM + CPU tier under multi-threaded
+// load must be bit-identical to the sequential CPU reference, whichever
+// backend each wave landed on (transforms are exact integer arithmetic —
+// backends are interchangeable by construction, and this is the test).
+TEST(ServiceE2E, MixedBackendShardsMatchCpuReference) {
+  const auto p256 = make_params(256);
+  const auto p1024 = make_params(1024, 29);
+
+  ServiceConfig cfg;
+  cfg.backend.banks_per_shard = 4;  // wave sizing
+  cfg.backend.descriptors = {service::make_pim_descriptor(4),
+                             service::make_cpu_descriptor(2)};
+  cfg.former.flush_window = std::chrono::microseconds(200);
+  NttService svc(cfg);
+  ASSERT_EQ(svc.shards(), 2u);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRequests = 8;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(9000 + t);
+      fhe::CpuBackend cpu;
+      for (std::size_t r = 0; r < kRequests; ++r) {
+        const auto& params = (r % 2 == 0) ? p256 : p1024;
+        if (r % 4 == 3) {
+          auto a = rng.residues(params->n(), params->q());
+          auto b = rng.residues(params->n(), params->q());
+          auto fa = a;
+          auto fb = b;
+          cpu.forward(fa, *params);
+          cpu.forward(fb, *params);
+          auto expected = ntt::pointwise_mul(fa, fb, params->q());
+          cpu.inverse(expected, *params);
+          if (svc.submit_multiply(std::move(a), std::move(b), params).get() !=
+              expected)
+            mismatches.fetch_add(1);
+        } else {
+          const bool inverse = r % 3 == 0;
+          auto poly = rng.residues(params->n(), params->q());
+          auto expected = poly;
+          if (inverse)
+            cpu.inverse(expected, *params);
+          else
+            cpu.forward(expected, *params);
+          if (svc.submit(std::move(poly), params, inv(inverse)).get() !=
+              expected)
+            mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  svc.drain();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, kThreads * kRequests);
+  EXPECT_EQ(stats.failed, 0u);
+  ASSERT_EQ(stats.shards.size(), 2u);
+  EXPECT_EQ(stats.shards[0].kind, service::BackendKind::kPim);
+  EXPECT_EQ(stats.shards[1].kind, service::BackendKind::kCpu);
+  // Which backend ran what is load-dependent; conservation is not.
+  EXPECT_EQ(stats.shards[0].requests + stats.shards[1].requests,
+            kThreads * kRequests);
+}
+
+// Property: exactly-once completion holds across *mixed* backend shards
+// with stealing enabled — a wave stolen across the PIM/CPU boundary is
+// still delivered once, and the shard request counts conserve the total.
+TEST(ServiceProperty, HeteroStealingConservesRequests) {
+  const auto cheap = make_params(256);
+  const auto costly = make_params(1024, 29);
+
+  ServiceConfig cfg;
+  cfg.backend.banks_per_shard = 4;
+  cfg.backend.descriptors = {service::make_pim_descriptor(4),
+                             service::make_cpu_descriptor(2)};
+  cfg.former.flush_window = hour();
+  cfg.former.start_paused = true;
+  cfg.dispatch.shard_queue_waves = 2;
+  NttService svc(cfg);
+
+  constexpr std::size_t kWaves = 6;
+  constexpr std::size_t kTotal = kWaves * 4;
+  Rng rng(53);
+  std::vector<std::atomic<int>> delivered(kTotal);
+  std::latch done(kTotal);
+  for (std::size_t w = 0; w < kWaves; ++w) {
+    const auto& params = (w % 2 == 0) ? costly : cheap;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t id = w * 4 + i;
+      svc.submit(rng.residues(params->n(), params->q()), params, inv(false),
+                 [&, id](std::vector<std::uint32_t>&& result,
+                         std::exception_ptr error) {
+                   if (!error && !result.empty()) delivered[id].fetch_add(1);
+                   done.count_down();
+                 });
+    }
+  }
+  svc.resume();
+  done.wait();
+  svc.drain();
+
+  for (std::size_t id = 0; id < kTotal; ++id)
+    EXPECT_EQ(delivered[id].load(), 1) << "request " << id;
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.failed, 0u);
+  std::uint64_t requests = 0;
+  for (const auto& shard : stats.shards) {
+    requests += shard.requests;
+    EXPECT_EQ(shard.estimated_backlog_cycles, 0u);
+  }
+  EXPECT_EQ(requests, kTotal);
+}
+
+// The reserved SubmitOptions fields travel without affecting execution.
+TEST(ServiceUnit, SubmitOptionsReservedFieldsAreAccepted) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.backend.banks_per_shard = 4;
+  NttService svc(cfg);
+
+  Rng rng(61);
+  auto poly = rng.residues(params->n(), params->q());
+  auto expected = poly;
+  fhe::CpuBackend cpu;
+  cpu.forward(expected, *params);
+
+  service::SubmitOptions options;
+  options.priority = 7;
+  options.deadline = service::ServiceClock::now() + std::chrono::seconds(1);
+  EXPECT_EQ(svc.submit(std::move(poly), params, options).get(), expected);
+}
+
+// The pre-SubmitOptions bool overloads still work (deprecated, kept one
+// release for call-site migration).
+TEST(ServiceUnit, DeprecatedBoolSubmitForwardersStillWork) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.backend.banks_per_shard = 4;
+  NttService svc(cfg);
+
+  Rng rng(67);
+  auto poly = rng.residues(params->n(), params->q());
+  auto expected = poly;
+  fhe::CpuBackend cpu;
+  cpu.inverse(expected, *params);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(svc.submit(poly, params, true).get(), expected);
+  std::latch done(1);
+  std::atomic<bool> ok{false};
+  svc.submit(std::move(poly), params, true,
+             [&](std::vector<std::uint32_t>&& result,
+                 std::exception_ptr error) {
+               ok = !error && result == expected;
+               done.count_down();
+             });
+#pragma GCC diagnostic pop
+  done.wait();
+  EXPECT_TRUE(ok.load());
 }
 
 }  // namespace
