@@ -39,10 +39,14 @@ DramTiming DramTiming::at_frequency(double mhz) const {
 
 DramTiming hbm2e_timing() { return DramTiming{}; }
 
-DramGeometry hbm2e_geometry(std::size_t banks) {
+DramGeometry hbm2e_geometry(std::size_t banks, std::size_t channels) {
   DramGeometry g;
   NTTPIM_EXPECT(banks >= 1);
+  NTTPIM_EXPECT_MSG(channels >= 1, "a device needs at least one channel");
+  NTTPIM_EXPECT_MSG(banks % channels == 0,
+                    "banks must divide evenly across channels");
   g.banks = banks;
+  g.num_channels = channels;
   return g;
 }
 

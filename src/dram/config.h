@@ -16,12 +16,20 @@ namespace nttpim::dram {
 inline constexpr double kNominalFreqMhz = 1200.0;
 
 /// Physical organization of one PIM-augmented DRAM device.
+///
+/// Banks are partitioned evenly across `num_channels` independent channels
+/// (HBM/DDR-style): bank b belongs to channel b / banks_per_channel(), and
+/// each channel drives its own command bus — commands serialize only
+/// against commands of the *same* channel (see sim/engine.h). The paper's
+/// Table-I device is the single-channel special case.
 struct DramGeometry {
   std::size_t word_bytes = 4;       ///< NTT coefficient width (32-bit)
   std::size_t atom_bytes = 32;      ///< DRAM atom (HBM transaction unit)
   std::size_t atoms_per_row = 32;   ///< "# of columns per row" in Table I
   std::size_t rows_per_bank = 32768;
   std::size_t banks = 1;
+  std::size_t num_channels = 1;     ///< independent command buses; banks
+                                    ///< must divide evenly across them
   std::size_t ranks = 1;
 
   std::size_t words_per_atom() const noexcept {
@@ -32,6 +40,13 @@ struct DramGeometry {
   }
   std::size_t words_per_bank() const noexcept {
     return rows_per_bank * words_per_row();
+  }
+  std::size_t banks_per_channel() const noexcept {
+    return banks / num_channels;
+  }
+  /// Channel whose command bus serves `bank`.
+  std::size_t channel_of(std::size_t bank) const noexcept {
+    return bank / banks_per_channel();
   }
 };
 
@@ -78,7 +93,9 @@ struct DramTiming {
 /// The paper's Table I configuration at 1200 MHz.
 DramTiming hbm2e_timing();
 
-/// The paper's Table I geometry (single bank).
-DramGeometry hbm2e_geometry(std::size_t banks = 1);
+/// The paper's Table I geometry (single bank), scaled to `banks` banks
+/// split across `channels` independent command buses (banks % channels
+/// must be 0).
+DramGeometry hbm2e_geometry(std::size_t banks = 1, std::size_t channels = 1);
 
 }  // namespace nttpim::dram

@@ -13,10 +13,15 @@
 namespace nttpim::fhe {
 
 CpuBackend::CpuBackend(const Config& config)
-    : cfg_(config), lanes_(std::max<std::size_t>(1, config.threads)) {
+    : cfg_(config),
+      lanes_(std::max<std::size_t>(1, config.threads)),
+      calibrated_(config.cycles_per_point_stage) {
   NTTPIM_EXPECT_MSG(cfg_.freq_mhz > 0, "the modeled clock must be positive");
   NTTPIM_EXPECT_MSG(cfg_.cycles_per_point_stage > 0,
                     "the fitted cost constant must be positive");
+  NTTPIM_EXPECT_MSG(
+      cfg_.calibration_alpha >= 0 && cfg_.calibration_alpha <= 1,
+      "calibration_alpha must be in [0, 1]");
   pool_.reserve(lanes_ - 1);
   for (std::size_t lane = 1; lane < lanes_; ++lane)
     pool_.emplace_back([this, lane] { pool_main(lane); });
@@ -88,6 +93,9 @@ void CpuBackend::pool_main(std::size_t lane) {
 void CpuBackend::transform_batch_mixed(std::span<const BatchItem> items) {
   validate_batch_items(items);
   if (items.empty()) return;
+  const bool calibrate = cfg_.calibration_alpha > 0;
+  const auto t0 = calibrate ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
   if (lanes_ == 1 || items.size() == 1) {
     // Serial tight loop; let a single item's error propagate directly.
     for (const auto& item : items) {
@@ -96,32 +104,71 @@ void CpuBackend::transform_batch_mixed(std::span<const BatchItem> items) {
       else
         forward(*item.poly, *item.params);
     }
-    return;
+  } else {
+    {
+      const std::scoped_lock lk(mu_);
+      batch_ = items;
+      batch_error_ = nullptr;
+      lanes_running_ = lanes_ - 1;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    run_lane(0);  // the caller is lane 0
+    std::exception_ptr error;
+    {
+      std::unique_lock lk(mu_);
+      done_cv_.wait(lk, [&] { return lanes_running_ == 0; });
+      batch_ = {};
+      error = std::exchange(batch_error_, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
   }
+  if (calibrate) {
+    const auto t1 = std::chrono::steady_clock::now();
+    feed_calibration(
+        items, std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+}
 
-  {
-    const std::scoped_lock lk(mu_);
-    batch_ = items;
-    batch_error_ = nullptr;
-    lanes_running_ = lanes_ - 1;
-    ++epoch_;
+void CpuBackend::feed_calibration(std::span<const BatchItem> items,
+                                  double wall_ns) {
+  // Normalize the wave's wall time by its busiest lane's n*log2(n) weight:
+  // the lanes ran concurrently, so the wave's duration is the busiest
+  // lane's duration — the same placement replay the estimate performs.
+  std::vector<double> lane_weight(std::min(lanes_, items.size()), 0.0);
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    const auto n = static_cast<double>(items[j].params->n());
+    lane_weight[j % lanes_] +=
+        n * static_cast<double>(exact_log2(items[j].params->n()));
   }
-  work_cv_.notify_all();
-  run_lane(0);  // the caller is lane 0
-  std::exception_ptr error;
-  {
-    std::unique_lock lk(mu_);
-    done_cv_.wait(lk, [&] { return lanes_running_ == 0; });
-    batch_ = {};
-    error = std::exchange(batch_error_, nullptr);
-  }
-  if (error) std::rethrow_exception(error);
+  double busiest = 0;
+  for (const double w : lane_weight) busiest = std::max(busiest, w);
+  if (busiest <= 0 || wall_ns <= 0) return;  // timer glitch: skip the sample
+  const double measured_cycles = wall_ns * cfg_.freq_mhz / 1000.0;
+  record_calibration_sample(measured_cycles / busiest);
+}
+
+void CpuBackend::record_calibration_sample(double cycles_per_point_stage) {
+  if (cfg_.calibration_alpha <= 0) return;
+  // A glitched sample must never drive the constant to zero or below.
+  const double sample = std::max(cycles_per_point_stage, 1e-3);
+  const double prev = calibrated_.load(std::memory_order_relaxed);
+  calibrated_.store(
+      (1.0 - cfg_.calibration_alpha) * prev + cfg_.calibration_alpha * sample,
+      std::memory_order_relaxed);
 }
 
 std::uint64_t CpuBackend::item_cycles(std::size_t n) const {
   const auto log2n = static_cast<double>(exact_log2(n));
   return static_cast<std::uint64_t>(cfg_.cycles_per_point_stage *
                                     static_cast<double>(n) * log2n);
+}
+
+std::uint64_t CpuBackend::estimated_item_cycles(std::size_t n) const {
+  const auto log2n = static_cast<double>(exact_log2(n));
+  return static_cast<std::uint64_t>(
+      calibrated_.load(std::memory_order_relaxed) * static_cast<double>(n) *
+      log2n);
 }
 
 std::uint64_t CpuBackend::estimate_wave_cycles(
@@ -131,7 +178,7 @@ std::uint64_t CpuBackend::estimate_wave_cycles(
   for (std::size_t j = 0; j < items.size(); ++j) {
     NTTPIM_EXPECT_MSG(items[j].params != nullptr,
                       "estimating a wave needs each item's parameter set");
-    lane_cycles[j % lanes_] += item_cycles(items[j].params->n());
+    lane_cycles[j % lanes_] += estimated_item_cycles(items[j].params->n());
   }
   std::uint64_t makespan = 0;
   for (const std::uint64_t c : lane_cycles) makespan = std::max(makespan, c);

@@ -39,9 +39,19 @@ namespace nttpim::fhe {
 /// Every transform_batch_mixed implementation enforces the aliasing
 /// precondition (std::invalid_argument), including the base default path.
 struct BatchItem {
+  /// `channel` value meaning "backend chooses": multi-channel backends
+  /// spread unhinted items across their channels round-robin.
+  static constexpr std::int32_t kAnyChannel = -1;
+
   std::vector<std::uint32_t>* poly = nullptr;
   const ntt::NttParams* params = nullptr;
   bool inverse = false;
+  /// Placement hint for channel-partitioned backends (PimBackend): pin the
+  /// item to that channel's bank set, so a dispatcher that targets (shard,
+  /// channel) keeps concurrent waves on disjoint command buses. Backends
+  /// without channels ignore it; a hint >= the backend's channel count is
+  /// rejected.
+  std::int32_t channel = kAnyChannel;
 };
 
 class NttBackend {

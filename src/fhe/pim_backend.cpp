@@ -18,6 +18,39 @@ sim::EngineConfig engine_config(double freq_mhz) {
   return ec;
 }
 
+/// Replays the channel-major wave placement shared by run_wave and
+/// estimate_wave_cycles: an unhinted item takes the next channel
+/// round-robin, a hinted item its pinned channel, and each channel rotates
+/// across its own banks. With one channel this is exactly the classic
+/// item j -> bank j % banks rule.
+class WavePlacer {
+ public:
+  explicit WavePlacer(const dram::DramGeometry& g)
+      : channels_(g.num_channels),
+        bpc_(g.banks_per_channel()),
+        in_channel_(g.num_channels, 0) {}
+
+  std::uint16_t place(const BatchItem& item) {
+    std::size_t ch;
+    if (item.channel == BatchItem::kAnyChannel) {
+      ch = next_auto_++ % channels_;
+    } else {
+      NTTPIM_EXPECT_MSG(
+          item.channel >= 0 &&
+              static_cast<std::size_t>(item.channel) < channels_,
+          "batch item pins a nonexistent channel");
+      ch = static_cast<std::size_t>(item.channel);
+    }
+    return static_cast<std::uint16_t>(ch * bpc_ + in_channel_[ch]++ % bpc_);
+  }
+
+ private:
+  std::size_t channels_;
+  std::size_t bpc_;
+  std::size_t next_auto_ = 0;
+  std::vector<std::size_t> in_channel_;
+};
+
 }  // namespace
 
 PimBackend::PimBackend(std::size_t num_buffers, double freq_mhz,
@@ -30,6 +63,9 @@ PimBackend::PimBackend(std::size_t num_buffers, double freq_mhz,
   NTTPIM_EXPECT_MSG(num_buffers >= 2,
                     "the FHE backend needs C2 support (Nb >= 2)");
   NTTPIM_EXPECT_MSG(geometry.banks >= 1, "device needs at least one bank");
+  NTTPIM_EXPECT_MSG(geometry.num_channels >= 1 &&
+                        geometry.banks % geometry.num_channels == 0,
+                    "banks must divide evenly across channels");
 }
 
 void PimBackend::forward(std::vector<std::uint32_t>& a,
@@ -87,7 +123,13 @@ std::uint64_t PimBackend::estimate_wave_cycles(
     std::span<const BatchItem> items) const {
   const dram::DramTiming timing = engine_config(freq_mhz_).timing;
   const std::size_t banks = geometry_.banks;
-  std::vector<std::uint64_t> bank_cycles(std::min(banks, items.size()), 0);
+  std::vector<std::uint64_t> bank_cycles(banks, 0);
+  // Total command-bus occupancy per channel (mapped counts only): banks of
+  // one channel share one bus, so a channel can never finish faster than
+  // its commands can issue — the constraint that makes a multi-channel
+  // estimate strictly smaller on bus-bound bulk waves.
+  std::vector<std::uint64_t> bus_cycles(geometry_.num_channels, 0);
+  WavePlacer placer(geometry_);
   for (std::size_t j = 0; j < items.size(); ++j) {
     const BatchItem& item = items[j];
     NTTPIM_EXPECT_MSG(item.params != nullptr,
@@ -101,14 +143,23 @@ std::uint64_t PimBackend::estimate_wave_cycles(
     const auto key =
         mapping::PlanKey::make(geometry_, *item.params, config, job);
     std::uint64_t cycles;
-    if (const auto counts = plans_.peek_counts(key))
+    std::uint64_t item_bus_cycles = 0;
+    if (const auto counts = plans_.peek_counts(key)) {
       cycles = mapping::ActModel::estimate_pass_cycles(*counts, timing);
-    else
+      // Every command holds its bus one cycle; PARAM holds it two.
+      item_bus_cycles = counts->total + counts->params;
+    } else {
       cycles = default_item_cycles(item.params->n());
-    bank_cycles[j % banks] += cycles;
+    }
+    const std::uint16_t bank = placer.place(item);
+    bank_cycles[bank] += cycles;
+    bus_cycles[geometry_.channel_of(bank)] += item_bus_cycles;
   }
   std::uint64_t makespan = 0;
-  for (const std::uint64_t c : bank_cycles) makespan = std::max(makespan, c);
+  for (std::size_t b = 0; b < banks; ++b) {
+    const std::size_t ch = geometry_.channel_of(b);
+    makespan = std::max(makespan, std::max(bank_cycles[b], bus_cycles[ch]));
+  }
   return makespan;
 }
 
@@ -117,18 +168,20 @@ void PimBackend::run_wave(std::span<const BatchItem> wave) {
   const std::size_t banks = device_.num_banks();
   const std::size_t words_per_row = geometry_.words_per_row();
 
-  // Placement: item j in bank j % banks, stacked at the bank's next free
-  // row block. Host-side load applies the bit-reversal permutation and (for
-  // forward transforms) folds the psi^i negacyclic pre-scale into the data.
+  // Placement: channel-major round-robin (hints honored — see the header),
+  // stacked at each bank's next free row block. Host-side load applies the
+  // bit-reversal permutation and (for forward transforms) folds the psi^i
+  // negacyclic pre-scale into the data.
   std::vector<std::uint32_t> next_row(banks, 0);
   last_wave_.clear();
   last_wave_.reserve(wave.size());
+  WavePlacer placer(geometry_);
   std::vector<std::shared_ptr<const mapping::MappedNtt>> plans(wave.size());
   for (std::size_t j = 0; j < wave.size(); ++j) {
     const BatchItem& item = wave[j];
     const ntt::NttParams& params = *item.params;
     NTTPIM_EXPECT(item.poly->size() == params.n());
-    const auto bank = static_cast<std::uint16_t>(j % banks);
+    const std::uint16_t bank = placer.place(item);
     const std::uint32_t base_row = next_row[bank];
     const auto rows_used = static_cast<std::uint32_t>(
         div_ceil(params.n(), words_per_row));
@@ -143,7 +196,8 @@ void PimBackend::run_wave(std::span<const BatchItem> wave) {
 
     plans[j] = plan_for(params, item.inverse, bank, base_row);
     last_wave_.push_back(
-        {bank, base_row, params.n(), params.q(), item.inverse});
+        {bank, base_row, params.n(), params.q(), item.inverse,
+         static_cast<std::uint16_t>(geometry_.channel_of(bank))});
   }
 
   // Merge the per-bank command sequences (items sharing a bank run
@@ -163,10 +217,10 @@ void PimBackend::run_wave(std::span<const BatchItem> wave) {
       std::size_t seq = 0;
       std::size_t pos = 0;
     };
-    std::vector<BankCursor> cursors(std::min(banks, wave.size()));
+    std::vector<BankCursor> cursors(banks);
     std::size_t total = 0;
     for (std::size_t j = 0; j < wave.size(); ++j) {
-      cursors[j % banks].seqs.push_back(plans[j]->trace);
+      cursors[last_wave_[j].bank].seqs.push_back(plans[j]->trace);
       total += plans[j]->trace.size();
     }
     std::vector<dram::Command> merged;

@@ -47,6 +47,7 @@ class PimBackend final : public NttBackend {
     std::size_t n = 0;
     std::uint32_t q = 0;
     bool inverse = false;
+    std::uint16_t channel = 0;  ///< command bus serving `bank`
   };
 
   /// `geometry` fixes the simulated device for the backend's lifetime; the
@@ -71,25 +72,33 @@ class PimBackend final : public NttBackend {
                        const ntt::NttParams& params,
                        bool inverse = false) override;
 
-  /// Heterogeneous wave: ONE engine pass for the whole span. Item j runs in
-  /// bank j % num_banks(); when a bank receives several items they are
-  /// placed at disjoint base rows and execute back-to-back within the pass.
-  /// Per-bank command traces come from the plan cache (one plan per
-  /// (params, direction, bank, base_row), bank-retargeted from the bank-0
-  /// twin) and are merged round-robin across banks so the shared command
-  /// bus sees all banks from cycle one instead of draining them in id
-  /// order. Rejects aliased items (see BatchItem).
+  /// Heterogeneous wave: ONE engine pass for the whole span. Items are
+  /// placed channel-major: an unhinted item goes to the next channel
+  /// round-robin, a hinted item (BatchItem::channel) to its pinned
+  /// channel, and within a channel items rotate across that channel's
+  /// banks_per_channel() banks; when a bank receives several items they
+  /// are placed at disjoint base rows and execute back-to-back within the
+  /// pass. (A single-channel device reduces to the classic item j -> bank
+  /// j % num_banks() placement.) Per-bank command traces come from the
+  /// plan cache (one plan per (params, direction, bank, base_row),
+  /// bank-retargeted from the bank-0 twin) and are merged round-robin
+  /// across banks so every command bus sees its banks from cycle one
+  /// instead of draining them in id order. Rejects aliased items (see
+  /// BatchItem).
   void transform_batch_mixed(std::span<const BatchItem> items) override;
 
   /// Price the wave `items` in modeled device cycles WITHOUT touching the
-  /// device: items are placed as transform_batch_mixed would place them
-  /// (item j in bank j % num_banks()); an item whose plan is already in
-  /// the plan cache costs its exact command counts priced through
-  /// ActModel::estimate_pass_cycles, an unmapped item costs a deliberately
-  /// conservative default (so unknown work repels further load until a
-  /// shard has actually mapped it); the wave's estimate is the busiest
-  /// bank's total, since banks run in parallel and same-bank items run
-  /// back-to-back. Unlike the transform methods this is safe to call from
+  /// device: items are placed exactly as transform_batch_mixed would place
+  /// them (channel-major round-robin, hints honored); an item whose plan
+  /// is already in the plan cache costs its exact command counts priced
+  /// through ActModel::estimate_pass_cycles, an unmapped item costs a
+  /// deliberately conservative default (so unknown work repels further
+  /// load until a shard has actually mapped it). Each channel's makespan
+  /// is the busier of its busiest bank's back-to-back total and its
+  /// command bus's total occupancy (mapped counts only — the bus is the
+  /// resource banks of one channel share); the wave's estimate is the
+  /// busiest *channel's* makespan, since channels run on independent
+  /// buses. Unlike the transform methods this is safe to call from
   /// another thread while this backend executes (PlanCache::peek_counts
   /// contract) — it is what a cost-aware dispatcher compares per shard.
   std::uint64_t estimate_wave_cycles(
@@ -97,6 +106,10 @@ class PimBackend final : public NttBackend {
 
   const dram::DramGeometry& geometry() const noexcept { return geometry_; }
   std::size_t num_banks() const noexcept { return device_.num_banks(); }
+  std::size_t num_channels() const noexcept { return geometry_.num_channels; }
+  std::size_t banks_per_channel() const noexcept {
+    return geometry_.banks_per_channel();
+  }
 
   /// Counter accessors (total_cycles/engine_passes/plan_cache_*,
   /// transform_count) follow the NttBackend contract: safe to read while

@@ -21,19 +21,25 @@ const char* to_string(BackendKind kind) noexcept {
 
 BackendDescriptor make_pim_descriptor(std::size_t banks_per_shard,
                                       std::size_t num_buffers,
-                                      double freq_mhz, double cost_scale) {
+                                      double freq_mhz, double cost_scale,
+                                      std::size_t channels) {
   NTTPIM_EXPECT_MSG(banks_per_shard >= 1,
                     "a PIM shard device needs at least one bank");
   NTTPIM_EXPECT_MSG(num_buffers >= 2,
                     "the PIM backend needs C2 support (Nb >= 2)");
   NTTPIM_EXPECT_MSG(cost_scale > 0, "cost_scale must be positive");
+  NTTPIM_EXPECT_MSG(channels >= 1 && banks_per_shard % channels == 0,
+                    "banks must divide evenly across channels");
   BackendDescriptor d;
   d.kind = BackendKind::kPim;
-  d.label = "pim" + std::to_string(banks_per_shard);
+  d.label = "pim" + std::to_string(banks_per_shard) +
+            (channels > 1 ? "x" + std::to_string(channels) : "");
   d.cost_scale = cost_scale;
-  d.factory = [banks_per_shard, num_buffers, freq_mhz] {
+  d.channels = channels;
+  d.factory = [banks_per_shard, num_buffers, freq_mhz, channels] {
     return std::make_unique<fhe::PimBackend>(
-        num_buffers, freq_mhz, dram::hbm2e_geometry(banks_per_shard));
+        num_buffers, freq_mhz,
+        dram::hbm2e_geometry(banks_per_shard, channels));
   };
   return d;
 }

@@ -52,14 +52,23 @@ struct BackendDescriptor {
   /// model is known-optimistic (or favoring one) without touching the
   /// backend's own calibration. Must be > 0.
   double cost_scale = 1.0;
+  /// Independent command channels of the shard's device (see
+  /// dram::DramGeometry::num_channels). The dispatcher splits this shard's
+  /// queue per channel and targets (shard, channel); the worker merges one
+  /// wave per channel into a single channel-tagged engine pass. 1 for
+  /// backends without a channel hierarchy (CPU).
+  std::size_t channels = 1;
 };
 
 /// Descriptor for a simulated PIM device shard:
-/// fhe::PimBackend(num_buffers, freq_mhz, hbm2e_geometry(banks_per_shard)).
+/// fhe::PimBackend(num_buffers, freq_mhz,
+///                 hbm2e_geometry(banks_per_shard, channels)).
+/// banks_per_shard must divide evenly across channels.
 BackendDescriptor make_pim_descriptor(std::size_t banks_per_shard = 8,
                                       std::size_t num_buffers = 4,
                                       double freq_mhz = 1200.0,
-                                      double cost_scale = 1.0);
+                                      double cost_scale = 1.0,
+                                      std::size_t channels = 1);
 
 /// Descriptor for a host-CPU worker-pool shard (fhe::CpuBackend with
 /// `threads` lanes). cycles_per_point_stage <= 0 keeps the documented

@@ -12,10 +12,16 @@ Dispatcher::Dispatcher(const Config& config, Estimator estimator)
     : cfg_(config), estimate_(std::move(estimator)) {
   NTTPIM_EXPECT_MSG(!cfg_.shards.empty(), "the dispatcher needs a shard");
   NTTPIM_EXPECT_MSG(estimate_ != nullptr, "the dispatcher needs an estimator");
-  for (const Shard& shard : cfg_.shards)
+  for (const Shard& shard : cfg_.shards) {
     NTTPIM_EXPECT_MSG(shard.cost_scale > 0, "cost_scale must be positive");
-  for (std::size_t s = 0; s < cfg_.shards.size(); ++s)
-    queues_.emplace_back(config.queue_capacity_waves);
+    NTTPIM_EXPECT_MSG(shard.channels >= 1,
+                      "a shard needs at least one channel");
+  }
+  for (std::size_t s = 0; s < cfg_.shards.size(); ++s) {
+    queues_.emplace_back(config.queue_capacity_waves, cfg_.shards[s].channels);
+    for (std::size_t c = 0; c < cfg_.shards[s].channels; ++c)
+      pairs_.emplace_back(s, c);
+  }
 }
 
 std::uint64_t Dispatcher::priced_for(std::size_t shard,
@@ -36,7 +42,8 @@ void Dispatcher::dispatch(std::vector<Request>&& wave) {
   NTTPIM_EXPECT(!wave.empty());
   std::unique_lock lk(mu_);
   // Price the wave once per shard (heterogeneous backends price the same
-  // wave differently); incompatible shards drop out here.
+  // wave differently; a shard's channels are identical buses and share its
+  // price); incompatible shards drop out here.
   std::vector<std::uint64_t> price(queues_.size());
   bool any_compatible = false;
   for (std::size_t s = 0; s < queues_.size(); ++s) {
@@ -50,45 +57,153 @@ void Dispatcher::dispatch(std::vector<Request>&& wave) {
     // round-robin keeps its strict order even when other queues are empty
     // — blind assignment blocking behind one slow shard is exactly the
     // pathology the skewed-load bench demonstrates.
-    std::size_t target = queues_.size();
+    std::size_t target_s = queues_.size();
+    std::size_t target_c = 0;
+    std::size_t target_idx = 0;  // flattened index (round-robin only)
     if (cfg_.cost_aware) {
-      // Smallest completion estimate (backlog + this wave's price) among
-      // compatible queues with space; when every compatible queue is
-      // full, smallest overall (and the wait below applies).
+      // Smallest completion estimate (channel backlog + this wave's price)
+      // among compatible (shard, channel) pairs with space; when every
+      // compatible channel is full, smallest overall (and the wait below
+      // applies). Ties resolve to the first pair in shard-major order.
       auto best = std::numeric_limits<std::uint64_t>::max();
       bool target_has_space = false;
-      for (std::size_t s = 0; s < queues_.size(); ++s) {
+      for (const auto& [s, c] : pairs_) {
         if (price[s] == kIncompatibleCycles) continue;
-        const bool space = !queues_[s].full();
-        const std::uint64_t eta = queues_[s].backlog_cycles() + price[s];
-        if (target == queues_.size() || (space && !target_has_space) ||
+        const bool space = !queues_[s].full(c);
+        const std::uint64_t eta = queues_[s].backlog_cycles(c) + price[s];
+        if (target_s == queues_.size() || (space && !target_has_space) ||
             (space == target_has_space && eta < best)) {
           best = eta;
-          target = s;
+          target_s = s;
+          target_c = c;
           target_has_space = space;
         }
       }
     } else {
-      // Round-robin over compatible shards: the cursor advances past the
-      // chosen shard only once the push happens, keeping the strict order.
-      for (std::size_t probe = 0; probe < queues_.size(); ++probe) {
-        const std::size_t s = (rr_next_ + probe) % queues_.size();
-        if (price[s] != kIncompatibleCycles) {
-          target = s;
+      // Round-robin over the flattened compatible (shard, channel) pairs:
+      // the cursor advances past the chosen pair only once the push
+      // happens, keeping the strict order.
+      for (std::size_t probe = 0; probe < pairs_.size(); ++probe) {
+        const std::size_t idx = (rr_next_ + probe) % pairs_.size();
+        if (price[pairs_[idx].first] != kIncompatibleCycles) {
+          target_s = pairs_[idx].first;
+          target_c = pairs_[idx].second;
+          target_idx = idx;
           break;
         }
       }
     }
-    if (closed_ || !queues_[target].full()) {
-      if (!cfg_.cost_aware) rr_next_ = target + 1;
+    if (closed_ || !queues_[target_s].full(target_c)) {
+      if (!cfg_.cost_aware) rr_next_ = target_idx + 1;
       QueuedWave priced;
-      priced.estimated_cycles = price[target];
+      priced.estimated_cycles = price[target_s];
       priced.requests = std::move(wave);
-      queues_[target].push(std::move(priced));
+      queues_[target_s].push(target_c, std::move(priced));
       ready_cv_.notify_all();
       return;
     }
     space_cv_.wait(lk);
+  }
+}
+
+std::optional<Dispatcher::NextWave> Dispatcher::try_steal_for(
+    std::size_t shard) {
+  // Victim order: queued cost, descending; within the victim, channels by
+  // queued cost descending (relieve the bus that is furthest behind).
+  std::vector<std::size_t> victims;
+  victims.reserve(queues_.size());
+  for (std::size_t s = 0; s < queues_.size(); ++s)
+    if (s != shard && !queues_[s].empty()) victims.push_back(s);
+  std::sort(victims.begin(), victims.end(), [&](auto a, auto b) {
+    return queues_[a].queued_cycles() > queues_[b].queued_cycles();
+  });
+  for (const std::size_t victim : victims) {
+    std::vector<std::size_t> vchans;
+    for (std::size_t c = 0; c < queues_[victim].channels(); ++c)
+      if (!queues_[victim].empty(c)) vchans.push_back(c);
+    std::sort(vchans.begin(), vchans.end(), [&](auto a, auto b) {
+      return queues_[victim].queued_cycles(a) >
+             queues_[victim].queued_cycles(b);
+    });
+    for (const std::size_t vc : vchans) {
+      for (std::size_t i = 0; i < queues_[victim].size(vc); ++i) {
+        const std::uint64_t cycles =
+            priced_for(shard, queues_[victim].wave_at(vc, i).requests);
+        if (cycles == kIncompatibleCycles) continue;
+        // Land the loot on the thief's least-backlogged channel.
+        std::size_t tc = 0;
+        for (std::size_t c = 1; c < queues_[shard].channels(); ++c)
+          if (queues_[shard].backlog_cycles(c) <
+              queues_[shard].backlog_cycles(tc))
+            tc = c;
+        QueuedWave wave = queues_[victim].take_at(vc, i);
+        queues_[shard].begin_wave(tc, cycles);
+        space_cv_.notify_all();
+        return NextWave{std::move(wave.requests), cycles, tc,
+                        /*stolen=*/cfg_.work_stealing,
+                        /*rebalanced=*/false};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Dispatcher::NextWave> Dispatcher::next_waves_for(
+    std::size_t shard) {
+  NTTPIM_EXPECT(shard < queues_.size());
+  std::unique_lock lk(mu_);
+  for (;;) {
+    ShardQueue& own = queues_[shard];
+    if (!own.empty()) {
+      // Own waves are compatible by construction (dispatch() only assigns
+      // compatible shards) and already priced for this backend. One wave
+      // per channel; channels left empty-handed rebalance from the
+      // most-loaded sibling so the merged pass keeps every bus busy.
+      std::vector<NextWave> group;
+      std::vector<std::size_t> starved;
+      for (std::size_t c = 0; c < own.channels(); ++c) {
+        if (own.empty(c)) {
+          starved.push_back(c);
+          continue;
+        }
+        QueuedWave wave = own.take_oldest(c);
+        own.begin_wave(c, wave.estimated_cycles);
+        group.push_back(NextWave{std::move(wave.requests),
+                                 wave.estimated_cycles, c,
+                                 /*stolen=*/false, /*rebalanced=*/false});
+      }
+      for (const std::size_t c : starved) {
+        std::size_t donor = own.channels();
+        for (std::size_t d = 0; d < own.channels(); ++d) {
+          if (own.empty(d)) continue;
+          if (donor == own.channels() ||
+              own.queued_cycles(d) > own.queued_cycles(donor))
+            donor = d;
+        }
+        if (donor == own.channels()) break;  // nothing left to spread
+        QueuedWave wave = own.take_oldest(donor);
+        own.begin_wave(c, wave.estimated_cycles);
+        group.push_back(NextWave{std::move(wave.requests),
+                                 wave.estimated_cycles, c,
+                                 /*stolen=*/false, /*rebalanced=*/true});
+      }
+      space_cv_.notify_all();
+      return group;
+    }
+    // Only an entirely empty shard crosses shard boundaries: local
+    // rebalance above strictly precedes remote stealing. After close() an
+    // empty-handed worker drains peers even with stealing disabled
+    // (accepted work always executes), but those takes are drain
+    // reassignments, not policy steals — `stolen` stays false for them.
+    if (cfg_.work_stealing || closed_) {
+      if (auto stolen = try_steal_for(shard)) {
+        std::vector<NextWave> group;
+        group.push_back(std::move(*stolen));
+        return group;
+      }
+    }
+    if (closed_) return {};
+    ready_cv_.wait(lk);
   }
 }
 
@@ -97,50 +212,34 @@ std::optional<Dispatcher::NextWave> Dispatcher::next_wave_for(
   NTTPIM_EXPECT(shard < queues_.size());
   std::unique_lock lk(mu_);
   for (;;) {
-    if (!queues_[shard].empty()) {
-      // Own waves are compatible by construction (dispatch() only assigns
-      // compatible shards) and already priced for this backend.
-      QueuedWave wave = queues_[shard].take_oldest();
-      queues_[shard].begin_wave(wave.estimated_cycles);
-      space_cv_.notify_all();
-      return NextWave{std::move(wave.requests), wave.estimated_cycles,
-                      /*stolen=*/false};
-    }
-    // Steal: from the most-loaded peer that holds a wave this shard's
-    // backend can run, its oldest such wave, re-priced for the thief.
-    // After close() an empty-handed worker drains peers even with stealing
-    // disabled (accepted work always executes), but those takes are drain
-    // reassignments, not policy steals — `stolen` stays false for them.
-    if (cfg_.work_stealing || closed_) {
-      // Victim order: queued cost, descending.
-      std::vector<std::size_t> victims;
-      victims.reserve(queues_.size());
-      for (std::size_t s = 0; s < queues_.size(); ++s)
-        if (s != shard && !queues_[s].empty()) victims.push_back(s);
-      std::sort(victims.begin(), victims.end(), [&](auto a, auto b) {
-        return queues_[a].queued_cycles() > queues_[b].queued_cycles();
-      });
-      for (const std::size_t victim : victims) {
-        for (std::size_t i = 0; i < queues_[victim].size(); ++i) {
-          const std::uint64_t cycles =
-              priced_for(shard, queues_[victim].wave_at(i).requests);
-          if (cycles == kIncompatibleCycles) continue;
-          QueuedWave wave = queues_[victim].take_at(i);
-          queues_[shard].begin_wave(cycles);
-          space_cv_.notify_all();
-          return NextWave{std::move(wave.requests), cycles,
-                          /*stolen=*/cfg_.work_stealing};
-        }
+    ShardQueue& own = queues_[shard];
+    if (!own.empty()) {
+      // Oldest wave of the most-loaded own channel.
+      std::size_t c = 0;
+      bool found = false;
+      for (std::size_t d = 0; d < own.channels(); ++d) {
+        if (own.empty(d)) continue;
+        if (!found || own.queued_cycles(d) > own.queued_cycles(c)) c = d;
+        found = true;
       }
+      QueuedWave wave = own.take_oldest(c);
+      own.begin_wave(c, wave.estimated_cycles);
+      space_cv_.notify_all();
+      return NextWave{std::move(wave.requests), wave.estimated_cycles, c,
+                      /*stolen=*/false, /*rebalanced=*/false};
+    }
+    if (cfg_.work_stealing || closed_) {
+      if (auto stolen = try_steal_for(shard)) return stolen;
     }
     if (closed_) return std::nullopt;
     ready_cv_.wait(lk);
   }
 }
 
-void Dispatcher::complete(std::size_t shard, std::uint64_t estimated_cycles) {
+void Dispatcher::complete(std::size_t shard, std::uint64_t estimated_cycles,
+                          std::size_t channel) {
   const std::scoped_lock lk(mu_);
-  queues_[shard].finish_wave(estimated_cycles);
+  queues_[shard].finish_wave(channel, estimated_cycles);
 }
 
 void Dispatcher::close() {
@@ -155,6 +254,12 @@ void Dispatcher::close() {
 std::uint64_t Dispatcher::backlog_cycles(std::size_t shard) const {
   const std::scoped_lock lk(mu_);
   return queues_[shard].backlog_cycles();
+}
+
+std::uint64_t Dispatcher::backlog_cycles(std::size_t shard,
+                                         std::size_t channel) const {
+  const std::scoped_lock lk(mu_);
+  return queues_[shard].backlog_cycles(channel);
 }
 
 }  // namespace nttpim::service

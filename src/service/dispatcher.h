@@ -1,44 +1,64 @@
-// Cost-aware wave dispatch with cross-shard work stealing.
+// Cost-aware hierarchical (shard, channel) wave dispatch with local
+// rebalancing and cross-shard work stealing.
 //
 // PR 4's shards pulled whole waves straight off the shared wave-former;
 // assignment was "whoever asks next", so a shard chewing a huge mixed wave
 // could leave expensive waves queued behind it while its peers idled — the
 // load imbalance the paper's row-centric mapping avoids *inside* a device,
-// reproduced across devices. The Dispatcher closes that gap with the same
+// reproduced across devices. PR 5's Dispatcher closed that gap with the
 // cost-model-driven scheduling MeNTT / BP-NTT use to balance in-memory NTT
-// lanes:
+// lanes; this revision extends the same idea one level down, to the
+// independent command buses of a multi-channel device (see
+// dram::DramGeometry::num_channels):
 //
-//   wave-former --> Dispatcher --> shard queue 0 --> worker 0
-//    (coalesce)      |  price &  > shard queue 1 --> worker 1
-//                    |  assign   > ...          <-- steal when idle
+//   wave-former --> Dispatcher --> shard 0 { ch 0 --> merged  } worker 0
+//    (coalesce)      |  price &  >         { ch 1 --> pass    }
+//                    |  assign   > shard 1 { ch 0 ... }         worker 1
+//                    |  (s, ch)       ^-- rebalance across own channels,
+//                    |                    steal across shards when idle
 //
 //  - Assignment: each formed wave is priced *per shard* by an Estimator
 //    (backed by each backend's own estimate_wave_cycles — all in the
 //    shared modeled-cycle unit, see fhe/ntt_backend.h), scaled by the
-//    shard's cost_scale, and pushed onto the queue of the shard that
-//    would clear it soonest (smallest backlog + price). With
-//    heterogeneous shards this is what routes cheap waves to a CPU worker
-//    while bulk waves stay on the PIM. `cost_aware = false` degrades to
-//    blind round-robin — the FIFO baseline the bench compares against.
+//    shard's cost_scale, and pushed onto the (shard, channel) queue that
+//    would clear it soonest (smallest per-channel backlog + price). The
+//    price is per shard, not per channel: channels of one device are
+//    identical buses, so only their backlogs differ. With heterogeneous
+//    shards this is what routes cheap waves to a CPU worker while bulk
+//    waves stay on the PIM; within a PIM shard it is what spreads bulk
+//    waves across buses so the worker can merge one wave per channel into
+//    a single channel-overlapped engine pass. `cost_aware = false`
+//    degrades to blind round-robin over the flattened (shard, channel)
+//    pairs — the FIFO baseline the bench compares against.
 //  - Compatibility: an Estimator may return kIncompatibleCycles to mark a
 //    (shard, wave) pair unrunnable; assignment and stealing both skip such
 //    pairs. (Every current backend runs every wave — the sentinel is the
 //    general mechanism for restricted future backends, and for tests.)
-//  - Stealing: a worker whose own queue is empty takes the oldest queued
-//    wave *it is compatible with* from the most-loaded peer, re-priced
-//    for the thief's backend. Steals move whole waves, so the
-//    thread-confined backend / plan-cache contract is untouched — a wave
-//    executes entirely on whichever shard took it, and only the dispatch
-//    bookkeeping crosses threads (under the Dispatcher's one mutex).
-//  - Backpressure: per-shard queues are bounded in waves; dispatch()
-//    blocks while its target is full, which stops the wave-former from
-//    being drained, which backpressures submitters through the former's
-//    own bounded queue.
+//  - Local rebalance: when a worker group-pops one wave per channel
+//    (next_waves_for) and some channels come up empty while siblings still
+//    hold queued waves, the empty channels take the oldest wave of the
+//    most-loaded sibling so the merged pass keeps every bus busy. This
+//    never crosses a shard (same backend, same thread), so it is always
+//    on, independent of the work_stealing policy, and is reported as
+//    `rebalanced`, not `stolen`.
+//  - Stealing: only when its *whole* shard is empty does a worker cross
+//    shards — local rebalance strictly precedes remote stealing. It takes
+//    the oldest compatible wave from the most-loaded peer (channels of the
+//    victim probed most-loaded first), re-priced for the thief's backend
+//    and landed on the thief's least-backlogged channel. Steals move whole
+//    waves, so the thread-confined backend / plan-cache contract is
+//    untouched — a wave executes entirely on whichever shard took it, and
+//    only the dispatch bookkeeping crosses threads (under the Dispatcher's
+//    one mutex).
+//  - Backpressure: per-channel queues are bounded in waves; dispatch()
+//    blocks while its target channel is full, which stops the wave-former
+//    from being drained, which backpressures submitters through the
+//    former's own bounded queue.
 //
-// close() ends intake; workers then drain every queue (an empty own queue
+// close() ends intake; workers then drain every queue (an empty own shard
 // lets a worker take a leftover peer wave regardless of the stealing
-// policy — accepted work always executes) and next_wave_for() returns
-// nullopt once everything is gone.
+// policy — accepted work always executes) and next_wave(s)_for return
+// empty once everything is gone.
 #pragma once
 
 #include <condition_variable>
@@ -64,12 +84,15 @@ class Dispatcher {
     /// Multiplies this shard's raw estimates before any comparison or
     /// accounting (see BackendDescriptor::cost_scale).
     double cost_scale = 1.0;
+    /// Independent command channels of the shard's device (see
+    /// BackendDescriptor::channels). The shard's queue splits per channel.
+    std::size_t channels = 1;
   };
 
   struct Config {
     /// One entry per shard, in worker order.
     std::vector<Shard> shards = {Shard{}};
-    std::size_t queue_capacity_waves = 4;  ///< per-shard bound, in waves
+    std::size_t queue_capacity_waves = 4;  ///< per-channel bound, in waves
     bool cost_aware = true;     ///< least-backlog assignment (false = RR)
     bool work_stealing = true;  ///< idle shards steal from loaded peers
   };
@@ -95,47 +118,79 @@ class Dispatcher {
   Dispatcher(const Config& config, Estimator estimator);
 
   /// Price one formed wave per shard and enqueue it on the chosen
-  /// compatible shard's queue, blocking while that queue is full. After
-  /// close() the capacity bound is waived instead of blocking forever
-  /// (drain semantics: whatever the former already accepted must still
-  /// reach a queue). Throws std::logic_error if no shard can run the wave.
+  /// compatible (shard, channel) queue, blocking while that channel is
+  /// full. After close() the capacity bound is waived instead of blocking
+  /// forever (drain semantics: whatever the former already accepted must
+  /// still reach a queue). Throws std::logic_error if no shard can run the
+  /// wave.
   void dispatch(std::vector<Request>&& wave);
 
   struct NextWave {
     std::vector<Request> requests;
     /// The executing shard's scaled price (re-priced on a steal).
     std::uint64_t estimated_cycles = 0;
+    /// Channel of the executing shard the wave runs on — the channel hint
+    /// the worker stamps on the wave's batch items.
+    std::size_t channel = 0;
     bool stolen = false;  ///< taken from a peer under the stealing policy
+    /// Moved between channels of the executing shard by a group pop's
+    /// local rebalance (never a policy steal — same backend, same thread).
+    bool rebalanced = false;
   };
 
-  /// Block until `shard` has a wave to run: its own queue's oldest wave,
-  /// else — when stealing is enabled, or after close() — the oldest
-  /// compatible wave of the most-loaded peer that has one, re-priced for
-  /// this shard's backend. Returns nullopt only when the dispatcher is
-  /// closed and every wave this shard could run has drained (a closed
-  /// dispatcher strands nothing: an incompatible leftover is, by
-  /// construction, compatible with the shard it was assigned to). The
-  /// returned wave's cost is already accounted as executing on `shard`;
-  /// pass it back through complete() when done.
+  /// Block until `shard` has work, then return up to one wave per channel
+  /// — the group the worker merges into a single channel-overlapped engine
+  /// pass. Own channels pop their oldest wave; channels left empty-handed
+  /// take the oldest wave of the most-loaded sibling channel
+  /// (`rebalanced`). Only when the whole shard is empty does the worker
+  /// steal remotely — when stealing is enabled, or after close() — taking
+  /// the oldest compatible wave of the most-loaded peer, re-priced, onto
+  /// this shard's least-backlogged channel (a group of one). Returns an
+  /// empty vector only when the dispatcher is closed and every wave this
+  /// shard could run has drained (a closed dispatcher strands nothing: an
+  /// incompatible leftover is, by construction, compatible with the shard
+  /// it was assigned to). Each returned wave's cost is already accounted
+  /// as executing on (shard, its channel); pass each back through
+  /// complete() when done.
+  std::vector<NextWave> next_waves_for(std::size_t shard);
+
+  /// Single-wave variant of next_waves_for: the oldest wave of this
+  /// shard's most-loaded channel, else a remote steal onto the
+  /// least-backlogged channel. Same blocking and drain semantics;
+  /// nullopt == drained. (Group pops are what production workers use —
+  /// this is the granular probe for tests and simple consumers.)
   std::optional<NextWave> next_wave_for(std::size_t shard);
 
-  /// Account the end of a wave next_wave_for(shard) handed out.
-  void complete(std::size_t shard, std::uint64_t estimated_cycles);
+  /// Account the end of a wave next_wave(s)_for(shard) handed out, on the
+  /// channel the NextWave named.
+  void complete(std::size_t shard, std::uint64_t estimated_cycles,
+                std::size_t channel = 0);
 
   /// Stop intake and let workers drain; idempotent.
   void close();
 
-  /// Estimated outstanding cost (queued + executing) of one shard, for
-  /// stats snapshots. Safe from any thread.
+  /// Estimated outstanding cost (queued + executing) of one shard summed
+  /// over its channels, for stats snapshots. Safe from any thread.
   std::uint64_t backlog_cycles(std::size_t shard) const;
+  /// One channel's share of the same.
+  std::uint64_t backlog_cycles(std::size_t shard, std::size_t channel) const;
 
   std::size_t shards() const noexcept { return cfg_.shards.size(); }
+  std::size_t channels(std::size_t shard) const {
+    return cfg_.shards[shard].channels;
+  }
 
  private:
   /// estimate_(shard, wave) with the shard's cost_scale applied
   /// (kIncompatibleCycles passes through unscaled). Caller holds mu_.
   std::uint64_t priced_for(std::size_t shard,
                            std::vector<Request>& wave) const;
+
+  /// Remote-steal step shared by the group and single-wave pop paths:
+  /// the oldest compatible wave of the most-loaded peer, re-priced and
+  /// accounted as executing on this shard's least-backlogged channel.
+  /// Caller holds mu_; returns nullopt when no peer has a compatible wave.
+  std::optional<NextWave> try_steal_for(std::size_t shard);
 
   const Config cfg_;
   Estimator estimate_;
@@ -145,6 +200,8 @@ class Dispatcher {
   /// deque, not vector: ShardQueue holds move-only Requests and emplacing
   /// into a deque never relocates existing elements.
   std::deque<ShardQueue> queues_;
+  /// Flattened (shard, channel) pairs, shard-major — the round-robin orbit.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs_;
   std::size_t rr_next_ = 0;  ///< round-robin cursor (cost_aware = false)
   bool closed_ = false;
 };

@@ -25,14 +25,19 @@ std::vector<BackendDescriptor> resolve_descriptors(const ServiceConfig& cfg) {
   resolved.reserve(bc.shards);
   for (std::size_t s = 0; s < bc.shards; ++s)
     resolved.push_back(make_pim_descriptor(bc.banks_per_shard, bc.num_buffers,
-                                           bc.freq_mhz));
+                                           bc.freq_mhz, /*cost_scale=*/1.0,
+                                           bc.channels_per_shard));
   return resolved;
 }
 
 WaveFormer::Config former_config(const ServiceConfig& cfg) {
   WaveFormer::Config fc;
   fc.capacity_items = cfg.former.queue_capacity;
-  fc.max_wave_items = cfg.former.wave_multiple * cfg.backend.banks_per_shard;
+  // One channel's bank set per wave: the dispatcher spreads the waves
+  // across a shard's channels and the worker merges them into one pass.
+  fc.max_wave_items = cfg.former.wave_multiple *
+                      (cfg.backend.banks_per_shard /
+                       cfg.backend.channels_per_shard);
   fc.flush_window = cfg.former.flush_window;
   fc.overflow = cfg.former.overflow;
   fc.start_paused = cfg.former.start_paused;
@@ -45,7 +50,7 @@ Dispatcher::Config dispatcher_config(
   dc.shards.clear();
   dc.shards.reserve(resolved.size());
   for (const BackendDescriptor& d : resolved)
-    dc.shards.push_back({d.kind, d.cost_scale});
+    dc.shards.push_back({d.kind, d.cost_scale, d.channels});
   dc.queue_capacity_waves = cfg.dispatch.shard_queue_waves;
   dc.cost_aware = cfg.dispatch.cost_aware_dispatch;
   dc.work_stealing = cfg.dispatch.work_stealing;
@@ -95,10 +100,16 @@ NttService::NttService(const ServiceConfig& config)
       shard_stats_(resolved_.size()) {
   NTTPIM_EXPECT_MSG(cfg_.backend.banks_per_shard >= 1,
                     "wave sizing needs at least one bank per shard");
+  NTTPIM_EXPECT_MSG(
+      cfg_.backend.channels_per_shard >= 1 &&
+          cfg_.backend.banks_per_shard % cfg_.backend.channels_per_shard == 0,
+      "banks_per_shard must split evenly across channels_per_shard");
   NTTPIM_EXPECT_MSG(cfg_.former.wave_multiple >= 1,
                     "wave_multiple must be >= 1");
   NTTPIM_EXPECT_MSG(cfg_.dispatch.shard_queue_waves >= 1,
                     "each shard needs a dispatch queue of at least one wave");
+  for (std::size_t s = 0; s < resolved_.size(); ++s)
+    shard_stats_[s].channels.resize(resolved_[s].channels);
   workers_.reserve(resolved_.size());
   for (std::size_t s = 0; s < resolved_.size(); ++s)
     workers_.emplace_back([this, s] { worker(s); });
@@ -180,22 +191,6 @@ std::future<std::vector<std::uint32_t>> NttService::submit_multiply(
   return future;
 }
 
-std::future<std::vector<std::uint32_t>> NttService::submit(
-    std::vector<std::uint32_t> poly,
-    std::shared_ptr<const ntt::NttParams> params, bool inverse) {
-  SubmitOptions options;
-  options.inverse = inverse;
-  return submit(std::move(poly), std::move(params), options);
-}
-
-void NttService::submit(std::vector<std::uint32_t> poly,
-                        std::shared_ptr<const ntt::NttParams> params,
-                        bool inverse, Callback done) {
-  SubmitOptions options;
-  options.inverse = inverse;
-  submit(std::move(poly), std::move(params), options, std::move(done));
-}
-
 void NttService::enqueue(Request&& request) {
   validate(request);  // synchronous misuse -> std::invalid_argument here
   {
@@ -256,13 +251,11 @@ void NttService::worker(std::size_t shard) {
   if (!backend) return;
 
   for (;;) {
-    auto next = dispatcher_.next_wave_for(shard);
-    if (!next) return;  // closed and every queue drained
-    if (next->stolen) {
-      const std::scoped_lock lk(stats_mu_);
-      ++shard_stats_[shard].stolen_waves;
-    }
-    execute_wave(shard, *backend, next->requests, next->estimated_cycles);
+    // Group pop: up to one wave per channel of this shard, merged below
+    // into a single channel-overlapped engine pass.
+    auto group = dispatcher_.next_waves_for(shard);
+    if (group.empty()) return;  // closed and every queue drained
+    execute_group(shard, *backend, group);
   }
 }
 
@@ -287,6 +280,11 @@ std::uint64_t NttService::estimate_wave(std::size_t shard,
   fhe::NttBackend* backend = backends_[shard];
   if (backend == nullptr) return wave.size();  // construction failed; moot
   WavePasses passes = wave_passes(wave);
+  // Waves execute pinned to one channel of the shard's device, so price
+  // one channel's worth: pin every item to channel 0 for the estimate
+  // (channel-less backends ignore the hint).
+  for (fhe::BatchItem& item : passes.forward) item.channel = 0;
+  for (fhe::BatchItem& item : passes.inverse) item.channel = 0;
   // A multiply wave runs two passes back-to-back on the same backend, so
   // its cost is the sum of both makespans.
   std::uint64_t cycles = backend->estimate_wave_cycles(passes.forward);
@@ -295,75 +293,106 @@ std::uint64_t NttService::estimate_wave(std::size_t shard,
   return cycles;
 }
 
-void NttService::execute_wave(std::size_t shard, fhe::NttBackend& backend,
-                              std::vector<Request>& wave,
-                              std::uint64_t estimated_cycles) {
+void NttService::execute_group(std::size_t shard, fhe::NttBackend& backend,
+                               std::vector<Dispatcher::NextWave>& group) {
   const auto wave_start = ServiceClock::now();
-  for (const Request& r : wave)
-    queue_latency_.record(elapsed_us(r.enqueued, wave_start));
+  for (const Dispatcher::NextWave& w : group)
+    for (const Request& r : w.requests)
+      queue_latency_.record(elapsed_us(r.enqueued, wave_start));
 
   // Pass 1: every transform in its requested direction, both operands of
-  // every multiply forward -- one heterogeneous engine pass. Pass 2 (only
-  // if the wave had multiplies): pointwise products on the host, then the
-  // wave's inverse transforms as one more pass. The inverse items already
-  // point at each multiply's `a` buffer, which the pointwise product
-  // overwrites in place.
-  const WavePasses wave_items = wave_passes(wave);
+  // every multiply forward -- one heterogeneous engine pass merging the
+  // whole group, each wave's items pinned to the channel the dispatcher
+  // assigned it so the device overlaps the waves on its command buses
+  // (channel-less backends ignore the hint). Pass 2 (only if the group had
+  // multiplies): pointwise products on the host, then the group's inverse
+  // transforms as one more pass. The inverse items already point at each
+  // multiply's `a` buffer, which the pointwise product overwrites in
+  // place.
+  std::vector<fhe::BatchItem> forward;
+  std::vector<fhe::BatchItem> inverse;
+  for (Dispatcher::NextWave& w : group) {
+    WavePasses wave_items = wave_passes(w.requests);
+    for (fhe::BatchItem& item : wave_items.forward) {
+      item.channel = static_cast<std::int32_t>(w.channel);
+      forward.push_back(item);
+    }
+    for (fhe::BatchItem& item : wave_items.inverse) {
+      item.channel = static_cast<std::int32_t>(w.channel);
+      inverse.push_back(item);
+    }
+  }
 
   std::uint64_t passes = 0;
   std::uint64_t items = 0;
   bool ok = true;
   try {
-    backend.transform_batch_mixed(wave_items.forward);
+    backend.transform_batch_mixed(forward);
     ++passes;
-    items += wave_items.forward.size();
+    items += forward.size();
 
-    if (!wave_items.inverse.empty()) {
-      for (Request& r : wave) {
-        if (r.kind != Request::Kind::kMultiply) continue;
-        r.a = ntt::pointwise_mul(r.a, r.b, r.params->q());
-      }
-      backend.transform_batch_mixed(wave_items.inverse);
+    if (!inverse.empty()) {
+      for (Dispatcher::NextWave& w : group)
+        for (Request& r : w.requests) {
+          if (r.kind != Request::Kind::kMultiply) continue;
+          r.a = ntt::pointwise_mul(r.a, r.b, r.params->q());
+        }
+      backend.transform_batch_mixed(inverse);
       ++passes;
-      items += wave_items.inverse.size();
+      items += inverse.size();
     }
   } catch (...) {
-    // A wave fails as a unit: the backend state after a mid-pass throw is
+    // A group fails as a unit: the backend state after a mid-pass throw is
     // unspecified, so every rider sees the same error.
     ok = false;
     const auto error = std::current_exception();
-    for (Request& r : wave) r.fail(error);
+    for (Dispatcher::NextWave& w : group)
+      for (Request& r : w.requests) r.fail(error);
   }
+
+  std::size_t requests = 0;
+  for (const Dispatcher::NextWave& w : group) requests += w.requests.size();
 
   if (ok) {
     const auto done = ServiceClock::now();
-    for (Request& r : wave) {
-      service_latency_.record(elapsed_us(r.enqueued, done));
-      r.deliver(std::move(r.a));
-    }
+    for (Dispatcher::NextWave& w : group)
+      for (Request& r : w.requests) {
+        service_latency_.record(elapsed_us(r.enqueued, done));
+        r.deliver(std::move(r.a));
+      }
   }
 
   // Retire the dispatcher's backlog accounting *before* the drain-visible
   // counters below: drain() returns when completed + failed == accepted,
-  // and a snapshot taken right after it must already see this wave's cost
+  // and a snapshot taken right after it must already see this group's cost
   // gone from estimated_backlog_cycles.
-  dispatcher_.complete(shard, estimated_cycles);
+  for (const Dispatcher::NextWave& w : group)
+    dispatcher_.complete(shard, w.estimated_cycles, w.channel);
 
   {
     const std::scoped_lock lk(stats_mu_);
-    waves_ += 1;
+    waves_ += group.size();
     engine_passes_ += passes;
     batch_items_ += items;
     if (ok)
-      completed_ += wave.size();
+      completed_ += requests;
     else
-      failed_ += wave.size();
+      failed_ += requests;
     ShardStats& ss = shard_stats_[shard];
-    ss.waves += 1;
+    ss.waves += group.size();
     ss.engine_passes += passes;
     ss.batch_items += items;
-    ss.requests += wave.size();
-    ss.estimated_executed_cycles += estimated_cycles;
+    ss.requests += requests;
+    for (const Dispatcher::NextWave& w : group) {
+      ss.estimated_executed_cycles += w.estimated_cycles;
+      if (w.stolen) ++ss.stolen_waves;
+      if (w.rebalanced) ++ss.rebalanced_waves;
+      ChannelStats& cs = ss.channels[w.channel];
+      ++cs.waves;
+      if (w.stolen) ++cs.stolen_waves;
+      if (w.rebalanced) ++cs.rebalanced_waves;
+      cs.estimated_executed_cycles += w.estimated_cycles;
+    }
     ss.modeled_cycles = backend.modeled_cycles();
   }
   idle_cv_.notify_all();
@@ -402,7 +431,10 @@ void NttService::reset_stats() {
     waves_ = 0;
     engine_passes_ = 0;
     batch_items_ = 0;
-    for (ShardStats& ss : shard_stats_) ss = ShardStats{};
+    for (std::size_t s = 0; s < shard_stats_.size(); ++s) {
+      shard_stats_[s] = ShardStats{};
+      shard_stats_[s].channels.resize(resolved_[s].channels);
+    }
   }
   queue_latency_.reset();
   service_latency_.reset();
@@ -433,6 +465,9 @@ ServiceStats NttService::stats() const {
   for (std::size_t i = 0; i < s.shards.size(); ++i) {
     s.shards[i].kind = resolved_[i].kind;
     s.shards[i].estimated_backlog_cycles = dispatcher_.backlog_cycles(i);
+    for (std::size_t c = 0; c < s.shards[i].channels.size(); ++c)
+      s.shards[i].channels[c].estimated_backlog_cycles =
+          dispatcher_.backlog_cycles(i, c);
   }
   s.queue_latency = queue_latency_.summary();
   s.service_latency = service_latency_.summary();

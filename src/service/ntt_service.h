@@ -37,11 +37,15 @@
 // Between the former and the shards sits a Dispatcher (dispatcher.h):
 // formed waves are priced per shard by each backend's own cost model
 // (NttBackend::estimate_wave_cycles — one modeled-cycle unit across
-// backends) and assigned to the shard that would clear them soonest; each
-// shard drains its own bounded wave queue, and an idle shard steals the
-// oldest compatible queued wave of the most-loaded peer — whole-wave
-// steals, so every wave still executes entirely on one thread-confined
-// backend.
+// backends) and assigned to the (shard, channel) pair that would clear
+// them soonest — a channel being one independent command bus of a
+// multi-channel PIM device (dram::DramGeometry::num_channels). Each
+// worker group-pops one wave per channel of its shard and merges them,
+// channel-pinned, into a single bus-overlapped engine pass; channels left
+// empty rebalance from loaded siblings, and only a fully idle shard
+// steals the oldest compatible queued wave of the most-loaded peer —
+// whole-wave steals, so every wave still executes entirely on one
+// thread-confined backend.
 //
 // Results come back through a std::future or a fire-and-forget Callback.
 // Backpressure is a bounded queue with block/reject policies; shutdown()
@@ -74,11 +78,13 @@ namespace nttpim::service {
 struct FormerConfig {
   /// Bounded-queue capacity, in batch items (a multiply counts 2).
   std::size_t queue_capacity = 1024;
-  /// Waves flush at wave_multiple * banks_per_shard batch items: 1 fills
-  /// every bank of a PIM shard once; k > 1 additionally stacks k items
-  /// per bank in one engine pass (amortizing pass overhead at the cost of
-  /// latency). CPU shards have no banks — waves stay PIM-sized and the
-  /// CPU lanes simply split whatever arrives.
+  /// Waves flush at wave_multiple * (banks_per_shard / channels_per_shard)
+  /// batch items — one *channel's* bank set: 1 fills every bank of one
+  /// command bus once (the dispatcher then spreads waves across a shard's
+  /// channels and the worker merges one per channel into a single engine
+  /// pass); k > 1 additionally stacks k items per bank (amortizing pass
+  /// overhead at the cost of latency). CPU shards have no banks — waves
+  /// stay channel-sized and the CPU lanes simply split whatever arrives.
   std::size_t wave_multiple = 1;
   /// ... or flush when the oldest pending request has waited this long.
   std::chrono::microseconds flush_window{200};
@@ -110,10 +116,16 @@ struct BackendConfig {
   /// When `descriptors` is empty: number of identical PIM shards to build
   /// from the three fields below. Ignored otherwise.
   std::size_t shards = 1;
-  /// Banks per default PIM shard device — also the wave-sizing unit of
-  /// the former (see FormerConfig::wave_multiple), regardless of the
-  /// descriptor list.
+  /// Banks per default PIM shard device — with channels_per_shard, also
+  /// the wave-sizing unit of the former (see FormerConfig::wave_multiple),
+  /// regardless of the descriptor list.
   std::size_t banks_per_shard = 8;
+  /// Independent command channels per default PIM shard device; the banks
+  /// split evenly across them (banks_per_shard must be a multiple). Waves
+  /// are sized to one channel's bank set and dispatched per (shard,
+  /// channel), so a worker's group pop merges up to channels_per_shard
+  /// waves into a single bus-overlapped engine pass (see dispatcher.h).
+  std::size_t channels_per_shard = 1;
   /// Per-bank CU buffers (Nb) of each default PIM shard device.
   std::size_t num_buffers = 4;
   /// Device clock for the modeled-cycle accounting (default descriptors
@@ -166,18 +178,6 @@ class NttService {
       std::vector<std::uint32_t> a, std::vector<std::uint32_t> b,
       std::shared_ptr<const ntt::NttParams> params, SubmitOptions options = {});
 
-  /// Pre-SubmitOptions spellings, kept one release for call-site
-  /// migration. The bool parameter has no default on purpose: the
-  /// two-argument call already resolves to the SubmitOptions overload.
-  [[deprecated("pass SubmitOptions{.inverse = ...} instead of a bool")]]
-  std::future<std::vector<std::uint32_t>> submit(
-      std::vector<std::uint32_t> poly,
-      std::shared_ptr<const ntt::NttParams> params, bool inverse);
-  [[deprecated("pass SubmitOptions{.inverse = ...} instead of a bool")]]
-  void submit(std::vector<std::uint32_t> poly,
-              std::shared_ptr<const ntt::NttParams> params, bool inverse,
-              Callback done);
-
   /// Gate / un-gate wave forming (submissions keep accumulating while
   /// paused). Pausing never interrupts a wave already executing.
   void pause();
@@ -226,9 +226,8 @@ class NttService {
   void dispatch_loop();
   std::uint64_t estimate_wave(std::size_t shard,
                               std::vector<Request>& wave) const;
-  void execute_wave(std::size_t shard, fhe::NttBackend& backend,
-                    std::vector<Request>& wave,
-                    std::uint64_t estimated_cycles);
+  void execute_group(std::size_t shard, fhe::NttBackend& backend,
+                     std::vector<Dispatcher::NextWave>& group);
   void validate(const Request& request) const;
 
   const ServiceConfig cfg_;

@@ -6,45 +6,90 @@
 
 namespace nttpim::service {
 
-ShardQueue::ShardQueue(std::size_t capacity_waves)
-    : capacity_(capacity_waves) {
+ShardQueue::ShardQueue(std::size_t capacity_waves, std::size_t num_channels)
+    : capacity_(capacity_waves), channels_(num_channels) {
   NTTPIM_EXPECT_MSG(capacity_waves >= 1,
-                    "a shard queue must hold at least one wave");
+                    "a shard queue must hold at least one wave per channel");
+  NTTPIM_EXPECT_MSG(num_channels >= 1,
+                    "a shard queue needs at least one channel");
 }
 
-void ShardQueue::push(QueuedWave&& wave) {
+const ShardQueue::Channel& ShardQueue::chan(std::size_t channel) const {
+  NTTPIM_EXPECT_MSG(channel < channels_.size(), "channel index out of range");
+  return channels_[channel];
+}
+
+ShardQueue::Channel& ShardQueue::chan(std::size_t channel) {
+  NTTPIM_EXPECT_MSG(channel < channels_.size(), "channel index out of range");
+  return channels_[channel];
+}
+
+bool ShardQueue::empty() const noexcept {
+  for (const Channel& c : channels_)
+    if (!c.waves.empty()) return false;
+  return true;
+}
+
+std::size_t ShardQueue::size() const noexcept {
+  std::size_t total = 0;
+  for (const Channel& c : channels_) total += c.waves.size();
+  return total;
+}
+
+std::uint64_t ShardQueue::queued_cycles() const noexcept {
+  std::uint64_t total = 0;
+  for (const Channel& c : channels_) total += c.queued_cycles;
+  return total;
+}
+
+std::uint64_t ShardQueue::backlog_cycles() const noexcept {
+  std::uint64_t total = 0;
+  for (const Channel& c : channels_)
+    total += c.queued_cycles + c.executing_cycles;
+  return total;
+}
+
+void ShardQueue::push(std::size_t channel, QueuedWave&& wave) {
   // No capacity check: full() is advisory (see the header) — the open
   // Dispatcher blocks on it, the closing one pushes past it to drain.
-  queued_cycles_ += wave.estimated_cycles;
-  waves_.push_back(std::move(wave));
+  Channel& c = chan(channel);
+  c.queued_cycles += wave.estimated_cycles;
+  c.waves.push_back(std::move(wave));
 }
 
-const QueuedWave& ShardQueue::wave_at(std::size_t i) const {
-  NTTPIM_EXPECT_MSG(i < waves_.size(), "wave index out of range");
-  return waves_[i];
+const QueuedWave& ShardQueue::wave_at(std::size_t channel,
+                                      std::size_t i) const {
+  const Channel& c = chan(channel);
+  NTTPIM_EXPECT_MSG(i < c.waves.size(), "wave index out of range");
+  return c.waves[i];
 }
 
-QueuedWave& ShardQueue::wave_at(std::size_t i) {
-  NTTPIM_EXPECT_MSG(i < waves_.size(), "wave index out of range");
-  return waves_[i];
+QueuedWave& ShardQueue::wave_at(std::size_t channel, std::size_t i) {
+  Channel& c = chan(channel);
+  NTTPIM_EXPECT_MSG(i < c.waves.size(), "wave index out of range");
+  return c.waves[i];
 }
 
-QueuedWave ShardQueue::take_at(std::size_t i) {
-  NTTPIM_EXPECT_MSG(i < waves_.size(), "take index out of range");
-  QueuedWave wave = std::move(waves_[i]);
-  waves_.erase(waves_.begin() + static_cast<std::ptrdiff_t>(i));
-  queued_cycles_ -= wave.estimated_cycles;
+QueuedWave ShardQueue::take_at(std::size_t channel, std::size_t i) {
+  Channel& c = chan(channel);
+  NTTPIM_EXPECT_MSG(i < c.waves.size(), "take index out of range");
+  QueuedWave wave = std::move(c.waves[i]);
+  c.waves.erase(c.waves.begin() + static_cast<std::ptrdiff_t>(i));
+  c.queued_cycles -= wave.estimated_cycles;
   return wave;
 }
 
-void ShardQueue::begin_wave(std::uint64_t estimated_cycles) {
-  executing_cycles_ += estimated_cycles;
+void ShardQueue::begin_wave(std::size_t channel,
+                            std::uint64_t estimated_cycles) {
+  chan(channel).executing_cycles += estimated_cycles;
 }
 
-void ShardQueue::finish_wave(std::uint64_t estimated_cycles) {
-  NTTPIM_EXPECT_MSG(executing_cycles_ >= estimated_cycles,
+void ShardQueue::finish_wave(std::size_t channel,
+                             std::uint64_t estimated_cycles) {
+  Channel& c = chan(channel);
+  NTTPIM_EXPECT_MSG(c.executing_cycles >= estimated_cycles,
                     "finishing a wave that never began");
-  executing_cycles_ -= estimated_cycles;
+  c.executing_cycles -= estimated_cycles;
 }
 
 }  // namespace nttpim::service

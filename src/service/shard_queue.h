@@ -1,14 +1,21 @@
-// Per-shard dispatch queue: a bounded FIFO of priced waves.
+// Per-shard dispatch queue: bounded FIFOs of priced waves, one per
+// channel of the shard's device.
 //
-// The dispatch layer (see dispatcher.h) holds one ShardQueue per shard.
-// Each entry is a formed wave plus the dispatcher's cycle estimate for it;
-// the queue keeps two running cost sums the dispatcher's decisions read:
-//  - queued_cycles: estimates of the waves sitting in the deque (what a
-//    thief can relieve a loaded shard of);
+// The dispatch layer (see dispatcher.h) holds one ShardQueue per shard,
+// split into `channels` sub-queues — one per independent command bus of
+// the shard's backend (see dram::DramGeometry::num_channels; CPU shards
+// have one). Each entry is a formed wave plus the dispatcher's cycle
+// estimate for it; every channel keeps two running cost sums the
+// dispatcher's decisions read:
+//  - queued_cycles: estimates of the waves sitting in the channel's deque
+//    (what a thief can relieve a loaded channel of);
 //  - executing_cycles: estimates of waves this shard's worker has popped
-//    but not yet finished (committed work no steal can move).
-// Their sum, backlog_cycles(), is the shard's estimated time-to-idle — the
-// quantity cost-aware assignment minimizes and stealing balances.
+//    from the channel but not yet finished (committed work no steal can
+//    move).
+// Their per-channel sum, backlog_cycles(channel), is that channel's
+// estimated time-to-idle — the quantity (shard, channel) assignment
+// minimizes and stealing balances; the channel-less overloads sum over
+// channels for shard-level decisions (victim choice, stats).
 //
 // ShardQueue is deliberately NOT self-locking: whole-wave steals must
 // inspect and mutate two queues atomically, so the owning Dispatcher
@@ -35,56 +42,80 @@ struct QueuedWave {
 
 class ShardQueue {
  public:
-  /// `capacity_waves` is the advisory bound full() reports. The queue
-  /// itself admits pushes past it: capacity is the Dispatcher's policy
-  /// (it blocks on full() while open), and its close() drain path relies
-  /// on over-capacity pushes to land the tail waves instead of blocking
-  /// against workers that may already be gone.
-  explicit ShardQueue(std::size_t capacity_waves);
+  /// `capacity_waves` is the advisory per-channel bound full() reports.
+  /// The queue itself admits pushes past it: capacity is the Dispatcher's
+  /// policy (it blocks on full() while open), and its close() drain path
+  /// relies on over-capacity pushes to land the tail waves instead of
+  /// blocking against workers that may already be gone.
+  explicit ShardQueue(std::size_t capacity_waves,
+                      std::size_t num_channels = 1);
 
-  bool empty() const noexcept { return waves_.empty(); }
-  bool full() const noexcept { return waves_.size() >= capacity_; }
-  std::size_t size() const noexcept { return waves_.size(); }
+  std::size_t channels() const noexcept { return channels_.size(); }
 
-  std::uint64_t queued_cycles() const noexcept { return queued_cycles_; }
-  std::uint64_t executing_cycles() const noexcept {
-    return executing_cycles_;
+  bool empty() const noexcept;  ///< every channel's deque is empty
+  bool empty(std::size_t channel) const {
+    return chan(channel).waves.empty();
   }
-  std::uint64_t backlog_cycles() const noexcept {
-    return queued_cycles_ + executing_cycles_;
+  bool full(std::size_t channel) const {
+    return chan(channel).waves.size() >= capacity_;
+  }
+  std::size_t size() const noexcept;  ///< queued waves across channels
+  std::size_t size(std::size_t channel) const {
+    return chan(channel).waves.size();
   }
 
-  /// Append a priced wave (dispatcher side).
-  void push(QueuedWave&& wave);
+  std::uint64_t queued_cycles() const noexcept;
+  std::uint64_t queued_cycles(std::size_t channel) const {
+    return chan(channel).queued_cycles;
+  }
+  std::uint64_t executing_cycles(std::size_t channel) const {
+    return chan(channel).executing_cycles;
+  }
+  std::uint64_t backlog_cycles() const noexcept;
+  std::uint64_t backlog_cycles(std::size_t channel) const {
+    const Channel& c = chan(channel);
+    return c.queued_cycles + c.executing_cycles;
+  }
 
-  /// Remove and return the oldest queued wave. Both the owner and a thief
-  /// take from this end: the owner for FIFO latency fairness, the thief
-  /// because the oldest wave has waited longest and is the least likely to
-  /// still be wanted by a busy owner.
-  QueuedWave take_oldest() { return take_at(0); }
+  /// Append a priced wave to one channel's deque (dispatcher side).
+  void push(std::size_t channel, QueuedWave&& wave);
 
-  /// Inspect the i-th queued wave (0 = oldest) without removing it — how
-  /// a thief checks backend compatibility before committing to a steal.
-  /// (Mutable overload because the Estimator signature takes the request
-  /// vector mutably; estimators must not actually modify it.)
-  const QueuedWave& wave_at(std::size_t i) const;
-  QueuedWave& wave_at(std::size_t i);
+  /// Remove and return the oldest wave queued on `channel`. Both the owner
+  /// and a thief take from this end: the owner for FIFO latency fairness,
+  /// the thief because the oldest wave has waited longest and is the least
+  /// likely to still be wanted by a busy owner.
+  QueuedWave take_oldest(std::size_t channel) { return take_at(channel, 0); }
 
-  /// Remove and return the i-th queued wave (0 = oldest): take_oldest()
-  /// generalized so a thief can skip waves its backend cannot run.
-  QueuedWave take_at(std::size_t i);
+  /// Inspect the i-th wave of one channel (0 = oldest) without removing it
+  /// — how a thief checks backend compatibility before committing to a
+  /// steal. (Mutable overload because the Estimator signature takes the
+  /// request vector mutably; estimators must not actually modify it.)
+  const QueuedWave& wave_at(std::size_t channel, std::size_t i) const;
+  QueuedWave& wave_at(std::size_t channel, std::size_t i);
 
-  /// Account a wave this shard's worker started / finished executing (the
-  /// wave may have been taken from a *peer's* deque — the cost always
-  /// follows the executor).
-  void begin_wave(std::uint64_t estimated_cycles);
-  void finish_wave(std::uint64_t estimated_cycles);
+  /// Remove and return the i-th wave of one channel (0 = oldest):
+  /// take_oldest() generalized so a thief can skip waves its backend
+  /// cannot run.
+  QueuedWave take_at(std::size_t channel, std::size_t i);
+
+  /// Account a wave this shard's worker started / finished executing on
+  /// `channel` (the wave may have been taken from a *peer's* deque or
+  /// another channel — the cost always follows the executor).
+  void begin_wave(std::size_t channel, std::uint64_t estimated_cycles);
+  void finish_wave(std::size_t channel, std::uint64_t estimated_cycles);
 
  private:
+  struct Channel {
+    std::deque<QueuedWave> waves;
+    std::uint64_t queued_cycles = 0;
+    std::uint64_t executing_cycles = 0;
+  };
+
+  const Channel& chan(std::size_t channel) const;
+  Channel& chan(std::size_t channel);
+
   std::size_t capacity_;
-  std::deque<QueuedWave> waves_;
-  std::uint64_t queued_cycles_ = 0;
-  std::uint64_t executing_cycles_ = 0;
+  std::vector<Channel> channels_;
 };
 
 }  // namespace nttpim::service

@@ -51,6 +51,25 @@ class LatencyRecorder {
   double max_us_ = 0;
 };
 
+/// Per-channel slice of one shard's counters: one entry per independent
+/// command bus of the shard's device (see BackendDescriptor::channels;
+/// CPU shards have one). Waves are dispatched to — and accounted on — a
+/// (shard, channel) pair, so these split ShardStats' wave counters by the
+/// bus the wave's batch items were pinned to.
+struct ChannelStats {
+  std::uint64_t waves = 0;  ///< waves executed pinned to this channel
+  /// Waves that landed here by a cross-shard steal (the thief's
+  /// least-backlogged channel receives the loot).
+  std::uint64_t stolen_waves = 0;
+  /// Waves moved here from a sibling channel by a group pop's local
+  /// rebalance (intra-shard; never counted as stolen).
+  std::uint64_t rebalanced_waves = 0;
+  /// Sum of the dispatcher's estimates for waves this channel finished.
+  std::uint64_t estimated_executed_cycles = 0;
+  /// This channel's share of the shard's instantaneous dispatcher backlog.
+  std::uint64_t estimated_backlog_cycles = 0;
+};
+
 /// Per-shard slice of the service counters (one shard = one worker thread
 /// owning one NttBackend).
 struct ShardStats {
@@ -64,6 +83,10 @@ struct ShardStats {
   /// Waves this shard pulled from a *peer's* queue because its own was
   /// empty (whole-wave steals; the dispatcher's load-balancing valve).
   std::uint64_t stolen_waves = 0;
+  /// Waves a group pop moved between this shard's own channels so the
+  /// merged engine pass kept every command bus busy (see dispatcher.h;
+  /// disjoint from stolen_waves).
+  std::uint64_t rebalanced_waves = 0;
   /// Snapshot of the dispatcher's cost estimate for this shard's
   /// outstanding work (queued + executing waves), in modeled device
   /// cycles. Instantaneous, not cumulative: it is what the dispatcher
@@ -80,6 +103,10 @@ struct ShardStats {
   /// NOT re-based by NttService::reset_stats() (the modeled-hardware
   /// account has no epochs).
   std::uint64_t modeled_cycles = 0;
+  /// One entry per channel of the shard's device, splitting the wave
+  /// counters above by command bus (size == BackendDescriptor::channels;
+  /// survives reset_stats()).
+  std::vector<ChannelStats> channels;
 };
 
 /// Snapshot of the service, safe to take while requests flow (see

@@ -59,9 +59,17 @@ class Scheduler {
   Scheduler(const EngineConfig& config, pim::PimDevice& device,
             std::span<const Command> trace)
       : config_(config), t_(config.timing), device_(device), trace_(trace) {
+    const dram::DramGeometry& g = device.geometry();
+    NTTPIM_EXPECT_MSG(g.num_channels >= 1 && g.banks % g.num_channels == 0,
+                      "banks must divide evenly across channels");
+    bus_free_.assign(g.num_channels, 0);
+    channel_makespan_.assign(g.num_channels, 0);
     banks_.reserve(device.num_banks());
-    for (std::size_t b = 0; b < device.num_banks(); ++b)
+    channel_.reserve(device.num_banks());
+    for (std::size_t b = 0; b < device.num_banks(); ++b) {
       banks_.emplace_back(t_, device.num_buffers());
+      channel_.push_back(g.channel_of(b));
+    }
     for (std::size_t i = 0; i < trace.size(); ++i) {
       NTTPIM_EXPECT_MSG(trace[i].bank < device.num_banks(),
                         "command targets a nonexistent bank");
@@ -84,6 +92,7 @@ class Scheduler {
       butterflies_after += device_.bank(b).cu().butterfly_count();
 
     stats_.cycles = makespan_;
+    stats_.channel_makespans = std::move(channel_makespan_);
     stats_.ns = static_cast<double>(makespan_) * t_.ns_per_cycle();
     stats_.butterflies = butterflies_after - butterflies_before;
 
@@ -267,8 +276,10 @@ class Scheduler {
       case CmdKind::kRefresh:
         NTTPIM_CHECK_MSG(false, "refresh is engine-inserted, not mapped");
     }
-    bus_free_ = at + bus_cycles;
+    const std::size_t ch = channel_[b];
+    bus_free_[ch] = at + bus_cycles;
     stats_.bus_busy_cycles += bus_cycles;
+    channel_makespan_[ch] = std::max(channel_makespan_[ch], end);
     makespan_ = std::max(makespan_, end);
     if (config_.record_timeline)
       stats_.timeline.push_back(TimelineEvent{
@@ -282,6 +293,7 @@ class Scheduler {
 
   void commit_refresh_step(std::size_t b, std::uint64_t at) {
     BankState& bs = banks_[b];
+    const std::size_t ch = channel_[b];
     switch (bs.refresh_step) {
       case RefreshStep::kNone:  // first step: PRE if open, else REF
         if (bs.timing.open_row() != dram::BankTiming::kNoOpenRow) {
@@ -295,6 +307,8 @@ class Scheduler {
           bs.timing.issue_refresh(at);
           ++stats_.refreshes;
           bs.next_refresh += t_.trefi;
+          channel_makespan_[ch] = std::max(channel_makespan_[ch],
+                                           at + t_.trfc);
           makespan_ = std::max(makespan_, at + t_.trfc);
           bs.refresh_step = RefreshStep::kNone;
           if (config_.record_timeline)
@@ -309,6 +323,8 @@ class Scheduler {
         bs.timing.issue_refresh(at);
         ++stats_.refreshes;
         bs.next_refresh += t_.trefi;
+        channel_makespan_[ch] = std::max(channel_makespan_[ch],
+                                         at + t_.trfc);
         makespan_ = std::max(makespan_, at + t_.trfc);
         bs.refresh_step = bs.saved_row == dram::BankTiming::kNoOpenRow
                               ? RefreshStep::kNone
@@ -329,7 +345,7 @@ class Scheduler {
         bs.saved_row = dram::BankTiming::kNoOpenRow;
         break;
     }
-    bus_free_ = at + 1;
+    bus_free_[ch] = at + 1;
     bs.cache_valid = false;
   }
 
@@ -353,6 +369,7 @@ class Scheduler {
       for (std::size_t offset = 0; offset < banks_.size(); ++offset) {
         const std::size_t b = (rr_start + offset) % banks_.size();
         BankState& bs = banks_[b];
+        const std::uint64_t bus_free = bus_free_[channel_[b]];
         const bool mid_refresh = bs.refresh_step != RefreshStep::kNone;
         if (bs.done() && !mid_refresh) continue;
         std::uint64_t e;
@@ -360,14 +377,14 @@ class Scheduler {
         if (mid_refresh) {
           // Finish an in-flight refresh sequence before trace commands.
           is_refresh = true;
-          e = refresh_action_time(bs, bus_free_);
+          e = refresh_action_time(bs, bus_free);
         } else if (bs.done()) {
           continue;
         } else {
           const Command& cmd = trace_[bs.queue[bs.head]];
-          e = earliest(bs, cmd, bus_free_);
+          e = earliest(bs, cmd, bus_free);
           is_refresh = config_.enable_refresh && e >= bs.next_refresh;
-          if (is_refresh) e = refresh_action_time(bs, bus_free_);
+          if (is_refresh) e = refresh_action_time(bs, bus_free);
         }
         if (e < best_time) {
           best_time = e;
@@ -415,6 +432,7 @@ class Scheduler {
       for (std::size_t offset = 0; offset < banks_.size(); ++offset) {
         const std::size_t b = (rr_start + offset) % banks_.size();
         BankState& bs = banks_[b];
+        const std::uint64_t bus_free = bus_free_[channel_[b]];
         const bool mid_refresh = bs.refresh_step != RefreshStep::kNone;
         if (bs.done() && !mid_refresh) continue;
         if (!bs.cache_valid) refill_cache(bs);
@@ -422,12 +440,12 @@ class Scheduler {
         bool is_refresh;
         if (mid_refresh) {
           is_refresh = true;
-          e = std::max(bus_free_, bs.cached_refresh_local);
+          e = std::max(bus_free, bs.cached_refresh_local);
         } else {
-          e = std::max(bus_free_, bs.cached_cmd_local);
+          e = std::max(bus_free, bs.cached_cmd_local);
           is_refresh = config_.enable_refresh && e >= bs.next_refresh;
           if (is_refresh)
-            e = std::max(bus_free_, bs.cached_refresh_local);
+            e = std::max(bus_free, bs.cached_refresh_local);
         }
         if (e < best_time) {
           best_time = e;
@@ -452,7 +470,9 @@ class Scheduler {
   pim::PimDevice& device_;
   std::span<const Command> trace_;
   std::vector<BankState> banks_;
-  std::uint64_t bus_free_ = 0;
+  std::vector<std::size_t> channel_;  ///< bank -> channel (command bus)
+  std::vector<std::uint64_t> bus_free_;  ///< per-channel bus availability
+  std::vector<std::uint64_t> channel_makespan_;
   std::uint64_t makespan_ = 0;
   RunStats stats_;
 };

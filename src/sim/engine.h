@@ -9,8 +9,13 @@
 // Scheduling model. Commands issue in order *per bank*; across banks the
 // engine each step picks the oldest-ready head-of-queue (lowest earliest
 // issue cycle, ties broken by bank id), which models a simple
-// bank-round-robin memory controller sharing one command bus (one command
-// per cycle; PARAM occupies two bus cycles for its 16-bit chunks).
+// bank-round-robin memory controller. Each *channel* of the device
+// geometry has its own command bus (one command per cycle; PARAM occupies
+// two bus cycles for its 16-bit chunks): a command serializes only against
+// commands of banks in the same channel, so channels progress on
+// independent timelines and the device makespan is the max over them —
+// the DRAMsim3-style per-channel command-stream model. A single-channel
+// geometry reproduces the paper's shared-bus device exactly.
 //
 // Timing rules per command kind:
 //   ACT      max(bus, tRP after PRE);            row opens, tRCD starts
@@ -67,13 +72,18 @@ struct RunStats {
   std::uint64_t param_loads = 0;
   std::uint64_t refreshes = 0;    ///< engine-inserted refresh cycles
   std::uint64_t commands = 0;
-  std::uint64_t bus_busy_cycles = 0;  ///< command-bus occupancy
+  std::uint64_t bus_busy_cycles = 0;  ///< command-bus occupancy, all buses
+  /// Per-channel makespans: the last completion cycle of any command on
+  /// that channel's banks. `cycles` is their max (channels run on
+  /// independent buses); a single-channel device has exactly one entry.
+  std::vector<std::uint64_t> channel_makespans;
   dram::EnergyBreakdown energy;
   std::vector<TimelineEvent> timeline;  ///< filled when record_timeline
 
   double us() const noexcept { return ns / 1e3; }
 
-  /// Fraction of the makespan the shared command bus was occupied.
+  /// Fraction of the makespan the command buses were occupied, summed over
+  /// channels (a C-channel device can exceed 1.0 only if C > 1).
   double bus_utilization() const noexcept {
     return cycles == 0 ? 0.0
                        : static_cast<double>(bus_busy_cycles) /

@@ -233,6 +233,61 @@ TEST(CpuBackendUnit, ModeledCyclesAccrueCostModelPrice) {
   EXPECT_EQ(cpu.transform_count(), 3u);
 }
 
+// Rolling calibration: every executed wave's measured wall time feeds an
+// EWMA that refines the *routing* estimates, while the modeled-cycle
+// account deliberately keeps the boot constant (the hardware account has
+// no epochs — see cpu_backend.h).
+TEST(CpuBackendUnit, RollingCalibrationRefinesEstimatesOnly) {
+  CpuBackend::Config cfg;
+  cfg.calibration_alpha = 0.5;
+  CpuBackend cpu(cfg);
+  EXPECT_DOUBLE_EQ(cpu.calibrated_cycles_per_point_stage(), 6.0);
+
+  // Injected samples follow the exact EWMA arithmetic.
+  cpu.record_calibration_sample(10.0);
+  EXPECT_DOUBLE_EQ(cpu.calibrated_cycles_per_point_stage(), 8.0);
+  cpu.record_calibration_sample(4.0);
+  EXPECT_DOUBLE_EQ(cpu.calibrated_cycles_per_point_stage(), 6.0);
+  cpu.record_calibration_sample(2.0);
+  EXPECT_DOUBLE_EQ(cpu.calibrated_cycles_per_point_stage(), 4.0);
+
+  // Estimates price with the rolling constant...
+  const auto params = make_params(256);
+  std::vector<BatchItem> items{{nullptr, &params, false}};
+  EXPECT_EQ(cpu.estimate_wave_cycles(items),
+            static_cast<std::uint64_t>(4.0 * 256 * 8));
+
+  // ...while the modeled account still charges the boot constant.
+  Rng rng(31);
+  auto poly = rng.residues(params.n(), params.q());
+  cpu.forward(poly, params);
+  EXPECT_EQ(cpu.modeled_cycles(), 6u * 256 * 8);
+
+  // A glitched sample clamps instead of collapsing the constant.
+  cpu.record_calibration_sample(-5.0);
+  EXPECT_GT(cpu.calibrated_cycles_per_point_stage(), 0.0);
+
+  // Executed batches really do feed the EWMA (default alpha 0.25): the
+  // constant moves off its seed after real work.
+  CpuBackend live;
+  auto a = rng.residues(params.n(), params.q());
+  auto b = rng.residues(params.n(), params.q());
+  std::vector<BatchItem> batch{{&a, &params, false}, {&b, &params, true}};
+  live.transform_batch_mixed(batch);
+  EXPECT_NE(live.calibrated_cycles_per_point_stage(), 6.0);
+
+  // Alpha 0 freezes the boot constant: samples are ignored.
+  CpuBackend::Config frozen;
+  frozen.calibration_alpha = 0.0;
+  CpuBackend fixed(frozen);
+  fixed.record_calibration_sample(50.0);
+  EXPECT_DOUBLE_EQ(fixed.calibrated_cycles_per_point_stage(), 6.0);
+
+  CpuBackend::Config bad;
+  bad.calibration_alpha = 1.5;
+  EXPECT_THROW(CpuBackend{bad}, std::invalid_argument);
+}
+
 TEST(CpuBackendUnit, CalibrationReturnsPositiveFiniteFit) {
   const double fit =
       CpuBackend::measure_cycles_per_point_stage(1200.0, 256, /*reps=*/3);

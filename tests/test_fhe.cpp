@@ -231,6 +231,70 @@ TEST(PimBackend, EstimateWaveCyclesModelsBankParallelism) {
   EXPECT_EQ(pim.estimate_wave_cycles(triple), 2 * one_large);
 }
 
+// Pricing replays the executor's channel-major placement: items pinned to
+// one channel serialize over that channel's bank subset, items spread
+// across channels overlap, and an unhinted wave round-robins channels.
+TEST(PimBackend, EstimateWaveCyclesModelsChannelParallelism) {
+  const ntt::NttParams params = ntt::NttParams::create(256, 30);
+  PimBackend pim(4, 1200.0, dram::hbm2e_geometry(4, 2));
+  EXPECT_EQ(pim.num_channels(), 2u);
+  EXPECT_EQ(pim.banks_per_channel(), 2u);
+
+  Rng rng(37);
+  auto poly = rng.residues(256, params.q());
+  pim.forward(poly, params);  // cache the plan so pricing uses real counts
+  const std::uint64_t device_cycles = pim.total_cycles();
+
+  BatchItem any{nullptr, &params, false};
+  BatchItem ch0 = any;
+  ch0.channel = 0;
+  BatchItem ch1 = any;
+  ch1.channel = 1;
+  const auto one = pim.estimate_wave_cycles({&any, 1});
+
+  // Three items pinned to channel 0: its two banks take them 2 + 1, so the
+  // busiest bank runs two back-to-back — channel 1 never helps.
+  const std::vector<BatchItem> pinned{ch0, ch0, ch0};
+  EXPECT_EQ(pim.estimate_wave_cycles(pinned), 2 * one);
+
+  // Spread 2 + 1 across the channels and every bank runs at most one item.
+  const std::vector<BatchItem> spread{ch0, ch0, ch1};
+  EXPECT_EQ(pim.estimate_wave_cycles(spread), one);
+
+  // Unhinted items round-robin the channels: two items land on different
+  // channels, not stacked in one.
+  const std::vector<BatchItem> both{any, any};
+  EXPECT_EQ(pim.estimate_wave_cycles(both), one);
+
+  EXPECT_EQ(pim.total_cycles(), device_cycles);  // estimating is free
+
+  // A hint beyond the device's channel count is a caller bug.
+  BatchItem bad = any;
+  bad.channel = 2;
+  EXPECT_THROW(pim.estimate_wave_cycles({&bad, 1}), std::invalid_argument);
+}
+
+// The bus term of the estimate is what makes channel parallelism visible
+// to the dispatcher: a bulk wave on one 8-bank device prices strictly
+// cheaper when the banks are split over four buses instead of one.
+TEST(PimBackend, EstimatePricesMultiChannelBulkWaveCheaper) {
+  const ntt::NttParams params = ntt::NttParams::create(256, 30);
+  Rng rng(41);
+  auto poly = rng.residues(256, params.q());
+
+  std::uint64_t est[2];
+  const std::size_t channels[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    PimBackend pim(4, 1200.0, dram::hbm2e_geometry(8, channels[i]));
+    auto p = poly;
+    pim.forward(p, params);
+    const BatchItem item{nullptr, &params, false};
+    const std::vector<BatchItem> bulk(16, item);
+    est[i] = pim.estimate_wave_cycles(bulk);
+  }
+  EXPECT_GT(est[0], est[1]);
+}
+
 TEST(RqPoly, BasisMismatchRejected) {
   const RnsBasis basis_a(16, 2, 30);
   const RnsBasis basis_b(16, 2, 29);

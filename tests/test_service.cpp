@@ -618,6 +618,175 @@ TEST(ServiceUnit, DispatcherStealRespectsBackendCompatibility) {
   EXPECT_FALSE(dispatcher.next_wave_for(0).has_value());
 }
 
+// Hierarchical assignment: a multi-channel shard's waves land on the
+// least-backlogged *channel*, and a group pop hands back one wave per
+// channel — rebalancing a queued wave onto an empty-handed sibling
+// channel so the merged pass keeps every bus busy.
+TEST(ServiceUnit, DispatcherAssignsLeastBackloggedChannel) {
+  service::Dispatcher::Config cfg;
+  cfg.shards = {{service::BackendKind::kPim, 1.0, /*channels=*/2}};
+  cfg.cost_aware = true;
+  cfg.work_stealing = false;  // local rebalance is policy-independent
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t, std::vector<service::Request>& wave) {
+        switch (dispatch_test::tag_of(wave)) {
+          case 1: return std::uint64_t{100};
+          case 2: return std::uint64_t{250};
+          case 3: return std::uint64_t{10};
+          default: return std::uint64_t{500};
+        }
+      });
+  EXPECT_EQ(dispatcher.channels(0), 2u);
+
+  dispatcher.dispatch(dispatch_test::tagged_wave(1));  // tie -> ch 0
+  dispatcher.dispatch(dispatch_test::tagged_wave(2));  // 350 vs 250 -> ch 1
+  dispatcher.dispatch(dispatch_test::tagged_wave(3));  // 110 vs 260 -> ch 0
+  dispatcher.dispatch(dispatch_test::tagged_wave(4));  // 610 vs 750 -> ch 0
+  EXPECT_EQ(dispatcher.backlog_cycles(0, 0), 610u);
+  EXPECT_EQ(dispatcher.backlog_cycles(0, 1), 250u);
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 860u);
+
+  // Group pop 1: both channels have queued waves — one each, FIFO.
+  auto group = dispatcher.next_waves_for(0);
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(dispatch_test::tag_of(group[0].requests), 1u);
+  EXPECT_EQ(group[0].channel, 0u);
+  EXPECT_FALSE(group[0].rebalanced);
+  EXPECT_EQ(dispatch_test::tag_of(group[1].requests), 2u);
+  EXPECT_EQ(group[1].channel, 1u);
+  EXPECT_FALSE(group[1].rebalanced);
+  for (const auto& w : group)
+    dispatcher.complete(0, w.estimated_cycles, w.channel);
+
+  // Group pop 2: channel 1's queue is empty, so it takes channel 0's
+  // remaining wave — rebalanced, never counted as a steal.
+  group = dispatcher.next_waves_for(0);
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(dispatch_test::tag_of(group[0].requests), 3u);
+  EXPECT_EQ(group[0].channel, 0u);
+  EXPECT_FALSE(group[0].rebalanced);
+  EXPECT_EQ(dispatch_test::tag_of(group[1].requests), 4u);
+  EXPECT_EQ(group[1].channel, 1u);
+  EXPECT_TRUE(group[1].rebalanced);
+  EXPECT_FALSE(group[1].stolen);
+  for (const auto& w : group)
+    dispatcher.complete(0, w.estimated_cycles, w.channel);
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 0u);
+
+  dispatcher.close();
+  EXPECT_TRUE(dispatcher.next_waves_for(0).empty());
+}
+
+// Local rebalance strictly precedes remote stealing: while a multi-channel
+// shard still holds queued waves of its own, its group pops spread them
+// across its channels and never touch a peer; only a fully empty shard
+// crosses over — re-pricing the loot and landing it on its
+// least-backlogged channel.
+TEST(ServiceUnit, DispatcherRebalancesLocallyBeforeStealing) {
+  service::Dispatcher::Config cfg;
+  cfg.shards = {{service::BackendKind::kPim, 1.0, /*channels=*/2},
+                {service::BackendKind::kPim, 1.0, /*channels=*/1}};
+  cfg.cost_aware = true;
+  cfg.work_stealing = true;
+  // Tags 1-4 only fit shard 0 (same prices as above); tag 5 is cheap on
+  // shard 1 and lands there.
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t shard, std::vector<service::Request>& wave) {
+        const std::uint32_t tag = dispatch_test::tag_of(wave);
+        if (shard == 1) {
+          if (tag != 5) return service::Dispatcher::kIncompatibleCycles;
+          return std::uint64_t{40};
+        }
+        switch (tag) {
+          case 1: return std::uint64_t{100};
+          case 2: return std::uint64_t{250};
+          case 3: return std::uint64_t{10};
+          case 4: return std::uint64_t{500};
+          default: return std::uint64_t{100};
+        }
+      });
+
+  for (std::uint32_t tag = 1; tag <= 4; ++tag)
+    dispatcher.dispatch(dispatch_test::tagged_wave(tag));
+  dispatcher.dispatch(dispatch_test::tagged_wave(5));  // 40 on shard 1 wins
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 860u);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 40u);
+
+  // Two group pops clear shard 0's four waves — the second rebalances tag
+  // 4 onto channel 1 instead of stealing shard 1's cheaper tag 5.
+  for (int pop = 0; pop < 2; ++pop) {
+    auto group = dispatcher.next_waves_for(0);
+    ASSERT_EQ(group.size(), 2u);
+    for (const auto& w : group) {
+      EXPECT_FALSE(w.stolen);
+      dispatcher.complete(0, w.estimated_cycles, w.channel);
+    }
+  }
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 0u);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 40u);  // untouched by shard 0
+
+  // Now shard 0 is truly empty: the next pop crosses shards, re-priced for
+  // the thief (100, not 40) on its least-backlogged channel.
+  auto stolen = dispatcher.next_waves_for(0);
+  ASSERT_EQ(stolen.size(), 1u);
+  EXPECT_EQ(dispatch_test::tag_of(stolen[0].requests), 5u);
+  EXPECT_TRUE(stolen[0].stolen);
+  EXPECT_FALSE(stolen[0].rebalanced);
+  EXPECT_EQ(stolen[0].estimated_cycles, 100u);
+  dispatcher.complete(0, stolen[0].estimated_cycles, stolen[0].channel);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 0u);
+
+  dispatcher.close();
+  EXPECT_TRUE(dispatcher.next_waves_for(0).empty());
+  EXPECT_TRUE(dispatcher.next_waves_for(1).empty());
+}
+
+// A service on a multi-channel PIM shard serves bit-exact results, sizes
+// waves to one channel's bank set, and its per-channel stats tile the
+// shard counters.
+TEST(ServiceE2E, MultiChannelShardServesAndSplitsStats) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.backend.banks_per_shard = 4;
+  cfg.backend.channels_per_shard = 2;
+  cfg.former.start_paused = true;  // stage a backlog, then open the valve
+  NttService svc(cfg);
+  ASSERT_EQ(svc.shard_descriptors()[0].channels, 2u);
+
+  Rng rng(71);
+  fhe::CpuBackend cpu;
+  std::vector<std::future<std::vector<std::uint32_t>>> futures;
+  std::vector<std::vector<std::uint32_t>> expected;
+  for (int r = 0; r < 8; ++r) {
+    auto poly = rng.residues(params->n(), params->q());
+    expected.push_back(poly);
+    cpu.forward(expected.back(), *params);
+    futures.push_back(svc.submit(std::move(poly), params, inv(false)));
+  }
+  svc.resume();
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(futures[r].get(), expected[r]);
+  svc.drain();
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  // Waves hold one channel's bank subset (4 banks / 2 channels = 2 items).
+  EXPECT_EQ(stats.waves, 4u);
+  const auto& ss = stats.shards.at(0);
+  ASSERT_EQ(ss.channels.size(), 2u);
+  std::uint64_t channel_waves = 0;
+  std::uint64_t channel_rebalanced = 0;
+  std::uint64_t channel_executed = 0;
+  for (const auto& cs : ss.channels) {
+    channel_waves += cs.waves;
+    channel_rebalanced += cs.rebalanced_waves;
+    channel_executed += cs.estimated_executed_cycles;
+    EXPECT_EQ(cs.estimated_backlog_cycles, 0u);  // drained
+  }
+  EXPECT_EQ(channel_waves, ss.waves);
+  EXPECT_EQ(channel_rebalanced, ss.rebalanced_waves);
+  EXPECT_EQ(channel_executed, ss.estimated_executed_cycles);
+}
+
 // Property (PR 5): under a steal-heavy skewed load — bursts of expensive
 // and cheap waves staged behind a paused former — every accepted request
 // completes exactly once, whichever shard ends up executing it.
@@ -862,36 +1031,6 @@ TEST(ServiceUnit, SubmitOptionsReservedFieldsAreAccepted) {
   options.priority = 7;
   options.deadline = service::ServiceClock::now() + std::chrono::seconds(1);
   EXPECT_EQ(svc.submit(std::move(poly), params, options).get(), expected);
-}
-
-// The pre-SubmitOptions bool overloads still work (deprecated, kept one
-// release for call-site migration).
-TEST(ServiceUnit, DeprecatedBoolSubmitForwardersStillWork) {
-  const auto params = make_params(256);
-  ServiceConfig cfg;
-  cfg.backend.banks_per_shard = 4;
-  NttService svc(cfg);
-
-  Rng rng(67);
-  auto poly = rng.residues(params->n(), params->q());
-  auto expected = poly;
-  fhe::CpuBackend cpu;
-  cpu.inverse(expected, *params);
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(svc.submit(poly, params, true).get(), expected);
-  std::latch done(1);
-  std::atomic<bool> ok{false};
-  svc.submit(std::move(poly), params, true,
-             [&](std::vector<std::uint32_t>&& result,
-                 std::exception_ptr error) {
-               ok = !error && result == expected;
-               done.count_down();
-             });
-#pragma GCC diagnostic pop
-  done.wait();
-  EXPECT_TRUE(ok.load());
 }
 
 }  // namespace
