@@ -1,18 +1,26 @@
-// Many concurrent clients against the async NTT serving runtime.
+// Two tenants against the multi-tenant QoS serving runtime.
 //
-// Eight client threads hammer one NttService with a mix of forward
-// transforms, inverse transforms and negacyclic products, each verifying
-// its own results against the host CPU reference — while the service
-// coalesces everything into mixed waves and executes them on a
-// *heterogeneous* shard pair: one simulated PIM device next to a host-CPU
-// worker pool, the deployment shape the paper assumes. The interesting
-// output is the stats block: the same synchronous one-request-at-a-time
-// callers end up sharing bank-parallel engine passes (mean wave occupancy
-// > 1) without ever knowing about each other. Behind the former sits the
-// cost-aware dispatcher: waves are priced by each backend's own cost model
-// in one modeled-cycle unit, assigned to whichever shard clears them
-// soonest, and an idle shard steals the oldest compatible wave of a loaded
-// peer (the per-shard "stolen" counts in the stats block).
+// A *bulk* tenant (six client threads churning forward transforms, inverse
+// transforms and negacyclic products, no deadlines) shares one NttService
+// with a *critical* tenant (two client threads, high priority, a real
+// deadline on every request) — the classic batch-next-to-interactive mix.
+// Three QoS layers keep them apart:
+//
+//   - admission: the bulk tenant carries a token bucket (rate 0, burst 60
+//     here, so exactly 48 of its 108 requests are shed with
+//     AdmissionShedError — deterministically, before costing any queue
+//     capacity). The critical tenant is unlimited.
+//   - EDF forming: a pending critical deadline flushes a wave early and
+//     leads the cut, so critical requests never wait out the coalescing
+//     window behind bulk traffic.
+//   - deadline-pressure dispatch: critical waves jump queued bulk in the
+//     shard lanes and are stolen first by idle shards.
+//
+// The interesting output is the per-class stats block: what latency each
+// tenant actually got, what the flooder was shed, and whether deadlines
+// held. Execution still runs on a heterogeneous shard pair (one simulated
+// PIM device next to a host-CPU worker pool), and every client verifies
+// its results against the host CPU reference.
 #include <atomic>
 #include <cstdlib>
 #include <future>
@@ -34,8 +42,12 @@ namespace {
 using namespace nttpim;
 
 constexpr std::size_t kN = 256;
-constexpr std::size_t kClients = 8;
+constexpr std::size_t kBulkClients = 6;
+constexpr std::size_t kCriticalClients = 2;
 constexpr std::size_t kRoundsPerClient = 6;
+constexpr std::uint32_t kBulkTenant = 0;
+constexpr std::uint32_t kCriticalTenant = 1;
+constexpr double kBulkBurst = 60;  // of 108 bulk submits -> 48 shed
 
 /// CPU reference for a negacyclic product (what submit_multiply computes).
 std::vector<std::uint32_t> cpu_multiply(std::vector<std::uint32_t> a,
@@ -47,6 +59,29 @@ std::vector<std::uint32_t> cpu_multiply(std::vector<std::uint32_t> a,
   auto prod = ntt::pointwise_mul(a, b, params.q());
   cpu.inverse(prod, params);
   return prod;
+}
+
+/// get() that tolerates admission shedding: true when the result arrived
+/// and matched (or the request was shed — shed, not wrong); sheds counted
+/// aside.
+bool get_or_shed(std::future<std::vector<std::uint32_t>>& f,
+                 const std::vector<std::uint32_t>& expected,
+                 std::atomic<std::uint64_t>& sheds) {
+  try {
+    return f.get() == expected;
+  } catch (const service::AdmissionShedError&) {
+    ++sheds;
+    return true;
+  }
+}
+
+void print_class(const char* label, const service::ClassStats& cs) {
+  std::cout << label << cs.submitted << " submitted, " << cs.completed
+            << " completed, " << cs.shed << " shed, " << cs.deadline_misses
+            << " deadline misses\n"
+            << "                  service p50/p95: "
+            << cs.service_latency.p50_us << " / " << cs.service_latency.p95_us
+            << " us\n";
 }
 
 }  // namespace
@@ -62,41 +97,72 @@ int main() {
                              service::make_cpu_descriptor(/*threads=*/2)};
   cfg.backend.banks_per_shard = 4;
   cfg.former.flush_window = std::chrono::microseconds(300);
+  // Two request classes; only the bulk tenant is rate-limited. EDF forming
+  // and deadline-pressure dispatch are on by default once num_classes > 1.
+  cfg.qos.num_classes = 2;
+  cfg.qos.admission = {{.rate_per_sec = 0.0, .burst = kBulkBurst}};
   service::NttService svc(cfg);
 
   std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> sheds{0};
   std::vector<std::thread> clients;
-  clients.reserve(kClients);
-  for (std::size_t c = 0; c < kClients; ++c) {
+  clients.reserve(kBulkClients + kCriticalClients);
+
+  // Bulk tenant: mixed transform/product churn, no deadlines, sheddable.
+  for (std::size_t c = 0; c < kBulkClients; ++c) {
     clients.emplace_back([&, c] {
       Rng rng(42 + c);
       fhe::CpuBackend cpu;
+      service::SubmitOptions bulk;
+      bulk.qos.tenant = kBulkTenant;
       for (std::size_t round = 0; round < kRoundsPerClient; ++round) {
         // One forward transform...
         auto poly = rng.residues(kN, params->q());
         auto expected = poly;
         cpu.forward(expected, *params);
-        if (svc.submit(poly, params).get() != expected) ++mismatches;
+        auto fwd = svc.submit(poly, params, bulk);
+        if (!get_or_shed(fwd, expected, sheds)) ++mismatches;
         // ...one round-trip through an inverse transform...
         auto inverse_expected = poly;
-        service::SubmitOptions inverse;
+        auto inverse = bulk;
         inverse.inverse = true;
-        if (svc.submit(std::move(expected), params, inverse).get() !=
-            inverse_expected)
-          ++mismatches;
+        auto inv = svc.submit(std::move(expected), params, inverse);
+        if (!get_or_shed(inv, inverse_expected, sheds)) ++mismatches;
         // ...and one negacyclic product.
         auto a = rng.residues(kN, params->q());
         auto b = rng.residues(kN, params->q());
         const auto product_expected = cpu_multiply(a, b, *params);
-        if (svc.submit_multiply(std::move(a), std::move(b), params).get() !=
-            product_expected)
+        auto prod =
+            svc.submit_multiply(std::move(a), std::move(b), params, bulk);
+        if (!get_or_shed(prod, product_expected, sheds)) ++mismatches;
+      }
+    });
+  }
+
+  // Critical tenant: high priority, a 2 ms deadline per request, unlimited
+  // admission (tenant 1 is past the configured bucket vector).
+  for (std::size_t c = 0; c < kCriticalClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(777 + c);
+      fhe::CpuBackend cpu;
+      for (std::size_t round = 0; round < kRoundsPerClient; ++round) {
+        auto poly = rng.residues(kN, params->q());
+        auto expected = poly;
+        cpu.forward(expected, *params);
+        service::SubmitOptions critical;
+        critical.qos.tenant = kCriticalTenant;
+        critical.qos.priority = 10;
+        critical.qos.deadline =
+            service::ServiceClock::now() + std::chrono::milliseconds(2);
+        if (svc.submit(std::move(poly), params, critical).get() != expected)
           ++mismatches;
       }
     });
   }
   for (auto& t : clients) t.join();
 
-  // Fire-and-forget flavor: a callback instead of a future.
+  // Fire-and-forget flavor: a callback instead of a future (critical
+  // class, so admission can never fail it).
   std::latch callback_done(1);
   std::atomic<bool> callback_ok{false};
   {
@@ -105,7 +171,9 @@ int main() {
     auto expected = poly;
     fhe::CpuBackend cpu;
     cpu.forward(expected, *params);
-    svc.submit(std::move(poly), params, service::SubmitOptions{},
+    service::SubmitOptions critical;
+    critical.qos.tenant = kCriticalTenant;
+    svc.submit(std::move(poly), params, critical,
                [&, expected](std::vector<std::uint32_t>&& result,
                              std::exception_ptr error) {
                  callback_ok = !error && result == expected;
@@ -118,31 +186,37 @@ int main() {
   const service::ServiceStats stats = svc.stats();
   svc.shutdown();
 
-  std::cout << "Async serving runtime: " << kClients
-            << " concurrent clients x " << kRoundsPerClient
-            << " rounds (forward + inverse + multiply), pim + cpu shards, "
+  std::cout << "Multi-tenant QoS serving runtime: " << kBulkClients
+            << " bulk + " << kCriticalClients << " critical clients x "
+            << kRoundsPerClient << " rounds, pim + cpu shards, "
             << cfg.backend.banks_per_shard << "-item waves:\n"
             << "  requests:       " << stats.completed << " completed, "
-            << stats.failed << " failed\n"
+            << stats.shed << " shed, " << stats.failed << " failed, "
+            << stats.deadline_misses << " deadline misses\n"
             << "  waves:          " << stats.waves << " ("
-            << stats.engine_passes << " engine passes, "
-            << stats.batch_items << " batch items)\n"
+            << stats.engine_passes << " engine passes, " << stats.batch_items
+            << " batch items)\n"
             << "  occupancy:      " << stats.mean_wave_occupancy
-            << " items/pass (1.0 = what a synchronous caller gets)\n"
-            << "  queue p50/p95:  " << stats.queue_latency.p50_us << " / "
-            << stats.queue_latency.p95_us << " us\n"
-            << "  service p50/95: " << stats.service_latency.p50_us << " / "
-            << stats.service_latency.p95_us << " us\n"
-            << "  per shard:      ";
+            << " items/pass (1.0 = what a synchronous caller gets)\n";
+  print_class("  bulk (t0):      ", stats.classes.at(kBulkTenant));
+  print_class("  critical (t1):  ", stats.classes.at(kCriticalTenant));
+  std::cout << "  per shard:      ";
   for (std::size_t s = 0; s < stats.shards.size(); ++s)
     std::cout << (s ? ", " : "") << "shard " << s << " ("
               << service::to_string(stats.shards[s].kind) << "): "
               << stats.shards[s].requests << " requests / "
               << stats.shards[s].waves << " waves ("
               << stats.shards[s].stolen_waves << " stolen)";
-  std::cout << "\n  verified:       "
-            << (mismatches == 0 && callback_ok ? "YES" : "NO") << "\n";
 
-  return mismatches == 0 && callback_ok && stats.failed == 0 ? EXIT_SUCCESS
-                                                             : EXIT_FAILURE;
+  const bool shed_exact =
+      stats.shed == sheds &&
+      stats.shed == kBulkClients * kRoundsPerClient * 3 -
+                        static_cast<std::uint64_t>(kBulkBurst);
+  std::cout << "\n  verified:       "
+            << (mismatches == 0 && callback_ok && shed_exact ? "YES" : "NO")
+            << "\n";
+
+  return mismatches == 0 && callback_ok && shed_exact && stats.failed == 0
+             ? EXIT_SUCCESS
+             : EXIT_FAILURE;
 }

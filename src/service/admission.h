@@ -1,0 +1,87 @@
+// Per-tenant token-bucket admission control.
+//
+// Admission sits *ahead of* the bounded request queue (see
+// NttService::enqueue): a tenant that exceeds its contracted rate is shed
+// immediately — its requests fail with AdmissionShedError without ever
+// costing queue capacity, coalescing delay or a wave slot. That is the
+// difference between admission and backpressure: backpressure (the
+// former's bounded queue) protects the service from *aggregate* overload
+// and punishes whoever submits next, while admission protects the
+// well-behaved tenants from a flooding one and punishes exactly the
+// flooder.
+//
+// Each tenant gets a classic token bucket: `burst` tokens of capacity,
+// refilled continuously at `rate_per_sec`. One request costs one token;
+// a request that finds the bucket empty is shed. Tenants beyond the
+// configured vector (and tenants whose entry is unlimited()) are always
+// admitted — admission is opt-in per tenant.
+//
+// The clock is injectable (same idiom as WaveFormer::Config::clock), so
+// the refill arithmetic is testable to exact token counts without
+// sleeping.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "service/request.h"
+
+namespace nttpim::service {
+
+/// Rate contract of one tenant.
+struct TokenBucketConfig {
+  /// Sustained admission rate, tokens (requests) per second. 0 means the
+  /// bucket never refills — the tenant gets exactly `burst` requests, a
+  /// deterministic cap tests and staged benches rely on. Must be >= 0.
+  double rate_per_sec = 0;
+  /// Bucket capacity: the burst a tenant can spend at once (and the level
+  /// a fresh bucket starts at). <= 0 marks the tenant unlimited.
+  double burst = 0;
+
+  bool unlimited() const noexcept { return burst <= 0; }
+};
+
+/// Thread-safe token-bucket bank, one bucket per configured tenant.
+class AdmissionController {
+ public:
+  struct Config {
+    /// Bucket per tenant id; tenants at or beyond the end are unlimited.
+    std::vector<TokenBucketConfig> tenants;
+    /// Testing hook: refill time source (null = ServiceClock::now()).
+    std::function<ServiceClock::time_point()> clock;
+  };
+
+  enum class Decision { kAdmit, kShed };
+
+  explicit AdmissionController(Config config);
+
+  /// Charge one token to `tenant`'s bucket. kShed when the bucket (after
+  /// refill at the current clock) holds less than one token; unlimited
+  /// tenants always admit without touching any bucket.
+  Decision admit(std::uint32_t tenant);
+
+  /// Current token level of `tenant`'s bucket, refilled to the current
+  /// clock (burst for unlimited tenants). Testing/observability only.
+  double tokens(std::uint32_t tenant) const;
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    ServiceClock::time_point last{};  ///< refill high-water mark
+  };
+
+  ServiceClock::time_point now() const {
+    return cfg_.clock ? cfg_.clock() : ServiceClock::now();
+  }
+  /// Refill `b` for the time elapsed since its last refill. Caller holds mu_.
+  void refill(std::size_t tenant, Bucket& b, ServiceClock::time_point at) const;
+
+  const Config cfg_;
+  mutable std::mutex mu_;
+  mutable std::vector<Bucket> buckets_;  ///< parallel to cfg_.tenants
+};
+
+}  // namespace nttpim::service

@@ -18,7 +18,8 @@ Dispatcher::Dispatcher(const Config& config, Estimator estimator)
                       "a shard needs at least one channel");
   }
   for (std::size_t s = 0; s < cfg_.shards.size(); ++s) {
-    queues_.emplace_back(config.queue_capacity_waves, cfg_.shards[s].channels);
+    queues_.emplace_back(config.queue_capacity_waves, cfg_.shards[s].channels,
+                         cfg_.deadline_pressure);
     for (std::size_t c = 0; c < cfg_.shards[s].channels; ++c)
       pairs_.emplace_back(s, c);
   }
@@ -41,6 +42,19 @@ std::uint64_t Dispatcher::priced_for(std::size_t shard,
 void Dispatcher::dispatch(std::vector<Request>&& wave) {
   NTTPIM_EXPECT(!wave.empty());
   std::unique_lock lk(mu_);
+  // The wave's urgency key: earliest effective deadline and earliest
+  // arrival across its requests (the former cuts EDF waves, so the head
+  // request usually carries both — but a steal-order or lane-order
+  // decision must not depend on that).
+  auto wave_deadline = ServiceClock::time_point::max();
+  auto wave_seq = std::numeric_limits<std::uint64_t>::max();
+  for (const Request& r : wave) {
+    wave_deadline = std::min(wave_deadline, r.qos.edf_deadline());
+    wave_seq = std::min(wave_seq, r.seq);
+  }
+  const bool urgent =
+      cfg_.deadline_pressure &&
+      wave_deadline != ServiceClock::time_point::max();
   // Price the wave once per shard (heterogeneous backends price the same
   // wave differently; a shard's channels are identical buses and share its
   // price); incompatible shards drop out here.
@@ -70,7 +84,17 @@ void Dispatcher::dispatch(std::vector<Request>&& wave) {
       for (const auto& [s, c] : pairs_) {
         if (price[s] == kIncompatibleCycles) continue;
         const bool space = !queues_[s].full(c);
-        const std::uint64_t eta = queues_[s].backlog_cycles(c) + price[s];
+        // Deadline pressure: an urgent wave jumps the less-urgent queued
+        // waves of whatever lane it lands in, so its real ETA counts only
+        // the executing work plus the queued work *ahead* of its key —
+        // a lane drowning in bulk is still a fine home for a critical
+        // wave. Deadline-less waves keep the whole-lane backlog.
+        const std::uint64_t ahead =
+            urgent ? queues_[s].queued_cycles_before(c, wave_deadline,
+                                                     wave_seq) +
+                         queues_[s].executing_cycles(c)
+                   : queues_[s].backlog_cycles(c);
+        const std::uint64_t eta = ahead + price[s];
         if (target_s == queues_.size() || (space && !target_has_space) ||
             (space == target_has_space && eta < best)) {
           best = eta;
@@ -97,6 +121,8 @@ void Dispatcher::dispatch(std::vector<Request>&& wave) {
       if (!cfg_.cost_aware) rr_next_ = target_idx + 1;
       QueuedWave priced;
       priced.estimated_cycles = price[target_s];
+      priced.deadline = wave_deadline;
+      priced.seq = wave_seq;
       priced.requests = std::move(wave);
       queues_[target_s].push(target_c, std::move(priced));
       ready_cv_.notify_all();
@@ -106,8 +132,63 @@ void Dispatcher::dispatch(std::vector<Request>&& wave) {
   }
 }
 
+Dispatcher::NextWave Dispatcher::land_steal(std::size_t shard,
+                                            std::size_t victim,
+                                            std::size_t vc, std::size_t i,
+                                            std::uint64_t cycles) {
+  // Land the loot on the thief's least-backlogged channel.
+  std::size_t tc = 0;
+  for (std::size_t c = 1; c < queues_[shard].channels(); ++c)
+    if (queues_[shard].backlog_cycles(c) < queues_[shard].backlog_cycles(tc))
+      tc = c;
+  QueuedWave wave = queues_[victim].take_at(vc, i);
+  queues_[shard].begin_wave(tc, cycles);
+  space_cv_.notify_all();
+  return NextWave{std::move(wave.requests), cycles, tc,
+                  /*stolen=*/cfg_.work_stealing,
+                  /*rebalanced=*/false};
+}
+
+std::optional<Dispatcher::NextWave> Dispatcher::try_steal_urgent_for(
+    std::size_t shard) {
+  // Deadline-pressure target selection: of every compatible peer wave
+  // that carries a *real* deadline, take the one with the earliest
+  // (deadline, arrival) key — an idle shard is the fastest path to
+  // execution, so it should relieve the wave closest to missing, not the
+  // merely largest backlog.
+  std::size_t best_victim = 0, best_vc = 0, best_i = 0;
+  std::uint64_t best_cycles = 0;
+  const QueuedWave* best = nullptr;
+  for (std::size_t s = 0; s < queues_.size(); ++s) {
+    if (s == shard) continue;
+    for (std::size_t c = 0; c < queues_[s].channels(); ++c) {
+      // Lanes are urgency-ordered under deadline_pressure, so the first
+      // compatible deadlined wave of each lane is that lane's candidate.
+      for (std::size_t i = 0; i < queues_[s].size(c); ++i) {
+        QueuedWave& w = queues_[s].wave_at(c, i);
+        if (w.deadline == ServiceClock::time_point::max()) break;
+        if (best && !w.more_urgent_than(*best)) break;
+        const std::uint64_t cycles = priced_for(shard, w.requests);
+        if (cycles == kIncompatibleCycles) continue;
+        best = &w;
+        best_victim = s;
+        best_vc = c;
+        best_i = i;
+        best_cycles = cycles;
+        break;
+      }
+    }
+  }
+  if (!best) return std::nullopt;
+  return land_steal(shard, best_victim, best_vc, best_i, best_cycles);
+}
+
 std::optional<Dispatcher::NextWave> Dispatcher::try_steal_for(
     std::size_t shard) {
+  if (cfg_.deadline_pressure) {
+    if (auto urgent = try_steal_urgent_for(shard)) return urgent;
+    // No deadlined wave anywhere: fall through to the load-relief steal.
+  }
   // Victim order: queued cost, descending; within the victim, channels by
   // queued cost descending (relieve the bus that is furthest behind).
   std::vector<std::size_t> victims;
@@ -130,18 +211,7 @@ std::optional<Dispatcher::NextWave> Dispatcher::try_steal_for(
         const std::uint64_t cycles =
             priced_for(shard, queues_[victim].wave_at(vc, i).requests);
         if (cycles == kIncompatibleCycles) continue;
-        // Land the loot on the thief's least-backlogged channel.
-        std::size_t tc = 0;
-        for (std::size_t c = 1; c < queues_[shard].channels(); ++c)
-          if (queues_[shard].backlog_cycles(c) <
-              queues_[shard].backlog_cycles(tc))
-            tc = c;
-        QueuedWave wave = queues_[victim].take_at(vc, i);
-        queues_[shard].begin_wave(tc, cycles);
-        space_cv_.notify_all();
-        return NextWave{std::move(wave.requests), cycles, tc,
-                        /*stolen=*/cfg_.work_stealing,
-                        /*rebalanced=*/false};
+        return land_steal(shard, victim, vc, i, cycles);
       }
     }
   }

@@ -50,6 +50,14 @@
 //    untouched — a wave executes entirely on whichever shard took it, and
 //    only the dispatch bookkeeping crosses threads (under the Dispatcher's
 //    one mutex).
+//  - Deadline pressure (Config::deadline_pressure, QoS): lanes hold waves
+//    in (earliest deadline, arrival) order, so the wave a worker pops next
+//    is always the most urgent one and a deadlined wave jumps queued bulk;
+//    assignment prices an urgent wave against only the queued work ahead
+//    of it in lane order; and an idle shard steals the most-deadline-
+//    urgent compatible wave anywhere before relieving the most-loaded
+//    peer. Deadline-less waves carry +inf, so unclassed traffic behaves
+//    exactly as with the flag off.
 //  - Backpressure: per-channel queues are bounded in waves; dispatch()
 //    blocks while its target channel is full, which stops the wave-former
 //    from being drained, which backpressures submitters through the
@@ -95,6 +103,16 @@ class Dispatcher {
     std::size_t queue_capacity_waves = 4;  ///< per-channel bound, in waves
     bool cost_aware = true;     ///< least-backlog assignment (false = RR)
     bool work_stealing = true;  ///< idle shards steal from loaded peers
+    /// Deadline pressure (the dispatch half of the QoS tentpole): lanes
+    /// order by (deadline, arrival) instead of append order, a deadlined
+    /// wave's assignment ETA counts only the queued work *ahead of it* in
+    /// lane order (it jumps the rest), and a thief takes the most-
+    /// deadline-urgent compatible wave across every peer before falling
+    /// back to the load-relief steal. With no deadlines in flight all
+    /// three reduce exactly to the FIFO behavior, so the flag only
+    /// matters for classed traffic — and turning it off is the QoS
+    /// bench's FIFO baseline.
+    bool deadline_pressure = false;
   };
 
   /// Estimator return value marking a (shard, wave) pair the shard's
@@ -187,10 +205,25 @@ class Dispatcher {
                            std::vector<Request>& wave) const;
 
   /// Remote-steal step shared by the group and single-wave pop paths:
-  /// the oldest compatible wave of the most-loaded peer, re-priced and
-  /// accounted as executing on this shard's least-backlogged channel.
-  /// Caller holds mu_; returns nullopt when no peer has a compatible wave.
+  /// under deadline_pressure, the most-deadline-urgent compatible wave
+  /// across all peers (when any peer wave has a real deadline); otherwise
+  /// the oldest compatible wave of the most-loaded peer. Either way the
+  /// loot is re-priced and accounted as executing on this shard's
+  /// least-backlogged channel. Caller holds mu_; returns nullopt when no
+  /// peer has a compatible wave.
   std::optional<NextWave> try_steal_for(std::size_t shard);
+
+  /// Deadline-pressure steal: the single compatible peer wave with the
+  /// earliest (deadline, arrival) key, considering only waves that carry a
+  /// real deadline. Caller holds mu_; nullopt when no deadlined
+  /// compatible wave is queued anywhere (the caller then falls back to
+  /// the load-relief steal).
+  std::optional<NextWave> try_steal_urgent_for(std::size_t shard);
+
+  /// Land a wave taken from (victim, vc, index i) on `shard`'s
+  /// least-backlogged channel at price `cycles`. Caller holds mu_.
+  NextWave land_steal(std::size_t shard, std::size_t victim, std::size_t vc,
+                      std::size_t i, std::uint64_t cycles);
 
   const Config cfg_;
   Estimator estimate_;

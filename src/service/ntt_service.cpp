@@ -1,5 +1,6 @@
 #include "service/ntt_service.h"
 
+#include <algorithm>
 #include <exception>
 #include <optional>
 #include <utility>
@@ -30,6 +31,10 @@ std::vector<BackendDescriptor> resolve_descriptors(const ServiceConfig& cfg) {
   return resolved;
 }
 
+/// The whole QoS machinery is gated on num_classes > 1: a classless
+/// service is FIFO end to end by construction (see QosConfig).
+bool qos_active(const ServiceConfig& cfg) { return cfg.qos.num_classes > 1; }
+
 WaveFormer::Config former_config(const ServiceConfig& cfg) {
   WaveFormer::Config fc;
   fc.capacity_items = cfg.former.queue_capacity;
@@ -41,6 +46,7 @@ WaveFormer::Config former_config(const ServiceConfig& cfg) {
   fc.flush_window = cfg.former.flush_window;
   fc.overflow = cfg.former.overflow;
   fc.start_paused = cfg.former.start_paused;
+  fc.edf = qos_active(cfg) && cfg.qos.edf_forming;
   return fc;
 }
 
@@ -54,6 +60,7 @@ Dispatcher::Config dispatcher_config(
   dc.queue_capacity_waves = cfg.dispatch.shard_queue_waves;
   dc.cost_aware = cfg.dispatch.cost_aware_dispatch;
   dc.work_stealing = cfg.dispatch.work_stealing;
+  dc.deadline_pressure = qos_active(cfg) && cfg.qos.deadline_pressure;
   return dc;
 }
 
@@ -97,7 +104,17 @@ NttService::NttService(const ServiceConfig& config)
                     return estimate_wave(shard, wave);
                   }),
       backends_(resolved_.size(), nullptr),
-      shard_stats_(resolved_.size()) {
+      shard_stats_(resolved_.size()),
+      class_counters_(std::max<std::size_t>(cfg_.qos.num_classes, 1)),
+      class_queue_latency_(class_counters_.size()),
+      class_service_latency_(class_counters_.size()) {
+  NTTPIM_EXPECT_MSG(cfg_.qos.num_classes >= 1,
+                    "the service needs at least one request class");
+  NTTPIM_EXPECT_MSG(
+      cfg_.qos.admission.size() <= cfg_.qos.num_classes,
+      "admission buckets beyond qos.num_classes can never be consulted");
+  if (qos_active(cfg_) && !cfg_.qos.admission.empty())
+    admission_.emplace(AdmissionController::Config{cfg_.qos.admission, {}});
   NTTPIM_EXPECT_MSG(cfg_.backend.banks_per_shard >= 1,
                     "wave sizing needs at least one bank per shard");
   NTTPIM_EXPECT_MSG(
@@ -143,6 +160,8 @@ void NttService::validate(const Request& request) const {
   if (request.kind == Request::Kind::kMultiply)
     NTTPIM_EXPECT_MSG(request.b.size() == request.params->n(),
                       "second operand length must equal the parameter set's N");
+  NTTPIM_EXPECT_MSG(request.qos.tenant < cfg_.qos.num_classes,
+                    "request tenant must be < qos.num_classes");
 }
 
 std::future<std::vector<std::uint32_t>> NttService::submit(
@@ -153,8 +172,7 @@ std::future<std::vector<std::uint32_t>> NttService::submit(
   r.a = std::move(poly);
   r.params = std::move(params);
   r.inverse = options.inverse;
-  r.priority = options.priority;
-  r.deadline = options.deadline;
+  r.qos = options.qos;
   auto future = r.promise.get_future();
   enqueue(std::move(r));
   return future;
@@ -169,8 +187,7 @@ void NttService::submit(std::vector<std::uint32_t> poly,
   r.a = std::move(poly);
   r.params = std::move(params);
   r.inverse = options.inverse;
-  r.priority = options.priority;
-  r.deadline = options.deadline;
+  r.qos = options.qos;
   r.callback = std::move(done);
   r.use_callback = true;
   enqueue(std::move(r));
@@ -184,8 +201,7 @@ std::future<std::vector<std::uint32_t>> NttService::submit_multiply(
   r.a = std::move(a);
   r.b = std::move(b);
   r.params = std::move(params);
-  r.priority = options.priority;
-  r.deadline = options.deadline;
+  r.qos = options.qos;
   auto future = r.promise.get_future();
   enqueue(std::move(r));
   return future;
@@ -193,12 +209,28 @@ std::future<std::vector<std::uint32_t>> NttService::submit_multiply(
 
 void NttService::enqueue(Request&& request) {
   validate(request);  // synchronous misuse -> std::invalid_argument here
+  const std::uint32_t cls = request.qos.tenant;
+  // Admission runs *before* the bounded queue: a tenant past its token
+  // bucket is shed here, so a flooding tenant never consumes queue
+  // capacity, coalescing delay, or a wave slot (see admission.h).
+  if (admission_ &&
+      admission_->admit(cls) == AdmissionController::Decision::kShed) {
+    {
+      const std::scoped_lock lk(stats_mu_);
+      ++submitted_;
+      ++class_counters_[cls].submitted;
+      ++class_counters_[cls].shed;
+    }
+    request.fail(std::make_exception_ptr(AdmissionShedError()));
+    return;
+  }
   {
     // Count the request as accepted *before* the queue sees it, so drain()
     // can never observe completed == accepted while a worker is finishing a
     // request whose submit() hasn't returned yet. Undone on rejection.
     const std::scoped_lock lk(stats_mu_);
     ++submitted_;
+    ++class_counters_[cls].submitted;
     ++accepted_;
   }
   switch (former_.submit(std::move(request))) {
@@ -297,8 +329,11 @@ void NttService::execute_group(std::size_t shard, fhe::NttBackend& backend,
                                std::vector<Dispatcher::NextWave>& group) {
   const auto wave_start = ServiceClock::now();
   for (const Dispatcher::NextWave& w : group)
-    for (const Request& r : w.requests)
-      queue_latency_.record(elapsed_us(r.enqueued, wave_start));
+    for (const Request& r : w.requests) {
+      const double us = elapsed_us(r.enqueued, wave_start);
+      queue_latency_.record(us);
+      class_queue_latency_[r.qos.tenant].record(us);
+    }
 
   // Pass 1: every transform in its requested direction, both operands of
   // every multiply forward -- one heterogeneous engine pass merging the
@@ -353,11 +388,20 @@ void NttService::execute_group(std::size_t shard, fhe::NttBackend& backend,
   std::size_t requests = 0;
   for (const Dispatcher::NextWave& w : group) requests += w.requests.size();
 
+  // Per-class deliveries and deadline verdicts, applied to the counters
+  // under stats_mu_ below (deliver() must not run under that lock).
+  std::vector<std::uint64_t> class_completed(class_counters_.size(), 0);
+  std::vector<std::uint64_t> class_missed(class_counters_.size(), 0);
   if (ok) {
     const auto done = ServiceClock::now();
     for (Dispatcher::NextWave& w : group)
       for (Request& r : w.requests) {
-        service_latency_.record(elapsed_us(r.enqueued, done));
+        const double us = elapsed_us(r.enqueued, done);
+        service_latency_.record(us);
+        class_service_latency_[r.qos.tenant].record(us);
+        ++class_completed[r.qos.tenant];
+        if (r.qos.deadline && done > *r.qos.deadline)
+          ++class_missed[r.qos.tenant];
         r.deliver(std::move(r.a));
       }
   }
@@ -378,11 +422,17 @@ void NttService::execute_group(std::size_t shard, fhe::NttBackend& backend,
       completed_ += requests;
     else
       failed_ += requests;
+    for (std::size_t c = 0; c < class_counters_.size(); ++c) {
+      class_counters_[c].completed += class_completed[c];
+      class_counters_[c].deadline_misses += class_missed[c];
+    }
     ShardStats& ss = shard_stats_[shard];
     ss.waves += group.size();
     ss.engine_passes += passes;
     ss.batch_items += items;
     ss.requests += requests;
+    for (const std::uint64_t missed : class_missed)
+      ss.deadline_missed_requests += missed;
     for (const Dispatcher::NextWave& w : group) {
       ss.estimated_executed_cycles += w.estimated_cycles;
       if (w.stolen) ++ss.stolen_waves;
@@ -435,9 +485,12 @@ void NttService::reset_stats() {
       shard_stats_[s] = ShardStats{};
       shard_stats_[s].channels.resize(resolved_[s].channels);
     }
+    for (ClassCounters& cc : class_counters_) cc = ClassCounters{};
   }
   queue_latency_.reset();
   service_latency_.reset();
+  for (LatencyRecorder& r : class_queue_latency_) r.reset();
+  for (LatencyRecorder& r : class_service_latency_) r.reset();
 }
 
 ServiceStats NttService::stats() const {
@@ -457,6 +510,15 @@ ServiceStats NttService::stats() const {
                              static_cast<double>(engine_passes_)
                        : 0;
     s.shards = shard_stats_;
+    s.classes.resize(class_counters_.size());
+    for (std::size_t c = 0; c < class_counters_.size(); ++c) {
+      s.classes[c].submitted = class_counters_[c].submitted;
+      s.classes[c].completed = class_counters_[c].completed;
+      s.classes[c].shed = class_counters_[c].shed;
+      s.classes[c].deadline_misses = class_counters_[c].deadline_misses;
+      s.shed += class_counters_[c].shed;
+      s.deadline_misses += class_counters_[c].deadline_misses;
+    }
   }
   // Dispatcher backlog snapshots are taken outside stats_mu_ (the two
   // locks never nest the other way, and the estimates are instantaneous
@@ -471,6 +533,12 @@ ServiceStats NttService::stats() const {
   }
   s.queue_latency = queue_latency_.summary();
   s.service_latency = service_latency_.summary();
+  // Class latency summaries share the counters' coherence caveat: sampled
+  // alongside, not under stats_mu_.
+  for (std::size_t c = 0; c < s.classes.size(); ++c) {
+    s.classes[c].queue_latency = class_queue_latency_[c].summary();
+    s.classes[c].service_latency = class_service_latency_[c].summary();
+  }
   return s;
 }
 

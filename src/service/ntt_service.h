@@ -62,6 +62,7 @@
 #include <thread>
 #include <vector>
 
+#include "service/admission.h"
 #include "service/backend.h"
 #include "service/dispatcher.h"
 #include "service/request.h"
@@ -138,12 +139,41 @@ struct BackendConfig {
   std::vector<BackendDescriptor> descriptors;
 };
 
+/// Multi-tenant QoS half of the service configuration.
+///
+/// `num_classes = 1` (the default) keeps the whole QoS machinery inert:
+/// FIFO forming, append-order lanes, no admission control, a single
+/// classless stats entry — behavior-identical to the pre-QoS service by
+/// construction, whatever the other fields say. With num_classes > 1,
+/// requests carry a RequestClass (tenant < num_classes enforced at
+/// submit) and the three policy levers below activate.
+struct QosConfig {
+  /// Distinct request classes (tenants) the service accepts; sizes the
+  /// per-class stats and bounds RequestClass::tenant.
+  std::size_t num_classes = 1;
+  /// EDF-within-flush-window wave forming: the former flushes no later
+  /// than the earliest pending deadline and cuts waves in (deadline,
+  /// priority, arrival) order (see wave_former.h).
+  bool edf_forming = true;
+  /// Deadline-pressure dispatch: (deadline, arrival)-ordered lanes,
+  /// jump-ahead ETA pricing for deadlined waves, and most-deadline-urgent
+  /// steal target selection (see dispatcher.h).
+  bool deadline_pressure = true;
+  /// Per-tenant token buckets, indexed by tenant id (see admission.h).
+  /// Empty (the default) admits everything; tenants beyond the vector are
+  /// unlimited. A shed request fails with AdmissionShedError *before*
+  /// touching the bounded queue and is counted per class.
+  std::vector<TokenBucketConfig> admission;
+};
+
 /// Service configuration, one sub-struct per layer of the pipeline:
-/// admission (former), routing (dispatch), execution (backend).
+/// admission + classing (qos), coalescing (former), routing (dispatch),
+/// execution (backend).
 struct ServiceConfig {
   BackendConfig backend;
   FormerConfig former;
   DispatchConfig dispatch;
+  QosConfig qos;
 };
 
 class NttService {
@@ -219,6 +249,8 @@ class NttService {
   /// Banks of each default PIM shard device == batch items of a full
   /// wave_multiple=1 wave.
   std::size_t num_banks() const noexcept { return cfg_.backend.banks_per_shard; }
+  /// Request classes the service accepts (>= 1; see QosConfig).
+  std::size_t num_classes() const noexcept { return cfg_.qos.num_classes; }
 
  private:
   void enqueue(Request&& request);
@@ -234,6 +266,9 @@ class NttService {
   /// One descriptor per shard: config().backend.descriptors, or `shards`
   /// copies of the default PIM descriptor.
   const std::vector<BackendDescriptor> resolved_;
+  /// Engaged iff qos.num_classes > 1 and qos.admission is non-empty:
+  /// consulted by enqueue() before the former ever sees the request.
+  std::optional<AdmissionController> admission_;
   WaveFormer former_;
   Dispatcher dispatcher_;
   /// Shard backends by index, published by each worker before the
@@ -256,9 +291,22 @@ class NttService {
   std::uint64_t engine_passes_ = 0;
   std::uint64_t batch_items_ = 0;
   std::vector<ShardStats> shard_stats_;
+  /// Per-class counter tile of ClassStats (size num_classes; the latency
+  /// halves live in the recorders below). Guarded by stats_mu_.
+  struct ClassCounters {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t deadline_misses = 0;
+  };
+  std::vector<ClassCounters> class_counters_;
 
   LatencyRecorder queue_latency_;
   LatencyRecorder service_latency_;
+  /// Per-class latency recorders, indexed by tenant (size num_classes).
+  /// LatencyRecorder is internally locked, so these need no stats_mu_.
+  std::vector<LatencyRecorder> class_queue_latency_;
+  std::vector<LatencyRecorder> class_service_latency_;
 
   std::once_flag shutdown_once_;
   // Threads last: joined before any state above tears down. The dispatch

@@ -52,21 +52,51 @@ class ServiceStoppedError : public std::runtime_error {
       : std::runtime_error("NttService is shut down") {}
 };
 
+/// The request's tenant exhausted its token bucket (see
+/// service/admission.h): shed *before* the bounded queue, so a flooding
+/// tenant never costs queue space or coalescing delay. Delivered through
+/// the request's future/callback like every other submission failure.
+class AdmissionShedError : public std::runtime_error {
+ public:
+  AdmissionShedError()
+      : std::runtime_error(
+            "request shed by per-tenant admission control") {}
+};
+
+/// QoS class of one request: which tenant issued it and how urgent it is.
+/// The class travels with the request through every layer — admission
+/// buckets and per-class stats key on `tenant`, EDF wave forming and
+/// deadline-pressure dispatch act on `deadline` (with `priority` breaking
+/// ties). A default-constructed class is "classless": tenant 0, priority
+/// 0, no deadline — the FIFO behavior of the pre-QoS service.
+struct RequestClass {
+  /// Tenant id, in [0, ServiceConfig::qos.num_classes). Indexes the
+  /// admission bucket and the per-class stats slot.
+  std::uint32_t tenant = 0;
+  /// Larger = more urgent. Orders requests with equal effective deadlines
+  /// (in particular, all deadline-less requests against each other).
+  int priority = 0;
+  /// Absolute completion target. Requests with a deadline jump coalescing
+  /// delay (the former flushes no later than the earliest pending
+  /// deadline) and sort ahead of deadline-less traffic everywhere.
+  std::optional<ServiceClock::time_point> deadline;
+
+  /// Deadline used for EDF ordering: the explicit one, or +inf so
+  /// deadline-less requests sort after every deadlined one.
+  ServiceClock::time_point edf_deadline() const noexcept {
+    return deadline ? *deadline : ServiceClock::time_point::max();
+  }
+};
+
 /// Per-request options of every NttService::submit() variant, so growing
-/// the submission surface never multiplies overloads again.
-///
-/// `priority` and `deadline` are *reserved*: they travel with the request
-/// and are visible to the dispatch layer, but no current policy acts on
-/// them (the QoS roadmap item — EDF wave forming and priority dispatch —
-/// will consume them without another API change). Only `inverse` affects
-/// execution today.
+/// the submission surface never multiplies overloads again. The `qos`
+/// class (reserved fields until PR 8) is live: EDF wave forming,
+/// deadline-pressure dispatch and per-tenant admission all act on it.
 struct SubmitOptions {
   /// Transform direction (transforms only; ignored by submit_multiply).
   bool inverse = false;
-  /// Reserved: larger = more urgent. Not yet acted on.
-  int priority = 0;
-  /// Reserved: absolute completion target. Not yet acted on.
-  std::optional<ServiceClock::time_point> deadline;
+  /// Tenant / priority / deadline of the request (see RequestClass).
+  RequestClass qos;
 };
 
 /// Fire-and-forget completion hook. Exactly one of (result, error) is
@@ -91,12 +121,16 @@ struct Request {
   std::vector<std::uint32_t> b;  ///< second operand, kMultiply only
   std::shared_ptr<const ntt::NttParams> params;
   bool inverse = false;  ///< direction, kTransform only
-  int priority = 0;      ///< reserved (see SubmitOptions)
-  std::optional<ServiceClock::time_point> deadline;  ///< reserved
+  RequestClass qos;      ///< tenant / priority / deadline (see SubmitOptions)
   std::promise<std::vector<std::uint32_t>> promise;
   Callback callback;      ///< when set, the promise is not used
   bool use_callback = false;
   ServiceClock::time_point enqueued{};  ///< stamped by the wave-former
+  /// Arrival sequence number, stamped by the wave-former. The FIFO
+  /// tie-break of every QoS ordering — (deadline, priority, seq) — so
+  /// classless traffic keeps exact submission order even under a fake
+  /// clock where many requests share one timestamp.
+  std::uint64_t seq = 0;
 
   /// Batch items this request contributes to a wave's *forward* engine
   /// pass: a multiply transforms both operands.

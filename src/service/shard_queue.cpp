@@ -1,13 +1,17 @@
 #include "service/shard_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
 
 namespace nttpim::service {
 
-ShardQueue::ShardQueue(std::size_t capacity_waves, std::size_t num_channels)
-    : capacity_(capacity_waves), channels_(num_channels) {
+ShardQueue::ShardQueue(std::size_t capacity_waves, std::size_t num_channels,
+                       bool deadline_ordered)
+    : capacity_(capacity_waves),
+      deadline_ordered_(deadline_ordered),
+      channels_(num_channels) {
   NTTPIM_EXPECT_MSG(capacity_waves >= 1,
                     "a shard queue must hold at least one wave per channel");
   NTTPIM_EXPECT_MSG(num_channels >= 1,
@@ -54,7 +58,32 @@ void ShardQueue::push(std::size_t channel, QueuedWave&& wave) {
   // Dispatcher blocks on it, the closing one pushes past it to drain.
   Channel& c = chan(channel);
   c.queued_cycles += wave.estimated_cycles;
-  c.waves.push_back(std::move(wave));
+  if (!deadline_ordered_) {
+    c.waves.push_back(std::move(wave));
+    return;
+  }
+  // (deadline, arrival)-ordered lane: insert ahead of every strictly
+  // less-urgent wave. upper_bound keeps equal keys in insertion order,
+  // and deadline-less waves (key +inf, seq ascending) land at the back —
+  // exactly the FIFO append.
+  const auto pos = std::upper_bound(
+      c.waves.begin(), c.waves.end(), wave,
+      [](const QueuedWave& a, const QueuedWave& b) {
+        return a.more_urgent_than(b);
+      });
+  c.waves.insert(pos, std::move(wave));
+}
+
+std::uint64_t ShardQueue::queued_cycles_before(
+    std::size_t channel, ServiceClock::time_point deadline,
+    std::uint64_t seq) const {
+  const QueuedWave key{{}, 0, deadline, seq};
+  std::uint64_t cycles = 0;
+  for (const QueuedWave& w : chan(channel).waves) {
+    if (!w.more_urgent_than(key)) break;  // lane is ordered by urgency
+    cycles += w.estimated_cycles;
+  }
+  return cycles;
 }
 
 const QueuedWave& ShardQueue::wave_at(std::size_t channel,

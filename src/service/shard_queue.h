@@ -34,10 +34,23 @@
 namespace nttpim::service {
 
 /// One unit of dispatch: a formed wave plus its estimated execution cost
-/// in modeled device cycles (see PimBackend::estimate_wave_cycles).
+/// in modeled device cycles (see PimBackend::estimate_wave_cycles) and its
+/// urgency key — the earliest effective deadline and earliest arrival
+/// sequence across its requests, stamped by the Dispatcher at dispatch().
 struct QueuedWave {
   std::vector<Request> requests;
   std::uint64_t estimated_cycles = 0;
+  /// min over requests of RequestClass::edf_deadline() (+inf = no
+  /// deadline anywhere in the wave).
+  ServiceClock::time_point deadline = ServiceClock::time_point::max();
+  std::uint64_t seq = 0;  ///< min over requests of Request::seq
+
+  /// Lane-ordering key: earlier deadline first, arrival breaks ties — so
+  /// with no deadlines anywhere the order is exactly arrival (FIFO).
+  bool more_urgent_than(const QueuedWave& other) const noexcept {
+    if (deadline != other.deadline) return deadline < other.deadline;
+    return seq < other.seq;
+  }
 };
 
 class ShardQueue {
@@ -47,8 +60,15 @@ class ShardQueue {
   /// policy (it blocks on full() while open), and its close() drain path
   /// relies on over-capacity pushes to land the tail waves instead of
   /// blocking against workers that may already be gone.
+  ///
+  /// `deadline_ordered` switches each channel's lane from append-order
+  /// (FIFO) to (deadline, arrival) order: push() inserts each wave ahead
+  /// of every less-urgent one, so index 0 — what both the owner and a
+  /// thief take — is always the most-deadline-urgent wave. Waves without
+  /// deadlines carry +inf and thus still drain FIFO among themselves.
   explicit ShardQueue(std::size_t capacity_waves,
-                      std::size_t num_channels = 1);
+                      std::size_t num_channels = 1,
+                      bool deadline_ordered = false);
 
   std::size_t channels() const noexcept { return channels_.size(); }
 
@@ -68,6 +88,14 @@ class ShardQueue {
   std::uint64_t queued_cycles(std::size_t channel) const {
     return chan(channel).queued_cycles;
   }
+  /// Estimated cycles queued on `channel` *ahead of* a wave with urgency
+  /// key (deadline, seq) — i.e. the queued work a deadline-ordered lane
+  /// would execute first. The deadline-pressure half of assignment prices
+  /// an urgent wave's ETA against this instead of the whole-lane backlog,
+  /// because the lane lets the urgent wave jump the rest.
+  std::uint64_t queued_cycles_before(std::size_t channel,
+                                     ServiceClock::time_point deadline,
+                                     std::uint64_t seq) const;
   std::uint64_t executing_cycles(std::size_t channel) const {
     return chan(channel).executing_cycles;
   }
@@ -77,13 +105,17 @@ class ShardQueue {
     return c.queued_cycles + c.executing_cycles;
   }
 
-  /// Append a priced wave to one channel's deque (dispatcher side).
+  /// Enqueue a priced wave on one channel (dispatcher side): appended in
+  /// FIFO mode, inserted in (deadline, arrival) order when the queue is
+  /// deadline_ordered.
   void push(std::size_t channel, QueuedWave&& wave);
 
-  /// Remove and return the oldest wave queued on `channel`. Both the owner
-  /// and a thief take from this end: the owner for FIFO latency fairness,
-  /// the thief because the oldest wave has waited longest and is the least
-  /// likely to still be wanted by a busy owner.
+  /// Remove and return the front wave queued on `channel` — the oldest
+  /// (FIFO mode) or the most-deadline-urgent (deadline_ordered). Both the
+  /// owner and a thief take from this end: the owner for latency fairness,
+  /// the thief because the front wave has waited longest (or is most at
+  /// risk of missing its deadline) and is the least likely to still be
+  /// wanted by a busy owner.
   QueuedWave take_oldest(std::size_t channel) { return take_at(channel, 0); }
 
   /// Inspect the i-th wave of one channel (0 = oldest) without removing it
@@ -115,6 +147,7 @@ class ShardQueue {
   Channel& chan(std::size_t channel);
 
   std::size_t capacity_;
+  bool deadline_ordered_;
   std::vector<Channel> channels_;
 };
 

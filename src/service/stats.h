@@ -70,6 +70,25 @@ struct ChannelStats {
   std::uint64_t estimated_backlog_cycles = 0;
 };
 
+/// Per-class (per-tenant) slice of the service counters — one entry per
+/// configured request class (ServiceConfig::qos.num_classes), keyed by
+/// RequestClass::tenant. This is what makes the QoS policies observable:
+/// the latency a critical class actually gets, what a flooding tenant was
+/// shed, and how many deadlines were honored.
+struct ClassStats {
+  std::uint64_t submitted = 0;  ///< submit() calls from this tenant
+  std::uint64_t completed = 0;  ///< delivered successfully
+  /// Shed by per-tenant admission control (AdmissionShedError) — counted
+  /// separately from `rejected` backpressure: shedding is a per-tenant
+  /// policy verdict, rejection is aggregate queue pressure.
+  std::uint64_t shed = 0;
+  /// Completed requests whose delivery happened after their deadline.
+  /// (Deadline-less requests can never miss.)
+  std::uint64_t deadline_misses = 0;
+  LatencySummary queue_latency;    ///< submit -> wave starts executing
+  LatencySummary service_latency;  ///< submit -> result delivered
+};
+
 /// Per-shard slice of the service counters (one shard = one worker thread
 /// owning one NttBackend).
 struct ShardStats {
@@ -87,6 +106,9 @@ struct ShardStats {
   /// merged engine pass kept every command bus busy (see dispatcher.h;
   /// disjoint from stolen_waves).
   std::uint64_t rebalanced_waves = 0;
+  /// Requests this shard delivered after their deadline had passed (the
+  /// per-shard tile of ClassStats::deadline_misses summed over classes).
+  std::uint64_t deadline_missed_requests = 0;
   /// Snapshot of the dispatcher's cost estimate for this shard's
   /// outstanding work (queued + executing waves), in modeled device
   /// cycles. Instantaneous, not cumulative: it is what the dispatcher
@@ -117,6 +139,11 @@ struct ServiceStats {
   std::uint64_t rejected = 0;   ///< backpressure rejections (kReject/stopped)
   std::uint64_t failed = 0;     ///< accepted but failed during execution
   std::uint64_t pending = 0;    ///< accepted, not yet completed or failed
+  /// Shed by per-tenant admission control before reaching the queue
+  /// (sum of ClassStats::shed; disjoint from `rejected`).
+  std::uint64_t shed = 0;
+  /// Completed after their deadline (sum of ClassStats::deadline_misses).
+  std::uint64_t deadline_misses = 0;
 
   std::uint64_t waves = 0;
   std::uint64_t engine_passes = 0;
@@ -126,6 +153,11 @@ struct ServiceStats {
 
   LatencySummary queue_latency;    ///< submit -> wave starts executing
   LatencySummary service_latency;  ///< submit -> result delivered
+
+  /// One entry per request class (ServiceConfig::qos.num_classes; always
+  /// at least the classless entry 0), splitting the counters and latency
+  /// summaries above by RequestClass::tenant.
+  std::vector<ClassStats> classes;
 
   std::vector<ShardStats> shards;
 };

@@ -1,5 +1,7 @@
 #include "service/wave_former.h"
 
+#include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "common/check.h"
@@ -32,12 +34,76 @@ WaveFormer::SubmitResult WaveFormer::submit(Request&& request) {
       return SubmitResult::kRejected;
   }
   request.enqueued = now();
+  request.seq = next_seq_++;
   pending_items_ += items;
   queue_.push_back(std::move(request));
   // notify_all: several consumers may be parked with different predicates
   // (waiting for any work vs. waiting for a full wave).
   ready_cv_.notify_all();
   return SubmitResult::kAccepted;
+}
+
+ServiceClock::time_point WaveFormer::flush_deadline() const {
+  // The window always measures against the *oldest* request; EDF tightens
+  // it to the earliest pending deadline, so a latency-critical request
+  // never waits out the coalescing window behind bulk traffic.
+  auto deadline = queue_.front().enqueued + cfg_.flush_window;
+  if (cfg_.edf) {
+    for (const Request& r : queue_)
+      if (r.qos.deadline && *r.qos.deadline < deadline)
+        deadline = *r.qos.deadline;
+  }
+  return deadline;
+}
+
+std::vector<Request> WaveFormer::cut_wave() {
+  std::vector<Request> wave;
+  std::size_t taken = 0;
+  if (!cfg_.edf) {
+    while (!queue_.empty()) {
+      const std::size_t items = queue_.front().batch_items();
+      // Never split below one request per wave; otherwise respect the cap
+      // (a trailing multiply that would overflow waits for the next wave).
+      if (taken != 0 && taken + items > cfg_.max_wave_items) break;
+      taken += items;
+      wave.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      if (taken >= cfg_.max_wave_items) break;
+    }
+  } else {
+    // EDF cut: take requests by (effective deadline, priority desc,
+    // arrival) until the cap. The deque stays in arrival order — only the
+    // selection is ordered — so the FIFO path above and this one agree
+    // exactly whenever no request carries a deadline or priority.
+    std::vector<std::size_t> order(queue_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](auto a, auto b) {
+      const Request& ra = queue_[a];
+      const Request& rb = queue_[b];
+      const auto da = ra.qos.edf_deadline();
+      const auto db = rb.qos.edf_deadline();
+      if (da != db) return da < db;
+      if (ra.qos.priority != rb.qos.priority)
+        return ra.qos.priority > rb.qos.priority;
+      return ra.seq < rb.seq;
+    });
+    std::vector<std::size_t> picked;
+    for (const std::size_t idx : order) {
+      const std::size_t items = queue_[idx].batch_items();
+      if (taken != 0 && taken + items > cfg_.max_wave_items) break;
+      taken += items;
+      picked.push_back(idx);
+      if (taken >= cfg_.max_wave_items) break;
+    }
+    for (const std::size_t idx : picked)
+      wave.push_back(std::move(queue_[idx]));
+    // Erase the moved-from slots back-to-front so indices stay valid.
+    std::sort(picked.begin(), picked.end());
+    for (auto it = picked.rbegin(); it != picked.rend(); ++it)
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+  pending_items_ -= taken;
+  return wave;
 }
 
 std::vector<Request> WaveFormer::next_wave() {
@@ -52,9 +118,10 @@ std::vector<Request> WaveFormer::next_wave() {
     }
 
     // Wave forming: flush when full or when the *oldest* request has been
-    // waiting flush_window. close() flushes immediately (drain fast);
-    // pause() re-gates a consumer even mid-forming, so a staged backlog
-    // never leaks out as a partial wave while paused.
+    // waiting flush_window (EDF tightens that to the earliest pending
+    // deadline — see flush_deadline()). close() flushes immediately (drain
+    // fast); pause() re-gates a consumer even mid-forming, so a staged
+    // backlog never leaks out as a partial wave while paused.
     //
     // The deadline is recomputed against the *current* front after every
     // wake. Computing it once per wait (the previous code) let a waiter
@@ -65,7 +132,7 @@ std::vector<Request> WaveFormer::next_wave() {
       if (closed_ || paused_) break;
       if (queue_.empty()) break;  // another consumer took the wave
       if (pending_items_ >= cfg_.max_wave_items) break;
-      const auto deadline = queue_.front().enqueued + cfg_.flush_window;
+      const auto deadline = flush_deadline();
       if (now() >= deadline) break;
       if (cfg_.clock)
         ready_cv_.wait(lk);  // fake time: tick()/submit/close re-wakes us
@@ -75,19 +142,7 @@ std::vector<Request> WaveFormer::next_wave() {
     if (paused_ && !closed_) continue;
     if (queue_.empty()) continue;  // another consumer took the wave
 
-    std::vector<Request> wave;
-    std::size_t taken = 0;
-    while (!queue_.empty()) {
-      const std::size_t items = queue_.front().batch_items();
-      // Never split below one request per wave; otherwise respect the cap
-      // (a trailing multiply that would overflow waits for the next wave).
-      if (taken != 0 && taken + items > cfg_.max_wave_items) break;
-      taken += items;
-      wave.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-      if (taken >= cfg_.max_wave_items) break;
-    }
-    pending_items_ -= taken;
+    std::vector<Request> wave = cut_wave();
     space_cv_.notify_all();
     return wave;
   }

@@ -13,6 +13,16 @@
 // the queue in parallel and the wave former doubles as the load balancer —
 // an idle shard simply grabs the next wave.
 //
+// QoS (Config::edf): with EDF forming on, a pending *deadline* tightens
+// the flush — the former flushes no later than the earliest pending
+// deadline, so a latency-critical request never sits out the coalescing
+// window behind bulk traffic — and waves are cut in EDF order (earliest
+// effective deadline first, then priority descending, then arrival) rather
+// than FIFO. Classless requests (no deadline, priority 0) carry an
+// effective deadline of +inf and identical priority, so their mutual order
+// degenerates to exact arrival order: a stream without QoS fields forms
+// bit-identical waves whether edf is on or off.
+//
 // Capacity is measured in *batch items* (a multiply counts 2), matching
 // what bounds device rows and engine-pass size. When full, submit() either
 // blocks or rejects per OverflowPolicy — the service's backpressure.
@@ -48,6 +58,10 @@ class WaveFormer {
     std::chrono::microseconds flush_window{200};  ///< flush deadline
     OverflowPolicy overflow = OverflowPolicy::kBlock;
     bool start_paused = false;
+    /// EDF-within-flush-window forming (see the header comment). Off means
+    /// pure FIFO: deadlines and priorities are carried but ignored — the
+    /// num_classes = 1 service path and the QoS bench's FIFO baseline.
+    bool edf = false;
     /// Testing hook: when set, enqueue timestamps and flush-window
     /// deadlines are read through this function instead of
     /// ServiceClock::now(), and deadline waits become plain condition
@@ -87,12 +101,22 @@ class WaveFormer {
     return cfg_.clock ? cfg_.clock() : ServiceClock::now();
   }
 
+  /// Earliest flush instant of the current backlog: the front's
+  /// window expiry, tightened (under EDF) by the earliest pending
+  /// deadline. Caller holds mu_; queue_ must be non-empty.
+  ServiceClock::time_point flush_deadline() const;
+
+  /// Cut one wave off the backlog (FIFO, or EDF order per Config::edf),
+  /// updating pending_items_. Caller holds mu_; queue_ must be non-empty.
+  std::vector<Request> cut_wave();
+
   const Config cfg_;
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;  ///< consumers: work / flush / close
   std::condition_variable space_cv_;  ///< blocked producers
   std::deque<Request> queue_;
   std::size_t pending_items_ = 0;
+  std::uint64_t next_seq_ = 0;  ///< arrival stamp (see Request::seq)
   bool paused_ = false;
   bool closed_ = false;
 };

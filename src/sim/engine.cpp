@@ -21,10 +21,11 @@ enum class RefreshStep : std::uint8_t { kNone, kNeedRef, kNeedRestore };
 
 /// Per-bank scheduling state.
 struct BankState {
-  BankState(const dram::DramTiming& timing, std::size_t num_buffers)
+  BankState(const dram::DramTiming& timing, std::size_t num_buffers,
+            std::uint64_t refresh_offset)
       : timing(timing),
         buf_avail(num_buffers, 0),
-        next_refresh(timing.trefi) {}
+        next_refresh(timing.trefi + refresh_offset) {}
 
   dram::BankTiming timing;
   std::vector<std::uint64_t> buf_avail;  ///< buffer busy-until timestamps
@@ -67,8 +68,16 @@ class Scheduler {
     banks_.reserve(device.num_banks());
     channel_.reserve(device.num_banks());
     for (std::size_t b = 0; b < device.num_banks(); ++b) {
-      banks_.emplace_back(t_, device.num_buffers());
-      channel_.push_back(g.channel_of(b));
+      // With stagger_refresh, channel c's tREFI clock runs offset by
+      // trefi * c / num_channels so the channels' refresh windows
+      // interleave instead of landing on every command bus at once.
+      const std::size_t c = g.channel_of(b);
+      const std::uint64_t offset =
+          t_.stagger_refresh
+              ? static_cast<std::uint64_t>(t_.trefi) * c / g.num_channels
+              : 0;
+      banks_.emplace_back(t_, device.num_buffers(), offset);
+      channel_.push_back(c);
     }
     for (std::size_t i = 0; i < trace.size(); ++i) {
       NTTPIM_EXPECT_MSG(trace[i].bank < device.num_banks(),

@@ -8,6 +8,7 @@
 #include <future>
 #include <latch>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "fhe/pim_backend.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
+#include "service/admission.h"
 #include "service/dispatcher.h"
 #include "service/ntt_service.h"
 #include "service/wave_former.h"
@@ -400,11 +402,223 @@ TEST(ServiceUnit, WaveFormerTimeoutUsesCurrentFrontDeadline) {
   EXPECT_EQ(waves[1], (std::vector<std::uint32_t>{1, 2}));
 }
 
+namespace former_test {
+
+// Single-consumer fake-clock harness: submit tagged requests (optionally
+// deadlined) before the consumer starts, so every cut is deterministic.
+struct Harness {
+  explicit Harness(service::WaveFormer::Config cfg) {
+    cfg.clock = [this] {
+      return service::ServiceClock::time_point(
+          std::chrono::microseconds(fake_us.load()));
+    };
+    former.emplace(cfg);
+  }
+
+  std::future<std::vector<std::uint32_t>> submit(std::uint32_t tag,
+                                std::optional<std::int64_t> deadline_us = {},
+                                int priority = 0) {
+    service::Request r;
+    r.a = {tag};
+    r.qos.priority = priority;
+    if (deadline_us)
+      r.qos.deadline = service::ServiceClock::time_point(
+          std::chrono::microseconds(*deadline_us));
+    auto f = r.promise.get_future();
+    EXPECT_EQ(former->submit(std::move(r)),
+              service::WaveFormer::SubmitResult::kAccepted);
+    return f;
+  }
+
+  /// Drain every formed wave into `waves` (tags, in cut order).
+  std::vector<std::vector<std::uint32_t>> run_consumer_to_close() {
+    std::vector<std::vector<std::uint32_t>> waves;
+    for (;;) {
+      auto wave = former->next_wave();
+      if (wave.empty()) return waves;
+      std::vector<std::uint32_t> tags;
+      for (auto& r : wave) {
+        tags.push_back(r.a[0]);
+        r.promise.set_value({});
+      }
+      waves.push_back(std::move(tags));
+    }
+  }
+
+  std::atomic<std::int64_t> fake_us{0};
+  std::optional<service::WaveFormer> former;
+};
+
+}  // namespace former_test
+
+// EDF forming: with more pending than fits one wave, the cut takes
+// requests by (deadline, priority desc, arrival), not arrival order; the
+// deadline-less remainder flushes by the plain window.
+TEST(ServiceUnit, WaveFormerEdfCutsByDeadlineThenPriorityThenArrival) {
+  service::WaveFormer::Config cfg;
+  cfg.capacity_items = 16;
+  cfg.max_wave_items = 3;
+  cfg.flush_window = std::chrono::microseconds(100);
+  cfg.edf = true;
+  former_test::Harness h(cfg);
+
+  // Arrival order 0..4; urgency says otherwise: 3 (earliest deadline),
+  // then 1 (later deadline), then 4 (no deadline but highest priority).
+  auto f0 = h.submit(0);
+  auto f1 = h.submit(1, /*deadline_us=*/1000);
+  auto f2 = h.submit(2);
+  auto f3 = h.submit(3, /*deadline_us=*/500);
+  auto f4 = h.submit(4, /*deadline_us=*/std::nullopt, /*priority=*/7);
+
+  std::thread consumer;
+  std::vector<std::vector<std::uint32_t>> waves;
+  consumer = std::thread([&] { waves = h.run_consumer_to_close(); });
+  f3.get();  // first wave is out once the most-urgent request resolves
+  f1.get();
+  f4.get();
+
+  // Remainder {0, 2} has no deadline: it waits out the full window
+  // (enqueued at t=0) and flushes in arrival order.
+  h.fake_us = 100;
+  h.former->tick();
+  f0.get();
+  f2.get();
+
+  h.former->close();
+  consumer.join();
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0], (std::vector<std::uint32_t>{3, 1, 4}));
+  EXPECT_EQ(waves[1], (std::vector<std::uint32_t>{0, 2}));
+}
+
+// EDF forming: a pending deadline earlier than the front's window expiry
+// tightens the flush deadline, so a latency-critical request never waits
+// out the coalescing window behind bulk traffic. (The test completing at
+// fake time 40 — well before the 100 us window — is the assertion.)
+TEST(ServiceUnit, WaveFormerEdfDeadlineTightensFlushWindow) {
+  service::WaveFormer::Config cfg;
+  cfg.capacity_items = 16;
+  cfg.max_wave_items = 16;  // never fills: only a flush can cut
+  cfg.flush_window = std::chrono::microseconds(100);
+  cfg.edf = true;
+  former_test::Harness h(cfg);
+
+  auto f0 = h.submit(0);                        // bulk, window expires at 100
+  auto f1 = h.submit(1, /*deadline_us=*/40);    // tightens the flush to 40
+
+  std::thread consumer;
+  std::vector<std::vector<std::uint32_t>> waves;
+  consumer = std::thread([&] { waves = h.run_consumer_to_close(); });
+  h.fake_us = 40;
+  h.former->tick();
+  f0.get();
+  f1.get();
+
+  h.former->close();
+  consumer.join();
+  ASSERT_EQ(waves.size(), 1u);
+  // One wave, EDF order: the deadlined request leads.
+  EXPECT_EQ(waves[0], (std::vector<std::uint32_t>{1, 0}));
+}
+
+// Classless regression: with edf off (the num_classes = 1 configuration),
+// deadlines and priorities travel inert — cuts are exact FIFO and the
+// flush deadline is the front's window alone, deadlines notwithstanding.
+TEST(ServiceUnit, WaveFormerWithoutEdfIgnoresDeadlines) {
+  service::WaveFormer::Config cfg;
+  cfg.capacity_items = 16;
+  cfg.max_wave_items = 2;
+  cfg.flush_window = std::chrono::microseconds(100);
+  cfg.edf = false;
+  former_test::Harness h(cfg);
+
+  auto f0 = h.submit(0);
+  auto f1 = h.submit(1, /*deadline_us=*/40);  // would lead under EDF
+  auto f2 = h.submit(2, /*deadline_us=*/30, /*priority=*/9);
+
+  std::thread consumer;
+  std::vector<std::vector<std::uint32_t>> waves;
+  consumer = std::thread([&] { waves = h.run_consumer_to_close(); });
+  f0.get();
+  f1.get();
+  // The deadlined leftover must wait out the *window* (no EDF tightening):
+  // fake time 50 is past both deadlines but must not flush it.
+  h.fake_us = 50;
+  h.former->tick();
+  h.fake_us = 100;
+  h.former->tick();
+  f2.get();
+
+  h.former->close();
+  consumer.join();
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0], (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(waves[1], (std::vector<std::uint32_t>{2}));
+}
+
+// Token-bucket arithmetic to exact counts under a fake clock: a fresh
+// bucket admits its burst, refills continuously at rate_per_sec, rate 0
+// never refills, burst <= 0 and unconfigured tenants are unlimited.
+TEST(ServiceUnit, AdmissionTokenBucketRefillExactness) {
+  using Decision = service::AdmissionController::Decision;
+  std::atomic<std::int64_t> fake_us{0};
+  service::AdmissionController::Config cfg;
+  cfg.tenants = {
+      {.rate_per_sec = 2.0, .burst = 2.0},  // tenant 0: 2-deep, 2/sec
+      {.rate_per_sec = 0.0, .burst = 3.0},  // tenant 1: hard cap of 3
+      {.rate_per_sec = 5.0, .burst = 0.0},  // tenant 2: unlimited
+  };
+  cfg.clock = [&] {
+    return service::ServiceClock::time_point(
+        std::chrono::microseconds(fake_us.load()));
+  };
+  service::AdmissionController adm(std::move(cfg));
+
+  // Tenant 0: the initial burst admits exactly 2, then sheds.
+  EXPECT_EQ(adm.admit(0), Decision::kAdmit);
+  EXPECT_EQ(adm.admit(0), Decision::kAdmit);
+  EXPECT_EQ(adm.admit(0), Decision::kShed);
+  EXPECT_DOUBLE_EQ(adm.tokens(0), 0.0);
+
+  // 500 ms at 2/sec refills exactly one token; 250 ms more only half.
+  fake_us = 500000;
+  EXPECT_EQ(adm.admit(0), Decision::kAdmit);
+  EXPECT_EQ(adm.admit(0), Decision::kShed);
+  fake_us = 750000;
+  EXPECT_EQ(adm.admit(0), Decision::kShed);
+  EXPECT_DOUBLE_EQ(adm.tokens(0), 0.5);
+  // A long idle stretch refills to the burst cap, never beyond.
+  fake_us = 10000000;
+  EXPECT_DOUBLE_EQ(adm.tokens(0), 2.0);
+
+  // Tenant 1: rate 0 is a deterministic lifetime cap of `burst`.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(adm.admit(1), Decision::kAdmit);
+  EXPECT_EQ(adm.admit(1), Decision::kShed);
+  fake_us = 20000000;
+  EXPECT_EQ(adm.admit(1), Decision::kShed);
+
+  // Tenant 2 (burst <= 0) and tenant 9 (unconfigured) always admit.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(adm.admit(2), Decision::kAdmit);
+    EXPECT_EQ(adm.admit(9), Decision::kAdmit);
+  }
+}
+
 namespace dispatch_test {
 
 std::vector<service::Request> tagged_wave(std::uint32_t tag) {
   std::vector<service::Request> wave(1);
   wave[0].a = {tag};
+  wave[0].seq = tag;  // arrival stamp: tags are dispatched in order
+  return wave;
+}
+
+// A wave whose (single) request carries a deadline, for the QoS paths.
+std::vector<service::Request> deadlined_wave(std::uint32_t tag,
+                                             std::int64_t deadline_us) {
+  auto wave = tagged_wave(tag);
+  wave[0].qos.deadline = service::ServiceClock::time_point(
+      std::chrono::microseconds(deadline_us));
   return wave;
 }
 
@@ -741,6 +955,103 @@ TEST(ServiceUnit, DispatcherRebalancesLocallyBeforeStealing) {
   EXPECT_TRUE(dispatcher.next_waves_for(1).empty());
 }
 
+// Deadline pressure, assignment half: an urgent wave's ETA counts only
+// the queued work ahead of its (deadline, arrival) key — it jumps queued
+// bulk — so it lands by tie-break on shard 0 despite shard 0 holding the
+// larger bulk backlog (a deadline-less wave would go to shard 1), and the
+// deadline-ordered lane then pops it first, ahead of earlier-arrived bulk.
+TEST(ServiceUnit, DispatcherDeadlinePressureJumpsQueuedBulk) {
+  service::Dispatcher::Config cfg;
+  cfg.shards.resize(2);
+  cfg.cost_aware = true;
+  cfg.work_stealing = false;
+  cfg.deadline_pressure = true;
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t, std::vector<service::Request>&) {
+        return std::uint64_t{100};
+      });
+
+  dispatcher.dispatch(dispatch_test::tagged_wave(0));  // tie -> shard 0
+  dispatcher.dispatch(dispatch_test::tagged_wave(1));  // least-backlog -> 1
+  dispatcher.dispatch(dispatch_test::tagged_wave(2));  // eta tie -> shard 0
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 200u);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 100u);
+
+  // The urgent wave jumps both bulk waves queued on shard 0, so its ETA is
+  // 100 everywhere and the tie resolves to shard 0 — without the jump the
+  // least-backlog rule would have sent it to shard 1.
+  dispatcher.dispatch(dispatch_test::deadlined_wave(3, /*deadline_us=*/100));
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 300u);
+  EXPECT_EQ(dispatcher.backlog_cycles(1), 100u);
+
+  // Shard 0's lane is urgency-ordered: the deadlined wave pops before the
+  // bulk that arrived first.
+  const std::uint32_t expected_tags[] = {3, 0, 2};
+  for (const std::uint32_t tag : expected_tags) {
+    auto next = dispatcher.next_wave_for(0);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(dispatch_test::tag_of(next->requests), tag);
+    dispatcher.complete(0, next->estimated_cycles);
+  }
+  dispatcher.close();
+}
+
+// Deadline pressure, steal half: an idle shard takes the most-deadline-
+// urgent compatible wave anywhere — even off a lightly loaded victim —
+// and only falls back to the load-relief steal (oldest wave of the most-
+// loaded peer) once no deadlined wave is queued.
+TEST(ServiceUnit, DispatcherDeadlinePressureStealsMostUrgentWave) {
+  service::Dispatcher::Config cfg;
+  cfg.shards.resize(3);
+  cfg.queue_capacity_waves = 4;
+  cfg.cost_aware = false;  // round-robin: tag % 3 names the shard
+  cfg.work_stealing = true;
+  cfg.deadline_pressure = true;
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t, std::vector<service::Request>&) {
+        return std::uint64_t{100};
+      });
+
+  // Shard 0 carries the big bulk backlog {0, 3, 6}; shard 2 is lighter
+  // {2, 5} but holds the only deadlined wave (tag 5); shard 1 {1, 4} will
+  // go idle and steal.
+  for (std::uint32_t tag = 0; tag < 7; ++tag) {
+    if (tag == 5)
+      dispatcher.dispatch(
+          dispatch_test::deadlined_wave(tag, /*deadline_us=*/700));
+    else
+      dispatcher.dispatch(dispatch_test::tagged_wave(tag));
+  }
+  EXPECT_EQ(dispatcher.backlog_cycles(0), 300u);
+  EXPECT_EQ(dispatcher.backlog_cycles(2), 200u);
+
+  // Drain shard 1's own FIFO lane.
+  for (const std::uint32_t tag : {1u, 4u}) {
+    auto own = dispatcher.next_wave_for(1);
+    ASSERT_TRUE(own.has_value());
+    EXPECT_EQ(dispatch_test::tag_of(own->requests), tag);
+    EXPECT_FALSE(own->stolen);
+    dispatcher.complete(1, own->estimated_cycles);
+  }
+
+  // First steal: the deadlined tag 5 off lightly-loaded shard 2, even
+  // though the load-relief rule would have picked most-loaded shard 0.
+  auto urgent = dispatcher.next_wave_for(1);
+  ASSERT_TRUE(urgent.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(urgent->requests), 5u);
+  EXPECT_TRUE(urgent->stolen);
+  dispatcher.complete(1, urgent->estimated_cycles);
+
+  // No deadlines left: the fallback relieves the most-loaded peer (shard
+  // 0), oldest wave first.
+  auto fallback = dispatcher.next_wave_for(1);
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(dispatch_test::tag_of(fallback->requests), 0u);
+  EXPECT_TRUE(fallback->stolen);
+  dispatcher.complete(1, fallback->estimated_cycles);
+  dispatcher.close();
+}
+
 // A service on a multi-channel PIM shard serves bit-exact results, sizes
 // waves to one channel's bank set, and its per-channel stats tile the
 // shard counters.
@@ -1014,8 +1325,9 @@ TEST(ServiceProperty, HeteroStealingConservesRequests) {
   EXPECT_EQ(requests, kTotal);
 }
 
-// The reserved SubmitOptions fields travel without affecting execution.
-TEST(ServiceUnit, SubmitOptionsReservedFieldsAreAccepted) {
+// QoS class fields travel on a classless (num_classes = 1) service without
+// affecting execution: priority and deadline are carried but inert.
+TEST(ServiceUnit, SubmitOptionsQosFieldsAreAccepted) {
   const auto params = make_params(256);
   ServiceConfig cfg;
   cfg.backend.banks_per_shard = 4;
@@ -1028,9 +1340,86 @@ TEST(ServiceUnit, SubmitOptionsReservedFieldsAreAccepted) {
   cpu.forward(expected, *params);
 
   service::SubmitOptions options;
-  options.priority = 7;
-  options.deadline = service::ServiceClock::now() + std::chrono::seconds(1);
+  options.qos.priority = 7;
+  options.qos.deadline = service::ServiceClock::now() + std::chrono::seconds(1);
   EXPECT_EQ(svc.submit(std::move(poly), params, options).get(), expected);
+}
+
+// End-to-end QoS: a flooding tenant with a hard admission cap (rate 0,
+// burst 2) is shed deterministically past its burst — failing with
+// AdmissionShedError before costing queue capacity — while the
+// unconfigured tenant 1 rides through unlimited; per-class stats split
+// the counters and deadline misses are charged to the class that missed.
+TEST(ServiceE2E, QosShedsFloodingTenantAndCountsDeadlineMisses) {
+  const auto params = make_params(256);
+  ServiceConfig cfg;
+  cfg.backend.banks_per_shard = 4;
+  cfg.qos.num_classes = 2;
+  cfg.qos.admission = {{.rate_per_sec = 0.0, .burst = 2.0}};  // tenant 0 only
+  NttService svc(cfg);
+
+  Rng rng(67);
+  fhe::CpuBackend cpu;
+  auto make_request = [&] {
+    auto poly = rng.residues(params->n(), params->q());
+    auto expected = poly;
+    cpu.forward(expected, *params);
+    return std::pair{std::move(poly), std::move(expected)};
+  };
+
+  // Tenant 0 floods: with rate 0 the bucket never refills, so exactly the
+  // first `burst` requests land and the rest shed — deterministically.
+  service::SubmitOptions bulk;
+  bulk.qos.tenant = 0;
+  std::vector<std::future<std::vector<std::uint32_t>>> accepted;
+  std::vector<std::vector<std::uint32_t>> expected;
+  for (int i = 0; i < 4; ++i) {
+    auto [poly, want] = make_request();
+    auto f = svc.submit(std::move(poly), params, bulk);
+    if (i < 2) {
+      accepted.push_back(std::move(f));
+      expected.push_back(std::move(want));
+    } else {
+      EXPECT_THROW(f.get(), service::AdmissionShedError);
+    }
+  }
+
+  // Tenant 1 is past the admission vector: unlimited, but its deadline is
+  // already gone, so every completion counts a miss.
+  service::SubmitOptions critical;
+  critical.qos.tenant = 1;
+  critical.qos.priority = 1;
+  critical.qos.deadline =
+      service::ServiceClock::now() - std::chrono::milliseconds(1);
+  for (int i = 0; i < 3; ++i) {
+    auto [poly, want] = make_request();
+    accepted.push_back(svc.submit(std::move(poly), params, critical));
+    expected.push_back(std::move(want));
+  }
+
+  for (std::size_t i = 0; i < accepted.size(); ++i)
+    EXPECT_EQ(accepted[i].get(), expected[i]);
+  svc.drain();
+
+  const auto stats = svc.stats();
+  ASSERT_EQ(stats.classes.size(), 2u);
+  EXPECT_EQ(stats.classes[0].submitted, 4u);
+  EXPECT_EQ(stats.classes[0].shed, 2u);
+  EXPECT_EQ(stats.classes[0].completed, 2u);
+  EXPECT_EQ(stats.classes[0].deadline_misses, 0u);
+  EXPECT_EQ(stats.classes[1].submitted, 3u);
+  EXPECT_EQ(stats.classes[1].shed, 0u);
+  EXPECT_EQ(stats.classes[1].completed, 3u);
+  EXPECT_EQ(stats.classes[1].deadline_misses, 3u);
+  EXPECT_EQ(stats.classes[1].service_latency.count, 3u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.deadline_misses, 3u);
+  EXPECT_EQ(stats.completed, 5u);
+  EXPECT_EQ(stats.rejected, 0u);  // shedding is not backpressure
+  std::uint64_t shard_misses = 0;
+  for (const auto& shard : stats.shards)
+    shard_misses += shard.deadline_missed_requests;
+  EXPECT_EQ(shard_misses, 3u);
 }
 
 }  // namespace
