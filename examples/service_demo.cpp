@@ -17,25 +17,38 @@
 //     shard lanes and are stolen first by idle shards.
 //
 // The interesting output is the per-class stats block: what latency each
-// tenant actually got, what the flooder was shed, and whether deadlines
-// held. Execution still runs on a heterogeneous shard pair (one simulated
-// PIM device next to a host-CPU worker pool), and every client verifies
-// its results against the host CPU reference.
+// tenant actually got, what the flooder was shed, whether deadlines held —
+// and the per-class *stage breakdown*: where each tenant's requests spent
+// their time (admission wait, former residency, shard-queue wait, execute,
+// completion). Execution still runs on a heterogeneous shard pair (one
+// simulated PIM device next to a host-CPU worker pool), and every client
+// verifies its results against the host CPU reference.
+//
+// `--trace <path>` additionally records every request's lifecycle (see
+// src/telemetry/) and writes a Chrome trace-event JSON there — open it in
+// Perfetto / chrome://tracing to see the two tenants' flows interleave
+// across the dispatcher and shard tracks.
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <latch>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/random.h"
+#include "common/table.h"
 #include "fhe/cpu_backend.h"
 #include "fhe/pim_backend.h"
 #include "ntt/params.h"
 #include "ntt/poly.h"
 #include "service/ntt_service.h"
+#include "telemetry/chrome_trace.h"
 
 namespace {
 
@@ -84,9 +97,22 @@ void print_class(const char* label, const service::ClassStats& cs) {
             << " us\n";
 }
 
+constexpr const char* kUsage =
+    "usage: service_demo [--trace <path>]\n"
+    "  Two tenants (bulk + deadlined critical) against the multi-tenant\n"
+    "  QoS serving runtime on a PIM + CPU shard pair; prints per-class\n"
+    "  latency, shedding and deadline stats plus the per-class stage\n"
+    "  breakdown (where each tenant's requests spent their time).\n"
+    "  --trace <path>  also record per-request lifecycle tracing and\n"
+    "                  write a Chrome trace-event JSON to <path> (open\n"
+    "                  it in Perfetto / chrome://tracing)\n";
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto trace_path = bench::consume_trace_flag(argc, argv);
+  bench::finish_flags(argc, argv, kUsage);
+
   const auto params =
       std::make_shared<const ntt::NttParams>(ntt::NttParams::create(kN, 30));
 
@@ -101,6 +127,9 @@ int main() {
   // and deadline-pressure dispatch are on by default once num_classes > 1.
   cfg.qos.num_classes = 2;
   cfg.qos.admission = {{.rate_per_sec = 0.0, .burst = kBulkBurst}};
+  // Lifecycle tracing costs nothing unless asked for (one relaxed atomic
+  // load per would-be event when disabled).
+  cfg.telemetry.enabled = trace_path.has_value();
   service::NttService svc(cfg);
 
   std::atomic<std::uint64_t> mismatches{0};
@@ -208,6 +237,41 @@ int main() {
               << stats.shards[s].waves << " waves ("
               << stats.shards[s].stolen_waves << " stolen)";
 
+  // Where each tenant's completed requests actually spent their time —
+  // the stage-latency attribution half of the telemetry subsystem
+  // (always on; the five stages tile submit -> delivered exactly).
+  std::cout << "\n\nStage breakdown (mean us per completed request):\n";
+  TablePrinter stage_table({"class", "requests", "admission", "former",
+                            "shard queue", "execute", "completion",
+                            "total"});
+  const char* class_labels[] = {"bulk (t0)", "critical (t1)"};
+  for (std::size_t t = 0; t < stats.classes.size(); ++t) {
+    const service::StageBreakdown& sb = stats.classes[t].stages;
+    stage_table.add_row(
+        {t < 2 ? class_labels[t] : std::to_string(t),
+         std::to_string(sb.count), TablePrinter::num(sb.admission_wait_us, 1),
+         TablePrinter::num(sb.former_residency_us, 1),
+         TablePrinter::num(sb.shard_queue_wait_us, 1),
+         TablePrinter::num(sb.execute_us, 1),
+         TablePrinter::num(sb.completion_us, 1),
+         TablePrinter::num(sb.total_us, 1)});
+  }
+  stage_table.print(std::cout);
+
+  bool trace_written = true;
+  if (trace_path) {
+    std::ofstream out(*trace_path);
+    telemetry::write_chrome_trace(out, svc.trace_collector().drain());
+    trace_written = out.good();
+    if (trace_written)
+      std::cout << "\nWrote Chrome trace to " << *trace_path
+                << " (open it in Perfetto / chrome://tracing); "
+                << stats.trace_events << " events recorded, "
+                << stats.trace_dropped_events << " dropped.\n";
+    else
+      std::cerr << "cannot write trace to " << *trace_path << "\n";
+  }
+
   const bool shed_exact =
       stats.shed == sheds &&
       stats.shed == kBulkClients * kRoundsPerClient * 3 -
@@ -216,7 +280,8 @@ int main() {
             << (mismatches == 0 && callback_ok && shed_exact ? "YES" : "NO")
             << "\n";
 
-  return mismatches == 0 && callback_ok && shed_exact && stats.failed == 0
+  return mismatches == 0 && callback_ok && shed_exact && stats.failed == 0 &&
+                 trace_written
              ? EXIT_SUCCESS
              : EXIT_FAILURE;
 }

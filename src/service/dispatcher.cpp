@@ -39,7 +39,7 @@ std::uint64_t Dispatcher::priced_for(std::size_t shard,
                              : static_cast<std::uint64_t>(scaled);
 }
 
-void Dispatcher::dispatch(std::vector<Request>&& wave) {
+Dispatcher::Assignment Dispatcher::dispatch(std::vector<Request>&& wave) {
   NTTPIM_EXPECT(!wave.empty());
   std::unique_lock lk(mu_);
   // The wave's urgency key: earliest effective deadline and earliest
@@ -48,6 +48,9 @@ void Dispatcher::dispatch(std::vector<Request>&& wave) {
   // decision must not depend on that).
   auto wave_deadline = ServiceClock::time_point::max();
   auto wave_seq = std::numeric_limits<std::uint64_t>::max();
+  // Every request of a former-cut wave shares one wave_id; hand-built
+  // test waves may carry 0.
+  const std::uint64_t wave_id = wave.front().wave_id;
   for (const Request& r : wave) {
     wave_deadline = std::min(wave_deadline, r.qos.edf_deadline());
     wave_seq = std::min(wave_seq, r.seq);
@@ -120,13 +123,14 @@ void Dispatcher::dispatch(std::vector<Request>&& wave) {
     if (closed_ || !queues_[target_s].full(target_c)) {
       if (!cfg_.cost_aware) rr_next_ = target_idx + 1;
       QueuedWave priced;
+      priced.wave_id = wave_id;
       priced.estimated_cycles = price[target_s];
       priced.deadline = wave_deadline;
       priced.seq = wave_seq;
       priced.requests = std::move(wave);
       queues_[target_s].push(target_c, std::move(priced));
       ready_cv_.notify_all();
-      return;
+      return Assignment{target_s, target_c, price[target_s], wave_id};
     }
     space_cv_.wait(lk);
   }
@@ -144,7 +148,7 @@ Dispatcher::NextWave Dispatcher::land_steal(std::size_t shard,
   QueuedWave wave = queues_[victim].take_at(vc, i);
   queues_[shard].begin_wave(tc, cycles);
   space_cv_.notify_all();
-  return NextWave{std::move(wave.requests), cycles, tc,
+  return NextWave{std::move(wave.requests), wave.wave_id, cycles, tc,
                   /*stolen=*/cfg_.work_stealing,
                   /*rebalanced=*/false};
 }
@@ -238,7 +242,7 @@ std::vector<Dispatcher::NextWave> Dispatcher::next_waves_for(
         }
         QueuedWave wave = own.take_oldest(c);
         own.begin_wave(c, wave.estimated_cycles);
-        group.push_back(NextWave{std::move(wave.requests),
+        group.push_back(NextWave{std::move(wave.requests), wave.wave_id,
                                  wave.estimated_cycles, c,
                                  /*stolen=*/false, /*rebalanced=*/false});
       }
@@ -253,7 +257,7 @@ std::vector<Dispatcher::NextWave> Dispatcher::next_waves_for(
         if (donor == own.channels()) break;  // nothing left to spread
         QueuedWave wave = own.take_oldest(donor);
         own.begin_wave(c, wave.estimated_cycles);
-        group.push_back(NextWave{std::move(wave.requests),
+        group.push_back(NextWave{std::move(wave.requests), wave.wave_id,
                                  wave.estimated_cycles, c,
                                  /*stolen=*/false, /*rebalanced=*/true});
       }
@@ -295,7 +299,8 @@ std::optional<Dispatcher::NextWave> Dispatcher::next_wave_for(
       QueuedWave wave = own.take_oldest(c);
       own.begin_wave(c, wave.estimated_cycles);
       space_cv_.notify_all();
-      return NextWave{std::move(wave.requests), wave.estimated_cycles, c,
+      return NextWave{std::move(wave.requests), wave.wave_id,
+                      wave.estimated_cycles, c,
                       /*stolen=*/false, /*rebalanced=*/false};
     }
     if (cfg_.work_stealing || closed_) {

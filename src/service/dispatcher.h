@@ -135,16 +135,30 @@ class Dispatcher {
 
   Dispatcher(const Config& config, Estimator estimator);
 
+  /// Where dispatch() placed a wave — returned so the dispatch loop can
+  /// attribute the decision (telemetry's DispatchAssign event) without a
+  /// second lock acquisition. Existing callers are free to ignore it.
+  struct Assignment {
+    std::size_t shard = 0;
+    std::size_t channel = 0;
+    /// The assignee's scaled price for the wave.
+    std::uint64_t estimated_cycles = 0;
+    std::uint64_t wave_id = 0;  ///< former-stamped id (0 for test waves)
+  };
+
   /// Price one formed wave per shard and enqueue it on the chosen
   /// compatible (shard, channel) queue, blocking while that channel is
   /// full. After close() the capacity bound is waived instead of blocking
   /// forever (drain semantics: whatever the former already accepted must
   /// still reach a queue). Throws std::logic_error if no shard can run the
   /// wave.
-  void dispatch(std::vector<Request>&& wave);
+  Assignment dispatch(std::vector<Request>&& wave);
 
   struct NextWave {
     std::vector<Request> requests;
+    /// Former-stamped wave id, carried from the QueuedWave so steals and
+    /// rebalances report *which* wave moved (0 for hand-built test waves).
+    std::uint64_t wave_id = 0;
     /// The executing shard's scaled price (re-priced on a steal).
     std::uint64_t estimated_cycles = 0;
     /// Channel of the executing shard the wave runs on — the channel hint

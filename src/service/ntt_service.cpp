@@ -98,6 +98,8 @@ WavePasses wave_passes(std::vector<Request>& wave) {
 NttService::NttService(const ServiceConfig& config)
     : cfg_(config),
       resolved_(resolve_descriptors(config)),
+      collector_(telemetry::TraceCollector::Config{
+          config.telemetry.enabled, config.telemetry.ring_capacity}),
       former_(former_config(config)),
       dispatcher_(dispatcher_config(config, resolved_),
                   [this](std::size_t shard, std::vector<Request>& wave) {
@@ -106,6 +108,7 @@ NttService::NttService(const ServiceConfig& config)
       backends_(resolved_.size(), nullptr),
       shard_stats_(resolved_.size()),
       class_counters_(std::max<std::size_t>(cfg_.qos.num_classes, 1)),
+      stage_totals_(class_counters_.size()),
       class_queue_latency_(class_counters_.size()),
       class_service_latency_(class_counters_.size()) {
   NTTPIM_EXPECT_MSG(cfg_.qos.num_classes >= 1,
@@ -209,7 +212,9 @@ std::future<std::vector<std::uint32_t>> NttService::submit_multiply(
 
 void NttService::enqueue(Request&& request) {
   validate(request);  // synchronous misuse -> std::invalid_argument here
+  request.submitted = ServiceClock::now();
   const std::uint32_t cls = request.qos.tenant;
+  const ServiceClock::time_point submitted = request.submitted;
   // Admission runs *before* the bounded queue: a tenant past its token
   // bucket is shed here, so a flooding tenant never consumes queue
   // capacity, coalescing delay, or a wave slot (see admission.h).
@@ -220,6 +225,18 @@ void NttService::enqueue(Request&& request) {
       ++submitted_;
       ++class_counters_[cls].submitted;
       ++class_counters_[cls].shed;
+    }
+    if (collector_.enabled()) {
+      // A shed request never received a seq; its Submit/Shed pair is
+      // joined by adjacency on the client thread's ring instead.
+      telemetry::TraceEvent e{};
+      e.tenant = cls;
+      e.kind = telemetry::EventKind::kSubmit;
+      e.ts_ns = collector_.to_ns(submitted);
+      collector_.emit(e);
+      e.kind = telemetry::EventKind::kShed;
+      e.ts_ns = collector_.now_ns();
+      collector_.emit(e);
     }
     request.fail(std::make_exception_ptr(AdmissionShedError()));
     return;
@@ -233,8 +250,27 @@ void NttService::enqueue(Request&& request) {
     ++class_counters_[cls].submitted;
     ++accepted_;
   }
-  switch (former_.submit(std::move(request))) {
+  WaveFormer::SubmitInfo info;
+  switch (former_.submit(std::move(request), &info)) {
     case WaveFormer::SubmitResult::kAccepted:
+      if (collector_.enabled()) {
+        // The former stamped seq/enqueued after the move, so the client
+        // thread emits its lifecycle events backdated from SubmitInfo.
+        telemetry::TraceEvent e{};
+        e.seq = info.seq;
+        e.tenant = cls;
+        e.kind = telemetry::EventKind::kSubmit;
+        e.ts_ns = collector_.to_ns(submitted);
+        collector_.emit(e);
+        if (admission_) {
+          // The admission verdict falls synchronously at submit entry.
+          e.kind = telemetry::EventKind::kAdmit;
+          collector_.emit(e);
+        }
+        e.kind = telemetry::EventKind::kFormerEnqueue;
+        e.ts_ns = collector_.to_ns(info.enqueued);
+        collector_.emit(e);
+      }
       return;
     case WaveFormer::SubmitResult::kRejected:
       {
@@ -265,6 +301,8 @@ void NttService::worker(std::size_t shard) {
   // genuinely parallel host work. (The dispatch thread and stealing peers
   // read the published pointer, but only through the share-readable
   // estimate path -- see backends_.)
+  if (collector_.enabled())
+    collector_.set_thread_name("shard-" + std::to_string(shard));
   std::unique_ptr<fhe::NttBackend> backend;
   try {
     backend = resolved_[shard].factory();
@@ -297,13 +335,37 @@ void NttService::dispatch_loop() {
   // that queue is full, which stalls forming and backpressures
   // submitters). An empty wave means the former is closed and drained --
   // close the dispatcher so the workers drain their queues and exit.
+  if (collector_.enabled()) collector_.set_thread_name("dispatcher");
   for (;;) {
     std::vector<Request> wave = former_.next_wave();
     if (wave.empty()) {
       dispatcher_.close();
       return;
     }
-    dispatcher_.dispatch(std::move(wave));
+    if (collector_.enabled()) {
+      // One WaveCut per request, backdated to the former's cut stamp —
+      // the flow step that joins each request's seq to its wave_id.
+      telemetry::TraceEvent e{};
+      e.kind = telemetry::EventKind::kWaveCut;
+      for (const Request& r : wave) {
+        e.ts_ns = collector_.to_ns(r.cut_at);
+        e.seq = r.seq;
+        e.wave_id = r.wave_id;
+        e.tenant = r.qos.tenant;
+        collector_.emit(e);
+      }
+    }
+    const Dispatcher::Assignment placed = dispatcher_.dispatch(std::move(wave));
+    if (collector_.enabled()) {
+      telemetry::TraceEvent e{};
+      e.kind = telemetry::EventKind::kDispatchAssign;
+      e.ts_ns = collector_.now_ns();
+      e.wave_id = placed.wave_id;
+      e.shard = static_cast<std::uint16_t>(placed.shard);
+      e.channel = static_cast<std::uint16_t>(placed.channel);
+      e.cycles = placed.estimated_cycles;
+      collector_.emit(e);
+    }
   }
 }
 
@@ -334,6 +396,27 @@ void NttService::execute_group(std::size_t shard, fhe::NttBackend& backend,
       queue_latency_.record(us);
       class_queue_latency_[r.qos.tenant].record(us);
     }
+  if (collector_.enabled()) {
+    const std::int64_t start_ns = collector_.to_ns(wave_start);
+    for (const Dispatcher::NextWave& w : group) {
+      telemetry::TraceEvent e{};
+      e.ts_ns = start_ns;
+      e.wave_id = w.wave_id;
+      e.shard = static_cast<std::uint16_t>(shard);
+      e.channel = static_cast<std::uint16_t>(w.channel);
+      e.cycles = w.estimated_cycles;
+      if (w.stolen) {
+        e.kind = telemetry::EventKind::kSteal;
+        collector_.emit(e);
+      }
+      if (w.rebalanced) {
+        e.kind = telemetry::EventKind::kRebalance;
+        collector_.emit(e);
+      }
+      e.kind = telemetry::EventKind::kExecuteBegin;
+      collector_.emit(e);
+    }
+  }
 
   // Pass 1: every transform in its requested direction, both operands of
   // every multiply forward -- one heterogeneous engine pass merging the
@@ -388,21 +471,63 @@ void NttService::execute_group(std::size_t shard, fhe::NttBackend& backend,
   std::size_t requests = 0;
   for (const Dispatcher::NextWave& w : group) requests += w.requests.size();
 
-  // Per-class deliveries and deadline verdicts, applied to the counters
-  // under stats_mu_ below (deliver() must not run under that lock).
+  const auto done = ServiceClock::now();
+  if (collector_.enabled()) {
+    // ExecuteEnd is emitted on failure too, so every ExecuteBegin always
+    // has its closing pair in the trace.
+    const std::int64_t done_ns = collector_.to_ns(done);
+    for (const Dispatcher::NextWave& w : group) {
+      telemetry::TraceEvent e{};
+      e.kind = telemetry::EventKind::kExecuteEnd;
+      e.ts_ns = done_ns;
+      e.wave_id = w.wave_id;
+      e.shard = static_cast<std::uint16_t>(shard);
+      e.channel = static_cast<std::uint16_t>(w.channel);
+      e.cycles = w.estimated_cycles;
+      collector_.emit(e);
+    }
+  }
+
+  // Per-class deliveries, deadline verdicts and stage-latency sums,
+  // applied to the counters under stats_mu_ below (deliver() must not run
+  // under that lock).
   std::vector<std::uint64_t> class_completed(class_counters_.size(), 0);
   std::vector<std::uint64_t> class_missed(class_counters_.size(), 0);
+  std::vector<StageTotals> stage_delta(class_counters_.size());
   if (ok) {
-    const auto done = ServiceClock::now();
     for (Dispatcher::NextWave& w : group)
       for (Request& r : w.requests) {
         const double us = elapsed_us(r.enqueued, done);
         service_latency_.record(us);
         class_service_latency_[r.qos.tenant].record(us);
         ++class_completed[r.qos.tenant];
-        if (r.qos.deadline && done > *r.qos.deadline)
-          ++class_missed[r.qos.tenant];
+        const bool missed = r.qos.deadline && done > *r.qos.deadline;
+        if (missed) ++class_missed[r.qos.tenant];
         r.deliver(std::move(r.a));
+        const auto delivered = ServiceClock::now();
+        StageTotals& st = stage_delta[r.qos.tenant];
+        ++st.count;
+        st.admission_us += elapsed_us(r.submitted, r.enqueued);
+        st.former_us += elapsed_us(r.enqueued, r.cut_at);
+        st.shard_queue_us += elapsed_us(r.cut_at, wave_start);
+        st.execute_us += elapsed_us(wave_start, done);
+        st.completion_us += elapsed_us(done, delivered);
+        if (collector_.enabled()) {
+          telemetry::TraceEvent e{};
+          e.seq = r.seq;
+          e.wave_id = r.wave_id;
+          e.tenant = r.qos.tenant;
+          e.shard = static_cast<std::uint16_t>(shard);
+          e.channel = static_cast<std::uint16_t>(w.channel);
+          if (missed) {
+            e.kind = telemetry::EventKind::kDeadlineMiss;
+            e.ts_ns = collector_.to_ns(done);
+            collector_.emit(e);
+          }
+          e.kind = telemetry::EventKind::kComplete;
+          e.ts_ns = collector_.to_ns(delivered);
+          collector_.emit(e);
+        }
       }
   }
 
@@ -425,6 +550,13 @@ void NttService::execute_group(std::size_t shard, fhe::NttBackend& backend,
     for (std::size_t c = 0; c < class_counters_.size(); ++c) {
       class_counters_[c].completed += class_completed[c];
       class_counters_[c].deadline_misses += class_missed[c];
+      StageTotals& st = stage_totals_[c];
+      st.count += stage_delta[c].count;
+      st.admission_us += stage_delta[c].admission_us;
+      st.former_us += stage_delta[c].former_us;
+      st.shard_queue_us += stage_delta[c].shard_queue_us;
+      st.execute_us += stage_delta[c].execute_us;
+      st.completion_us += stage_delta[c].completion_us;
     }
     ShardStats& ss = shard_stats_[shard];
     ss.waves += group.size();
@@ -486,7 +618,11 @@ void NttService::reset_stats() {
       shard_stats_[s].channels.resize(resolved_[s].channels);
     }
     for (ClassCounters& cc : class_counters_) cc = ClassCounters{};
+    for (StageTotals& st : stage_totals_) st = StageTotals{};
   }
+  // Telemetry joins the stats epoch: buffered events and ring counters
+  // are dropped so a post-warmup trace covers only the measured window.
+  collector_.reset();
   queue_latency_.reset();
   service_latency_.reset();
   for (LatencyRecorder& r : class_queue_latency_) r.reset();
@@ -518,8 +654,26 @@ ServiceStats NttService::stats() const {
       s.classes[c].deadline_misses = class_counters_[c].deadline_misses;
       s.shed += class_counters_[c].shed;
       s.deadline_misses += class_counters_[c].deadline_misses;
+      const StageTotals& st = stage_totals_[c];
+      StageBreakdown& sb = s.classes[c].stages;
+      sb.count = st.count;
+      if (st.count > 0) {
+        const double n = static_cast<double>(st.count);
+        sb.admission_wait_us = st.admission_us / n;
+        sb.former_residency_us = st.former_us / n;
+        sb.shard_queue_wait_us = st.shard_queue_us / n;
+        sb.execute_us = st.execute_us / n;
+        sb.completion_us = st.completion_us / n;
+        sb.total_us = sb.admission_wait_us + sb.former_residency_us +
+                      sb.shard_queue_wait_us + sb.execute_us +
+                      sb.completion_us;
+      }
     }
   }
+  // Trace-ring counters are internally synchronized (the collector has
+  // its own lock); sampled alongside, like the latency summaries.
+  s.trace_events = collector_.total_events();
+  s.trace_dropped_events = collector_.dropped_events();
   // Dispatcher backlog snapshots are taken outside stats_mu_ (the two
   // locks never nest the other way, and the estimates are instantaneous
   // gauges anyway). The backend kind is re-stamped from the resolved

@@ -68,6 +68,7 @@
 #include "service/request.h"
 #include "service/stats.h"
 #include "service/wave_former.h"
+#include "telemetry/trace_collector.h"
 
 namespace nttpim::fhe {
 class NttBackend;
@@ -166,14 +167,32 @@ struct QosConfig {
   std::vector<TokenBucketConfig> admission;
 };
 
+/// Observability half of the service configuration: per-request
+/// lifecycle tracing (src/telemetry/). The per-class stage breakdown
+/// (ClassStats::stages) is always on — it rides the existing stats lock;
+/// what this gates is the event stream behind the Chrome/Perfetto trace
+/// export (telemetry/chrome_trace.h).
+struct TelemetryConfig {
+  /// Record lifecycle TraceEvents into per-thread rings, drainable via
+  /// NttService::trace_collector(). Off (the default): no ring is ever
+  /// allocated and every instrumentation point costs one relaxed atomic
+  /// load and a branch.
+  bool enabled = false;
+  /// Per-thread ring capacity in events (rounded up to a power of two).
+  /// Overflow drops the new event and counts it exactly
+  /// (ServiceStats::trace_dropped_events) — never blocks a hot path.
+  std::size_t ring_capacity = 1 << 14;
+};
+
 /// Service configuration, one sub-struct per layer of the pipeline:
 /// admission + classing (qos), coalescing (former), routing (dispatch),
-/// execution (backend).
+/// execution (backend), observability (telemetry).
 struct ServiceConfig {
   BackendConfig backend;
   FormerConfig former;
   DispatchConfig dispatch;
   QosConfig qos;
+  TelemetryConfig telemetry;
 };
 
 class NttService {
@@ -239,6 +258,14 @@ class NttService {
   /// counting epoch.
   void reset_stats();
 
+  /// The lifecycle trace rings (inert unless config().telemetry.enabled).
+  /// drain() a Snapshot at a quiesce point and hand it to
+  /// telemetry::write_chrome_trace for a Perfetto-loadable timeline.
+  telemetry::TraceCollector& trace_collector() noexcept { return collector_; }
+  const telemetry::TraceCollector& trace_collector() const noexcept {
+    return collector_;
+  }
+
   const ServiceConfig& config() const noexcept { return cfg_; }
   /// Resolved shard descriptors, in worker order (the defaults-expanded
   /// form of config().backend).
@@ -266,6 +293,9 @@ class NttService {
   /// One descriptor per shard: config().backend.descriptors, or `shards`
   /// copies of the default PIM descriptor.
   const std::vector<BackendDescriptor> resolved_;
+  /// Lifecycle trace rings (see TelemetryConfig). Before the worker
+  /// threads in declaration order, so it outlives every emitting thread.
+  telemetry::TraceCollector collector_;
   /// Engaged iff qos.num_classes > 1 and qos.admission is non-empty:
   /// consulted by enqueue() before the former ever sees the request.
   std::optional<AdmissionController> admission_;
@@ -300,6 +330,17 @@ class NttService {
     std::uint64_t deadline_misses = 0;
   };
   std::vector<ClassCounters> class_counters_;
+  /// Per-class stage-latency sums (microseconds) behind
+  /// ClassStats::stages; stats() divides by count. Guarded by stats_mu_.
+  struct StageTotals {
+    std::uint64_t count = 0;
+    double admission_us = 0;
+    double former_us = 0;
+    double shard_queue_us = 0;
+    double execute_us = 0;
+    double completion_us = 0;
+  };
+  std::vector<StageTotals> stage_totals_;
 
   LatencyRecorder queue_latency_;
   LatencyRecorder service_latency_;

@@ -125,12 +125,24 @@ struct Request {
   std::promise<std::vector<std::uint32_t>> promise;
   Callback callback;      ///< when set, the promise is not used
   bool use_callback = false;
+  /// Stamped at NttService::submit entry, before admission — the zero
+  /// point of the telemetry stage breakdown (admission wait =
+  /// enqueued - submitted).
+  ServiceClock::time_point submitted{};
   ServiceClock::time_point enqueued{};  ///< stamped by the wave-former
+  /// Stamped by the wave-former when the request is cut into a wave;
+  /// shard-queue wait in the stage breakdown starts here.
+  ServiceClock::time_point cut_at{};
   /// Arrival sequence number, stamped by the wave-former. The FIFO
   /// tie-break of every QoS ordering — (deadline, priority, seq) — so
   /// classless traffic keeps exact submission order even under a fake
   /// clock where many requests share one timestamp.
   std::uint64_t seq = 0;
+  /// Monotone id of the wave the former cut this request into (1-based;
+  /// 0 = not cut yet). Every request of a wave shares it, and it travels
+  /// with the wave through dispatch, steals and rebalances — the join
+  /// key that makes a moved wave identifiable in traces and stats.
+  std::uint64_t wave_id = 0;
 
   /// Batch items this request contributes to a wave's *forward* engine
   /// pass: a multiply transforms both operands.

@@ -77,7 +77,9 @@ void ShardQueue::push(std::size_t channel, QueuedWave&& wave) {
 std::uint64_t ShardQueue::queued_cycles_before(
     std::size_t channel, ServiceClock::time_point deadline,
     std::uint64_t seq) const {
-  const QueuedWave key{{}, 0, deadline, seq};
+  QueuedWave key;
+  key.deadline = deadline;
+  key.seq = seq;
   std::uint64_t cycles = 0;
   for (const QueuedWave& w : chan(channel).waves) {
     if (!w.more_urgent_than(key)) break;  // lane is ordered by urgency

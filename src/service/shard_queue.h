@@ -39,6 +39,11 @@ namespace nttpim::service {
 /// sequence across its requests, stamped by the Dispatcher at dispatch().
 struct QueuedWave {
   std::vector<Request> requests;
+  /// Former-stamped monotone wave id (Request::wave_id of its requests;
+  /// 0 only for hand-built test waves). Travels with the wave through
+  /// steals and rebalances, so a moved wave stays identifiable in
+  /// telemetry and logs.
+  std::uint64_t wave_id = 0;
   std::uint64_t estimated_cycles = 0;
   /// min over requests of RequestClass::edf_deadline() (+inf = no
   /// deadline anywhere in the wave).

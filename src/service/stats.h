@@ -70,6 +70,31 @@ struct ChannelStats {
   std::uint64_t estimated_backlog_cycles = 0;
 };
 
+/// Mean per-request wall-clock of each serving stage, for one class's
+/// *completed* requests — the aggregation half of the telemetry
+/// subsystem (src/telemetry/): where a request's latency actually went.
+/// The five stages tile a request's life exactly:
+///
+///   submit() entry -> accepted past admission into the former
+///     (admission_wait) -> cut into a wave (former_residency) -> the
+///     wave's engine pass starts (shard_queue_wait) -> passes done
+///     (execute) -> this request's result delivered (completion).
+///
+/// Cross-check against the latency recorders (both measure from the
+/// former's enqueue stamp): former_residency + shard_queue_wait equals
+/// the queue-latency mean, and adding execute gives the service-latency
+/// mean. Always accumulated — stage stamps ride the existing stats lock,
+/// so this costs nothing extra and needs no TelemetryConfig gate.
+struct StageBreakdown {
+  std::uint64_t count = 0;  ///< completed requests averaged below
+  double admission_wait_us = 0;    ///< submit() entry -> queued in former
+  double former_residency_us = 0;  ///< queued -> cut into a wave
+  double shard_queue_wait_us = 0;  ///< cut -> wave's engine pass starts
+  double execute_us = 0;    ///< engine passes (incl. host pointwise step)
+  double completion_us = 0; ///< passes done -> this result delivered
+  double total_us = 0;      ///< submit() entry -> delivered (sum of stages)
+};
+
 /// Per-class (per-tenant) slice of the service counters — one entry per
 /// configured request class (ServiceConfig::qos.num_classes), keyed by
 /// RequestClass::tenant. This is what makes the QoS policies observable:
@@ -87,6 +112,8 @@ struct ClassStats {
   std::uint64_t deadline_misses = 0;
   LatencySummary queue_latency;    ///< submit -> wave starts executing
   LatencySummary service_latency;  ///< submit -> result delivered
+  /// Where this class's completed requests spent their time (means).
+  StageBreakdown stages;
 };
 
 /// Per-shard slice of the service counters (one shard = one worker thread
@@ -160,6 +187,13 @@ struct ServiceStats {
   std::vector<ClassStats> classes;
 
   std::vector<ShardStats> shards;
+
+  /// Telemetry ring counters (src/telemetry/), when lifecycle tracing is
+  /// enabled (ServiceConfig::telemetry): events recorded on / dropped
+  /// from the per-thread trace rings since the last reset_stats(). Both
+  /// stay 0 with tracing disabled.
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped_events = 0;
 };
 
 }  // namespace nttpim::service

@@ -20,7 +20,8 @@ WaveFormer::WaveFormer(const Config& config)
                     "flush window must be non-negative");
 }
 
-WaveFormer::SubmitResult WaveFormer::submit(Request&& request) {
+WaveFormer::SubmitResult WaveFormer::submit(Request&& request,
+                                            SubmitInfo* info) {
   const std::size_t items = request.batch_items();
   std::unique_lock lk(mu_);
   if (cfg_.overflow == OverflowPolicy::kBlock) {
@@ -35,6 +36,10 @@ WaveFormer::SubmitResult WaveFormer::submit(Request&& request) {
   }
   request.enqueued = now();
   request.seq = next_seq_++;
+  if (info != nullptr) {
+    info->seq = request.seq;
+    info->enqueued = request.enqueued;
+  }
   pending_items_ += items;
   queue_.push_back(std::move(request));
   // notify_all: several consumers may be parked with different predicates
@@ -103,6 +108,15 @@ std::vector<Request> WaveFormer::cut_wave() {
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(*it));
   }
   pending_items_ -= taken;
+  // Stamp the cut: one monotone wave id shared by every request of the
+  // wave (the trace/stats join key downstream), and the cut time the
+  // stage breakdown splits former residency from shard-queue wait at.
+  const std::uint64_t wave_id = next_wave_id_++;
+  const ServiceClock::time_point cut = now();
+  for (Request& r : wave) {
+    r.wave_id = wave_id;
+    r.cut_at = cut;
+  }
   return wave;
 }
 

@@ -72,12 +72,22 @@ class WaveFormer {
 
   enum class SubmitResult { kAccepted, kRejected, kClosed };
 
+  /// Out-parameters of an accepted submit. The former stamps seq and the
+  /// enqueue time under its lock *after* the request is moved in, so a
+  /// caller that wants them back (telemetry emits the Submit /
+  /// FormerEnqueue events from the client thread) receives them here.
+  /// Only meaningful when submit() returned kAccepted.
+  struct SubmitInfo {
+    std::uint64_t seq = 0;
+    ServiceClock::time_point enqueued{};
+  };
+
   explicit WaveFormer(const Config& config);
 
   /// Enqueue one request. `request` is moved from only on kAccepted; on
   /// kRejected/kClosed the caller still owns it (and fails its promise).
   /// kBlock blocks until space or close(); kReject never blocks.
-  SubmitResult submit(Request&& request);
+  SubmitResult submit(Request&& request, SubmitInfo* info = nullptr);
 
   /// Block until a wave is ready per the flush policy and return it.
   /// Returns an empty vector only when the former is closed and drained.
@@ -117,6 +127,7 @@ class WaveFormer {
   std::deque<Request> queue_;
   std::size_t pending_items_ = 0;
   std::uint64_t next_seq_ = 0;  ///< arrival stamp (see Request::seq)
+  std::uint64_t next_wave_id_ = 1;  ///< cut stamp (see Request::wave_id)
   bool paused_ = false;
   bool closed_ = false;
 };

@@ -1,0 +1,70 @@
+// Bounded single-producer / single-consumer ring of TraceEvents.
+//
+// One EventRing belongs to one producing thread (see TraceCollector's
+// per-thread registration); pushes are wait-free and never allocate or
+// lock. One consumer at a time drains — the collector serializes its
+// drains under a mutex the producers never touch.
+//
+// Overflow policy: drop the NEW event. try_push returns false and the
+// caller counts the drop, so the counter is exact and the producer never
+// blocks. An event is either stored whole or not at all — the consumer
+// only reads slots the release-store on head_ has published, never a
+// slot mid-write, so events cannot tear.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/trace_event.h"
+
+namespace nttpim::telemetry {
+
+class EventRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2) so the slot
+  /// index is a mask, not a modulo.
+  explicit EventRing(std::size_t capacity) {
+    std::size_t rounded = 2;
+    while (rounded < capacity) rounded *= 2;
+    slots_.resize(rounded);
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. False = ring full; the event is dropped (count it).
+  bool try_push(const TraceEvent& event) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    // Acquire pairs with the consumer's release on tail_: slots the
+    // consumer freed are visible before we overwrite them.
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) return false;
+    slots_[head & (slots_.size() - 1)] = event;
+    // Release publishes the fully written slot to the consumer.
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: append every published event to `out` (in push
+  /// order) and free their slots. Returns the number drained.
+  std::size_t drain_into(std::vector<TraceEvent>& out) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    out.reserve(out.size() + static_cast<std::size_t>(head - tail));
+    for (std::uint64_t i = tail; i != head; ++i)
+      out.push_back(slots_[i & (slots_.size() - 1)]);
+    tail_.store(head, std::memory_order_release);
+    return static_cast<std::size_t>(head - tail);
+  }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::atomic<std::uint64_t> head_{0};  ///< written by the producer only
+  std::atomic<std::uint64_t> tail_{0};  ///< written by the consumer only
+};
+
+}  // namespace nttpim::telemetry

@@ -1,0 +1,156 @@
+#include "telemetry/trace_collector.h"
+
+#include <thread>
+
+#include "telemetry/ring_buffer.h"
+
+namespace nttpim::telemetry {
+
+namespace {
+
+/// Collector ids start at 1: a default-constructed (disabled) collector
+/// keeps id 0 and never consults the thread_local cache.
+std::atomic<std::uint64_t> g_next_collector_id{1};
+
+// Per-thread ring cache. The id guards against a collector being
+// destroyed and another constructed at the same address: ids are
+// monotone and never reused, so a stale (id, buffer) pair can never
+// match a live collector it does not belong to.
+thread_local std::uint64_t t_collector_id = 0;
+thread_local void* t_buffer = nullptr;
+
+}  // namespace
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kSubmit: return "submit";
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kShed: return "shed";
+    case EventKind::kFormerEnqueue: return "former_enqueue";
+    case EventKind::kWaveCut: return "wave_cut";
+    case EventKind::kDispatchAssign: return "dispatch_assign";
+    case EventKind::kSteal: return "steal";
+    case EventKind::kRebalance: return "rebalance";
+    case EventKind::kExecuteBegin: return "execute_begin";
+    case EventKind::kExecuteEnd: return "execute_end";
+    case EventKind::kDeadlineMiss: return "deadline_miss";
+    case EventKind::kComplete: return "complete";
+  }
+  return "unknown";
+}
+
+struct TraceCollector::ThreadBuffer {
+  ThreadBuffer(std::size_t capacity, std::uint64_t tid, std::string name,
+               std::thread::id owner)
+      : ring(capacity), tid(tid), name(std::move(name)), owner(owner) {}
+
+  EventRing ring;
+  std::uint64_t tid;
+  std::string name;
+  std::thread::id owner;
+  std::atomic<std::uint64_t> recorded{0};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+TraceCollector::TraceCollector() = default;
+
+TraceCollector::TraceCollector(const Config& config)
+    : cfg_(config),
+      id_(config.enabled
+              ? g_next_collector_id.fetch_add(1, std::memory_order_relaxed)
+              : 0) {
+  enabled_.store(config.enabled, std::memory_order_relaxed);
+}
+
+TraceCollector::~TraceCollector() = default;
+
+void TraceCollector::emit(const TraceEvent& event) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = t_collector_id == id_
+                          ? static_cast<ThreadBuffer*>(t_buffer)
+                          : register_thread({});
+  if (buf->ring.try_push(event)) {
+    buf->recorded.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buf->dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TraceCollector::set_thread_name(std::string_view name) {
+  if (!enabled()) return;
+  register_thread(name);
+}
+
+TraceCollector::ThreadBuffer* TraceCollector::register_thread(
+    std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  ThreadBuffer* buf = nullptr;
+  for (const auto& candidate : buffers_) {
+    if (candidate->owner == std::this_thread::get_id()) {
+      buf = candidate.get();
+      break;
+    }
+  }
+  if (buf == nullptr) {
+    const std::uint64_t tid = buffers_.size() + 1;
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        cfg_.ring_capacity, tid,
+        name.empty() ? "thread-" + std::to_string(tid) : std::string(name),
+        std::this_thread::get_id()));
+    buf = buffers_.back().get();
+  } else if (!name.empty()) {
+    buf->name = name;
+  }
+  t_collector_id = id_;
+  t_buffer = buf;
+  return buf;
+}
+
+TraceCollector::Snapshot TraceCollector::drain() {
+  Snapshot snapshot;
+  const std::scoped_lock lock(mu_);
+  snapshot.threads.reserve(buffers_.size());
+  for (const auto& buf : buffers_) {
+    ThreadTrace trace;
+    trace.name = buf->name;
+    trace.tid = buf->tid;
+    buf->ring.drain_into(trace.events);
+    snapshot.dropped_events += buf->dropped.load(std::memory_order_relaxed);
+    snapshot.threads.push_back(std::move(trace));
+  }
+  return snapshot;
+}
+
+void TraceCollector::reset() {
+  const std::scoped_lock lock(mu_);
+  std::vector<TraceEvent> discard;
+  for (const auto& buf : buffers_) {
+    discard.clear();
+    buf->ring.drain_into(discard);
+    buf->recorded.store(0, std::memory_order_relaxed);
+    buf->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t TraceCollector::total_events() const {
+  const std::scoped_lock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_)
+    total += buf->recorded.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t TraceCollector::dropped_events() const {
+  const std::scoped_lock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& buf : buffers_)
+    total += buf->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::size_t TraceCollector::thread_count() const {
+  const std::scoped_lock lock(mu_);
+  return buffers_.size();
+}
+
+}  // namespace nttpim::telemetry
