@@ -135,7 +135,7 @@ SweepPoint run_point(const std::shared_ptr<const ntt::NttParams>& params,
     svc.reset_stats();
   }
 
-  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> mismatch_count{0};
   Stopwatch timer;
   std::vector<std::thread> threads;
   threads.reserve(clients);
@@ -149,7 +149,7 @@ SweepPoint run_point(const std::shared_ptr<const ntt::NttParams>& params,
         cpu.forward(expected, *params);
         auto future = svc.submit(std::move(poly), params);
         if (future.get() != expected)
-          mismatches.fetch_add(1, std::memory_order_relaxed);
+          mismatch_count.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -176,7 +176,7 @@ SweepPoint run_point(const std::shared_ptr<const ntt::NttParams>& params,
   for (const auto& shard : stats.shards)
     p.modeled_max_shard_cycles =
         std::max(p.modeled_max_shard_cycles, shard.modeled_cycles);
-  p.verified = mismatches.load() == 0 &&
+  p.verified = mismatch_count.load(std::memory_order_relaxed) == 0 &&
                stats.completed == p.requests && stats.failed == 0;
   return p;
 }

@@ -29,7 +29,7 @@ CpuBackend::CpuBackend(const Config& config)
 
 CpuBackend::~CpuBackend() {
   {
-    const std::scoped_lock lk(mu_);
+    const sync::MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -66,7 +66,7 @@ void CpuBackend::run_lane(std::size_t lane) noexcept {
                                 std::memory_order_relaxed);
       transforms_.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
-      const std::scoped_lock lk(mu_);
+      const sync::MutexLock lk(mu_);
       if (!batch_error_) batch_error_ = std::current_exception();
     }
   }
@@ -76,14 +76,14 @@ void CpuBackend::pool_main(std::size_t lane) {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     {
-      std::unique_lock lk(mu_);
-      work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      sync::MutexLock lk(mu_);
+      while (!stop_ && epoch_ == seen_epoch) work_cv_.wait(lk);
       if (stop_) return;
       seen_epoch = epoch_;
     }
     run_lane(lane);
     {
-      const std::scoped_lock lk(mu_);
+      const sync::MutexLock lk(mu_);
       --lanes_running_;
     }
     done_cv_.notify_all();
@@ -106,7 +106,7 @@ void CpuBackend::transform_batch_mixed(std::span<const BatchItem> items) {
     }
   } else {
     {
-      const std::scoped_lock lk(mu_);
+      const sync::MutexLock lk(mu_);
       batch_ = items;
       batch_error_ = nullptr;
       lanes_running_ = lanes_ - 1;
@@ -116,8 +116,8 @@ void CpuBackend::transform_batch_mixed(std::span<const BatchItem> items) {
     run_lane(0);  // the caller is lane 0
     std::exception_ptr error;
     {
-      std::unique_lock lk(mu_);
-      done_cv_.wait(lk, [&] { return lanes_running_ == 0; });
+      sync::MutexLock lk(mu_);
+      while (lanes_running_ != 0) done_cv_.wait(lk);
       batch_ = {};
       error = std::exchange(batch_error_, nullptr);
     }

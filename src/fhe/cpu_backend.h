@@ -38,14 +38,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "fhe/ntt_backend.h"
+#include "sync/mutex.h"
 
 namespace nttpim::fhe {
 
@@ -149,14 +148,20 @@ class CpuBackend final : public NttBackend {
 
   // Batch rendezvous: transform_batch_mixed publishes the wave under mu_,
   // bumps the epoch, runs lane 0 itself, and waits for the pool lanes.
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< pool: new epoch / stop
-  std::condition_variable done_cv_;  ///< caller: all pool lanes finished
+  sync::Mutex mu_;
+  sync::CondVar work_cv_;  ///< pool: new epoch / stop
+  sync::CondVar done_cv_;  ///< caller: all pool lanes finished
+  /// Deliberately NOT guarded_by(mu_): the span is published under mu_
+  /// (with the epoch bump) but *read lock-free* by run_lane between the
+  /// two rendezvous — the epoch handshake through mu_ provides the
+  /// happens-before for both the publication and the caller's teardown
+  /// (which only clears it after lanes_running_ drained to 0).
   std::span<const BatchItem> batch_{};
-  std::uint64_t epoch_ = 0;
-  std::size_t lanes_running_ = 0;
-  std::exception_ptr batch_error_;  ///< first failing item's error
-  bool stop_ = false;
+  std::uint64_t epoch_ NTTPIM_GUARDED_BY(mu_) = 0;
+  std::size_t lanes_running_ NTTPIM_GUARDED_BY(mu_) = 0;
+  /// First failing item's error.
+  std::exception_ptr batch_error_ NTTPIM_GUARDED_BY(mu_);
+  bool stop_ NTTPIM_GUARDED_BY(mu_) = false;
   std::vector<std::thread> pool_;  ///< lanes 1..lanes_-1
 };
 

@@ -109,12 +109,19 @@ class NttBackend {
 
   /// Number of transforms executed so far.
   ///
-  /// Thread-safety contract: a backend is single-driver — all transform
-  /// methods require external synchronization — but the monotone counters
-  /// (this one, modeled_cycles(), and PimBackend's engine-pass/plan-cache
-  /// counters) are relaxed atomics, safe to *read* from another thread
-  /// while a transform runs (e.g. a stats scraper sampling a serving
-  /// shard). A sample may lag in-flight work; it is never torn.
+  /// The single-driver counter contract (referenced as such wherever a
+  /// backend counter is annotated): a backend is *single-driver* — all
+  /// transform methods require external synchronization, in the serving
+  /// stack by thread confinement to the owning shard worker — but the
+  /// monotone counters (this one, modeled_cycles(), and PimBackend's
+  /// engine-pass/plan-cache counters) are *share-readable*: relaxed
+  /// atomics written only by the driving thread and safe to read from any
+  /// other thread while a transform runs (e.g. a stats scraper sampling a
+  /// serving shard). Relaxed suffices because a counter read orders
+  /// nothing — a sample may lag in-flight work, but it is never torn.
+  /// This is also why these members carry no GUARDED_BY: there is no
+  /// mutex in the contract, and annotating one would force readers to
+  /// take a lock the hot path must not pay for.
   std::uint64_t transform_count() const noexcept {
     return transforms_.load(std::memory_order_relaxed);
   }

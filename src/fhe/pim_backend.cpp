@@ -173,8 +173,9 @@ void PimBackend::run_wave(std::span<const BatchItem> wave) {
   // bit-reversal permutation and (for forward transforms) folds the psi^i
   // negacyclic pre-scale into the data.
   std::vector<std::uint32_t> next_row(banks, 0);
-  last_wave_.clear();
-  last_wave_.reserve(wave.size());
+  WaveLog& log = *wave_log_;  // asserts the single-driver contract (debug)
+  log.last_wave.clear();
+  log.last_wave.reserve(wave.size());
   WavePlacer placer(geometry_);
   std::vector<std::shared_ptr<const mapping::MappedNtt>> plans(wave.size());
   for (std::size_t j = 0; j < wave.size(); ++j) {
@@ -195,7 +196,7 @@ void PimBackend::run_wave(std::span<const BatchItem> wave) {
     pim::load_polynomial(device_.bank(bank), base_row, staged);
 
     plans[j] = plan_for(params, item.inverse, bank, base_row);
-    last_wave_.push_back(
+    log.last_wave.push_back(
         {bank, base_row, params.n(), params.q(), item.inverse,
          static_cast<std::uint16_t>(geometry_.channel_of(bank))});
   }
@@ -207,7 +208,7 @@ void PimBackend::run_wave(std::span<const BatchItem> wave) {
   // so the interleave is cycle-identical to concatenation — it keeps the
   // merged trace honest as a memory-controller command stream.
   sim::RunStats stats;
-  if (wave.size() == 1 && !record_waves_) {
+  if (wave.size() == 1 && !log.record) {
     stats = engine_.run(device_, plans[0]->trace);
   } else {
     // Cursor per bank over its items' traces (in item order): each round
@@ -220,7 +221,7 @@ void PimBackend::run_wave(std::span<const BatchItem> wave) {
     std::vector<BankCursor> cursors(banks);
     std::size_t total = 0;
     for (std::size_t j = 0; j < wave.size(); ++j) {
-      cursors[last_wave_[j].bank].seqs.push_back(plans[j]->trace);
+      cursors[log.last_wave[j].bank].seqs.push_back(plans[j]->trace);
       total += plans[j]->trace.size();
     }
     std::vector<dram::Command> merged;
@@ -234,11 +235,12 @@ void PimBackend::run_wave(std::span<const BatchItem> wave) {
         if (c.seq < c.seqs.size()) merged.push_back(c.seqs[c.seq][c.pos++]);
       }
     stats = engine_.run(device_, merged);
-    if (record_waves_) recorded_waves_.push_back({last_wave_, std::move(merged)});
+    if (log.record)
+      log.recorded.push_back({log.last_wave, std::move(merged)});
   }
 
   for (std::size_t j = 0; j < wave.size(); ++j)
-    *wave[j].poly = pim::read_result(device_.bank(last_wave_[j].bank),
+    *wave[j].poly = pim::read_result(device_.bank(log.last_wave[j].bank),
                                      plans[j]->result_base_row,
                                      wave[j].params->n());
 

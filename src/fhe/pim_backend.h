@@ -31,6 +31,7 @@
 #include "ntt/params.h"
 #include "pim/device.h"
 #include "sim/engine.h"
+#include "sync/thread_confined.h"
 
 namespace nttpim::fhe {
 
@@ -141,17 +142,17 @@ class PimBackend final : public NttBackend {
 
   /// Item placements of the most recent engine pass (always tracked).
   const std::vector<WaveSlot>& last_wave() const noexcept {
-    return last_wave_;
+    return wave_log_->last_wave;
   }
   /// Record every subsequent pass's placements + merged trace (off by
   /// default: costs memory proportional to the traces). Toggling clears
   /// the log.
   void set_record_waves(bool record) {
-    record_waves_ = record;
-    recorded_waves_.clear();
+    wave_log_->record = record;
+    wave_log_->recorded.clear();
   }
   const std::vector<RecordedWave>& recorded_waves() const noexcept {
-    return recorded_waves_;
+    return wave_log_->recorded;
   }
 
  private:
@@ -170,12 +171,24 @@ class PimBackend final : public NttBackend {
   pim::PimDevice device_;
   sim::Engine engine_;
   mapping::PlanCache plans_;
+  /// Single-driver written, share-readable (NttBackend counter contract):
+  /// relaxed suffices because readers sample monotone totals for stats and
+  /// never derive synchronization from them.
   std::atomic<std::uint64_t> cycles_{0};
-  double energy_nj_ = 0;
+  double energy_nj_ = 0;  ///< single-driver, quiescent-read (see accessors)
   std::atomic<std::uint64_t> engine_passes_{0};
-  std::vector<WaveSlot> last_wave_;
-  std::vector<RecordedWave> recorded_waves_;
-  bool record_waves_ = false;
+
+  /// Wave capture state mutated by every engine pass. Confined to the
+  /// driving thread like the transform methods themselves; the wrapper
+  /// asserts that contract on every access in debug builds (the accessors
+  /// above therefore require quiescence *or the owner thread*, as the
+  /// counter-contract comment documents).
+  struct WaveLog {
+    std::vector<WaveSlot> last_wave;
+    std::vector<RecordedWave> recorded;
+    bool record = false;
+  };
+  sync::ThreadConfined<WaveLog> wave_log_;
 };
 
 }  // namespace nttpim::fhe

@@ -19,13 +19,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "dram/config.h"
 #include "mapping/mapper.h"
 #include "mapping/trace.h"
 #include "ntt/params.h"
+#include "sync/mutex.h"
+#include "sync/thread_confined.h"
 
 namespace nttpim::mapping {
 
@@ -102,17 +103,25 @@ class PlanCache {
   std::uint64_t misses() const noexcept {
     return misses_.load(std::memory_order_relaxed);
   }
-  std::size_t size() const noexcept { return plans_.size(); }
+  std::size_t size() const noexcept { return plans_->size(); }
   void clear();
 
  private:
+  using PlanMap = std::map<PlanKey, std::shared_ptr<const MappedNtt>>;
+
   void record_counts(const PlanKey& key, const MappedNtt& plan);
 
-  std::map<PlanKey, std::shared_ptr<const MappedNtt>> plans_;
+  /// The single-driver half of the contract above, now checked: debug
+  /// builds assert every plans_ access comes from the owning (worker)
+  /// thread. Counters and counts_ stay share-readable on purpose.
+  sync::ThreadConfined<PlanMap> plans_;
+  /// Single-driver written, share-readable: relaxed is sufficient because
+  /// readers only sample monotone counters (stats), never infer plan
+  /// visibility from them.
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
-  mutable std::mutex counts_mu_;  ///< guards counts_ only (see peek_counts)
-  std::map<PlanKey, TraceCounts> counts_;
+  mutable sync::Mutex counts_mu_;  ///< guards counts_ only (see peek_counts)
+  std::map<PlanKey, TraceCounts> counts_ NTTPIM_GUARDED_BY(counts_mu_);
 };
 
 }  // namespace nttpim::mapping

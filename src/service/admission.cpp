@@ -33,7 +33,7 @@ AdmissionController::Decision AdmissionController::admit(std::uint32_t tenant) {
   if (tenant >= cfg_.tenants.size() || cfg_.tenants[tenant].unlimited())
     return Decision::kAdmit;
   const auto at = now();
-  const std::scoped_lock lk(mu_);
+  const sync::MutexLock lk(mu_);
   Bucket& b = buckets_[tenant];
   refill(tenant, b, at);
   if (b.tokens < 1.0) return Decision::kShed;
@@ -46,7 +46,7 @@ double AdmissionController::tokens(std::uint32_t tenant) const {
   if (cfg_.tenants[tenant].unlimited())
     return std::max(cfg_.tenants[tenant].burst, 0.0);
   const auto at = now();
-  const std::scoped_lock lk(mu_);
+  const sync::MutexLock lk(mu_);
   Bucket& b = buckets_[tenant];
   refill(tenant, b, at);
   return b.tokens;

@@ -24,10 +24,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "service/request.h"
+#include "sync/mutex.h"
 
 namespace nttpim::service {
 
@@ -77,11 +77,13 @@ class AdmissionController {
     return cfg_.clock ? cfg_.clock() : ServiceClock::now();
   }
   /// Refill `b` for the time elapsed since its last refill. Caller holds mu_.
-  void refill(std::size_t tenant, Bucket& b, ServiceClock::time_point at) const;
+  void refill(std::size_t tenant, Bucket& b, ServiceClock::time_point at) const
+      NTTPIM_REQUIRES(mu_);
 
   const Config cfg_;
-  mutable std::mutex mu_;
-  mutable std::vector<Bucket> buckets_;  ///< parallel to cfg_.tenants
+  mutable sync::Mutex mu_;
+  /// Parallel to cfg_.tenants.
+  mutable std::vector<Bucket> buckets_ NTTPIM_GUARDED_BY(mu_);
 };
 
 }  // namespace nttpim::service

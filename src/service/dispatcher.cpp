@@ -17,6 +17,10 @@ Dispatcher::Dispatcher(const Config& config, Estimator estimator)
     NTTPIM_EXPECT_MSG(shard.channels >= 1,
                       "a shard needs at least one channel");
   }
+  // Guarded members are initialized without the lock: the object is not
+  // shared until the constructor returns (TSA exempts constructors for the
+  // same reason).
+  const sync::MutexLock lk(mu_);
   for (std::size_t s = 0; s < cfg_.shards.size(); ++s) {
     queues_.emplace_back(config.queue_capacity_waves, cfg_.shards[s].channels,
                          cfg_.deadline_pressure);
@@ -41,7 +45,7 @@ std::uint64_t Dispatcher::priced_for(std::size_t shard,
 
 Dispatcher::Assignment Dispatcher::dispatch(std::vector<Request>&& wave) {
   NTTPIM_EXPECT(!wave.empty());
-  std::unique_lock lk(mu_);
+  sync::MutexLock lk(mu_);
   // The wave's urgency key: earliest effective deadline and earliest
   // arrival across its requests (the former cuts EDF waves, so the head
   // request usually carries both — but a steal-order or lane-order
@@ -86,7 +90,7 @@ Dispatcher::Assignment Dispatcher::dispatch(std::vector<Request>&& wave) {
       bool target_has_space = false;
       for (const auto& [s, c] : pairs_) {
         if (price[s] == kIncompatibleCycles) continue;
-        const bool space = !queues_[s].full(c);
+        const bool space = !queues_[s].full(c, mu_);
         // Deadline pressure: an urgent wave jumps the less-urgent queued
         // waves of whatever lane it lands in, so its real ETA counts only
         // the executing work plus the queued work *ahead* of its key —
@@ -94,9 +98,9 @@ Dispatcher::Assignment Dispatcher::dispatch(std::vector<Request>&& wave) {
         // wave. Deadline-less waves keep the whole-lane backlog.
         const std::uint64_t ahead =
             urgent ? queues_[s].queued_cycles_before(c, wave_deadline,
-                                                     wave_seq) +
-                         queues_[s].executing_cycles(c)
-                   : queues_[s].backlog_cycles(c);
+                                                     wave_seq, mu_) +
+                         queues_[s].executing_cycles(c, mu_)
+                   : queues_[s].backlog_cycles(c, mu_);
         const std::uint64_t eta = ahead + price[s];
         if (target_s == queues_.size() || (space && !target_has_space) ||
             (space == target_has_space && eta < best)) {
@@ -120,7 +124,7 @@ Dispatcher::Assignment Dispatcher::dispatch(std::vector<Request>&& wave) {
         }
       }
     }
-    if (closed_ || !queues_[target_s].full(target_c)) {
+    if (closed_ || !queues_[target_s].full(target_c, mu_)) {
       if (!cfg_.cost_aware) rr_next_ = target_idx + 1;
       QueuedWave priced;
       priced.wave_id = wave_id;
@@ -128,7 +132,7 @@ Dispatcher::Assignment Dispatcher::dispatch(std::vector<Request>&& wave) {
       priced.deadline = wave_deadline;
       priced.seq = wave_seq;
       priced.requests = std::move(wave);
-      queues_[target_s].push(target_c, std::move(priced));
+      queues_[target_s].push(target_c, std::move(priced), mu_);
       ready_cv_.notify_all();
       return Assignment{target_s, target_c, price[target_s], wave_id};
     }
@@ -143,10 +147,11 @@ Dispatcher::NextWave Dispatcher::land_steal(std::size_t shard,
   // Land the loot on the thief's least-backlogged channel.
   std::size_t tc = 0;
   for (std::size_t c = 1; c < queues_[shard].channels(); ++c)
-    if (queues_[shard].backlog_cycles(c) < queues_[shard].backlog_cycles(tc))
+    if (queues_[shard].backlog_cycles(c, mu_) <
+        queues_[shard].backlog_cycles(tc, mu_))
       tc = c;
-  QueuedWave wave = queues_[victim].take_at(vc, i);
-  queues_[shard].begin_wave(tc, cycles);
+  QueuedWave wave = queues_[victim].take_at(vc, i, mu_);
+  queues_[shard].begin_wave(tc, cycles, mu_);
   space_cv_.notify_all();
   return NextWave{std::move(wave.requests), wave.wave_id, cycles, tc,
                   /*stolen=*/cfg_.work_stealing,
@@ -168,8 +173,8 @@ std::optional<Dispatcher::NextWave> Dispatcher::try_steal_urgent_for(
     for (std::size_t c = 0; c < queues_[s].channels(); ++c) {
       // Lanes are urgency-ordered under deadline_pressure, so the first
       // compatible deadlined wave of each lane is that lane's candidate.
-      for (std::size_t i = 0; i < queues_[s].size(c); ++i) {
-        QueuedWave& w = queues_[s].wave_at(c, i);
+      for (std::size_t i = 0; i < queues_[s].size(c, mu_); ++i) {
+        QueuedWave& w = queues_[s].wave_at(c, i, mu_);
         if (w.deadline == ServiceClock::time_point::max()) break;
         if (best && !w.more_urgent_than(*best)) break;
         const std::uint64_t cycles = priced_for(shard, w.requests);
@@ -198,22 +203,22 @@ std::optional<Dispatcher::NextWave> Dispatcher::try_steal_for(
   std::vector<std::size_t> victims;
   victims.reserve(queues_.size());
   for (std::size_t s = 0; s < queues_.size(); ++s)
-    if (s != shard && !queues_[s].empty()) victims.push_back(s);
+    if (s != shard && !queues_[s].empty(mu_)) victims.push_back(s);
   std::sort(victims.begin(), victims.end(), [&](auto a, auto b) {
-    return queues_[a].queued_cycles() > queues_[b].queued_cycles();
+    return queues_[a].queued_cycles(mu_) > queues_[b].queued_cycles(mu_);
   });
   for (const std::size_t victim : victims) {
     std::vector<std::size_t> vchans;
     for (std::size_t c = 0; c < queues_[victim].channels(); ++c)
-      if (!queues_[victim].empty(c)) vchans.push_back(c);
+      if (!queues_[victim].empty(c, mu_)) vchans.push_back(c);
     std::sort(vchans.begin(), vchans.end(), [&](auto a, auto b) {
-      return queues_[victim].queued_cycles(a) >
-             queues_[victim].queued_cycles(b);
+      return queues_[victim].queued_cycles(a, mu_) >
+             queues_[victim].queued_cycles(b, mu_);
     });
     for (const std::size_t vc : vchans) {
-      for (std::size_t i = 0; i < queues_[victim].size(vc); ++i) {
+      for (std::size_t i = 0; i < queues_[victim].size(vc, mu_); ++i) {
         const std::uint64_t cycles =
-            priced_for(shard, queues_[victim].wave_at(vc, i).requests);
+            priced_for(shard, queues_[victim].wave_at(vc, i, mu_).requests);
         if (cycles == kIncompatibleCycles) continue;
         return land_steal(shard, victim, vc, i, cycles);
       }
@@ -224,11 +229,11 @@ std::optional<Dispatcher::NextWave> Dispatcher::try_steal_for(
 
 std::vector<Dispatcher::NextWave> Dispatcher::next_waves_for(
     std::size_t shard) {
-  NTTPIM_EXPECT(shard < queues_.size());
-  std::unique_lock lk(mu_);
+  NTTPIM_EXPECT(shard < shards());
+  sync::MutexLock lk(mu_);
   for (;;) {
     ShardQueue& own = queues_[shard];
-    if (!own.empty()) {
+    if (!own.empty(mu_)) {
       // Own waves are compatible by construction (dispatch() only assigns
       // compatible shards) and already priced for this backend. One wave
       // per channel; channels left empty-handed rebalance from the
@@ -236,12 +241,12 @@ std::vector<Dispatcher::NextWave> Dispatcher::next_waves_for(
       std::vector<NextWave> group;
       std::vector<std::size_t> starved;
       for (std::size_t c = 0; c < own.channels(); ++c) {
-        if (own.empty(c)) {
+        if (own.empty(c, mu_)) {
           starved.push_back(c);
           continue;
         }
-        QueuedWave wave = own.take_oldest(c);
-        own.begin_wave(c, wave.estimated_cycles);
+        QueuedWave wave = own.take_oldest(c, mu_);
+        own.begin_wave(c, wave.estimated_cycles, mu_);
         group.push_back(NextWave{std::move(wave.requests), wave.wave_id,
                                  wave.estimated_cycles, c,
                                  /*stolen=*/false, /*rebalanced=*/false});
@@ -249,14 +254,14 @@ std::vector<Dispatcher::NextWave> Dispatcher::next_waves_for(
       for (const std::size_t c : starved) {
         std::size_t donor = own.channels();
         for (std::size_t d = 0; d < own.channels(); ++d) {
-          if (own.empty(d)) continue;
+          if (own.empty(d, mu_)) continue;
           if (donor == own.channels() ||
-              own.queued_cycles(d) > own.queued_cycles(donor))
+              own.queued_cycles(d, mu_) > own.queued_cycles(donor, mu_))
             donor = d;
         }
         if (donor == own.channels()) break;  // nothing left to spread
-        QueuedWave wave = own.take_oldest(donor);
-        own.begin_wave(c, wave.estimated_cycles);
+        QueuedWave wave = own.take_oldest(donor, mu_);
+        own.begin_wave(c, wave.estimated_cycles, mu_);
         group.push_back(NextWave{std::move(wave.requests), wave.wave_id,
                                  wave.estimated_cycles, c,
                                  /*stolen=*/false, /*rebalanced=*/true});
@@ -283,21 +288,22 @@ std::vector<Dispatcher::NextWave> Dispatcher::next_waves_for(
 
 std::optional<Dispatcher::NextWave> Dispatcher::next_wave_for(
     std::size_t shard) {
-  NTTPIM_EXPECT(shard < queues_.size());
-  std::unique_lock lk(mu_);
+  NTTPIM_EXPECT(shard < shards());
+  sync::MutexLock lk(mu_);
   for (;;) {
     ShardQueue& own = queues_[shard];
-    if (!own.empty()) {
+    if (!own.empty(mu_)) {
       // Oldest wave of the most-loaded own channel.
       std::size_t c = 0;
       bool found = false;
       for (std::size_t d = 0; d < own.channels(); ++d) {
-        if (own.empty(d)) continue;
-        if (!found || own.queued_cycles(d) > own.queued_cycles(c)) c = d;
+        if (own.empty(d, mu_)) continue;
+        if (!found || own.queued_cycles(d, mu_) > own.queued_cycles(c, mu_))
+          c = d;
         found = true;
       }
-      QueuedWave wave = own.take_oldest(c);
-      own.begin_wave(c, wave.estimated_cycles);
+      QueuedWave wave = own.take_oldest(c, mu_);
+      own.begin_wave(c, wave.estimated_cycles, mu_);
       space_cv_.notify_all();
       return NextWave{std::move(wave.requests), wave.wave_id,
                       wave.estimated_cycles, c,
@@ -313,13 +319,13 @@ std::optional<Dispatcher::NextWave> Dispatcher::next_wave_for(
 
 void Dispatcher::complete(std::size_t shard, std::uint64_t estimated_cycles,
                           std::size_t channel) {
-  const std::scoped_lock lk(mu_);
-  queues_[shard].finish_wave(channel, estimated_cycles);
+  const sync::MutexLock lk(mu_);
+  queues_[shard].finish_wave(channel, estimated_cycles, mu_);
 }
 
 void Dispatcher::close() {
   {
-    const std::scoped_lock lk(mu_);
+    const sync::MutexLock lk(mu_);
     closed_ = true;
   }
   ready_cv_.notify_all();
@@ -327,14 +333,28 @@ void Dispatcher::close() {
 }
 
 std::uint64_t Dispatcher::backlog_cycles(std::size_t shard) const {
-  const std::scoped_lock lk(mu_);
-  return queues_[shard].backlog_cycles();
+  const sync::MutexLock lk(mu_);
+  return queues_[shard].backlog_cycles(mu_);
 }
 
 std::uint64_t Dispatcher::backlog_cycles(std::size_t shard,
                                          std::size_t channel) const {
-  const std::scoped_lock lk(mu_);
-  return queues_[shard].backlog_cycles(channel);
+  const sync::MutexLock lk(mu_);
+  return queues_[shard].backlog_cycles(channel, mu_);
+}
+
+Dispatcher::ShardBacklog Dispatcher::backlog_snapshot(
+    std::size_t shard) const {
+  const sync::MutexLock lk(mu_);
+  const ShardQueue& q = queues_[shard];
+  ShardBacklog snap;
+  snap.channel_cycles.reserve(q.channels());
+  for (std::size_t c = 0; c < q.channels(); ++c) {
+    const std::uint64_t cycles = q.backlog_cycles(c, mu_);
+    snap.channel_cycles.push_back(cycles);
+    snap.total_cycles += cycles;
+  }
+  return snap;
 }
 
 }  // namespace nttpim::service

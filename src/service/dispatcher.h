@@ -69,18 +69,17 @@
 // empty once everything is gone.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "service/backend.h"
 #include "service/shard_queue.h"
+#include "sync/mutex.h"
 
 namespace nttpim::service {
 
@@ -207,6 +206,17 @@ class Dispatcher {
   /// One channel's share of the same.
   std::uint64_t backlog_cycles(std::size_t shard, std::size_t channel) const;
 
+  /// Coherent backlog snapshot of one shard: the total and every channel's
+  /// share read under a single lock acquisition, so the channel figures
+  /// always tile the total exactly. Stats paths that report both must use
+  /// this instead of separate backlog_cycles() calls, between which waves
+  /// can be pushed, popped, or stolen.
+  struct ShardBacklog {
+    std::uint64_t total_cycles = 0;
+    std::vector<std::uint64_t> channel_cycles;  ///< one entry per channel
+  };
+  ShardBacklog backlog_snapshot(std::size_t shard) const;
+
   std::size_t shards() const noexcept { return cfg_.shards.size(); }
   std::size_t channels(std::size_t shard) const {
     return cfg_.shards[shard].channels;
@@ -215,8 +225,8 @@ class Dispatcher {
  private:
   /// estimate_(shard, wave) with the shard's cost_scale applied
   /// (kIncompatibleCycles passes through unscaled). Caller holds mu_.
-  std::uint64_t priced_for(std::size_t shard,
-                           std::vector<Request>& wave) const;
+  std::uint64_t priced_for(std::size_t shard, std::vector<Request>& wave) const
+      NTTPIM_REQUIRES(mu_);
 
   /// Remote-steal step shared by the group and single-wave pop paths:
   /// under deadline_pressure, the most-deadline-urgent compatible wave
@@ -225,32 +235,38 @@ class Dispatcher {
   /// loot is re-priced and accounted as executing on this shard's
   /// least-backlogged channel. Caller holds mu_; returns nullopt when no
   /// peer has a compatible wave.
-  std::optional<NextWave> try_steal_for(std::size_t shard);
+  std::optional<NextWave> try_steal_for(std::size_t shard)
+      NTTPIM_REQUIRES(mu_);
 
   /// Deadline-pressure steal: the single compatible peer wave with the
   /// earliest (deadline, arrival) key, considering only waves that carry a
   /// real deadline. Caller holds mu_; nullopt when no deadlined
   /// compatible wave is queued anywhere (the caller then falls back to
   /// the load-relief steal).
-  std::optional<NextWave> try_steal_urgent_for(std::size_t shard);
+  std::optional<NextWave> try_steal_urgent_for(std::size_t shard)
+      NTTPIM_REQUIRES(mu_);
 
   /// Land a wave taken from (victim, vc, index i) on `shard`'s
   /// least-backlogged channel at price `cycles`. Caller holds mu_.
   NextWave land_steal(std::size_t shard, std::size_t victim, std::size_t vc,
-                      std::size_t i, std::uint64_t cycles);
+                      std::size_t i, std::uint64_t cycles)
+      NTTPIM_REQUIRES(mu_);
 
   const Config cfg_;
   Estimator estimate_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;  ///< workers: wave pushed / close
-  std::condition_variable space_cv_;  ///< dispatcher: queue space freed
+  mutable sync::Mutex mu_;
+  sync::CondVar ready_cv_;  ///< workers: wave pushed / close
+  sync::CondVar space_cv_;  ///< dispatcher: queue space freed
   /// deque, not vector: ShardQueue holds move-only Requests and emplacing
   /// into a deque never relocates existing elements.
-  std::deque<ShardQueue> queues_;
+  std::deque<ShardQueue> queues_ NTTPIM_GUARDED_BY(mu_);
   /// Flattened (shard, channel) pairs, shard-major — the round-robin orbit.
-  std::vector<std::pair<std::size_t, std::size_t>> pairs_;
-  std::size_t rr_next_ = 0;  ///< round-robin cursor (cost_aware = false)
-  bool closed_ = false;
+  /// Immutable after construction, but only ever read under mu_ anyway.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs_
+      NTTPIM_GUARDED_BY(mu_);
+  /// Round-robin cursor (cost_aware = false).
+  std::size_t rr_next_ NTTPIM_GUARDED_BY(mu_) = 0;
+  bool closed_ NTTPIM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace nttpim::service

@@ -105,7 +105,7 @@ NttService::NttService(const ServiceConfig& config)
                   [this](std::size_t shard, std::vector<Request>& wave) {
                     return estimate_wave(shard, wave);
                   }),
-      backends_(resolved_.size(), nullptr),
+      backends_(resolved_.size()),  // value-initialized: all null
       shard_stats_(resolved_.size()),
       class_counters_(std::max<std::size_t>(cfg_.qos.num_classes, 1)),
       stage_totals_(class_counters_.size()),
@@ -138,14 +138,17 @@ NttService::NttService(const ServiceConfig& config)
   // backend exists. On a failed construction, drain the survivors and
   // rethrow here (the destructor never runs for a throwing constructor).
   {
-    std::unique_lock lk(stats_mu_);
-    idle_cv_.wait(lk, [&] { return shards_ready_ == resolved_.size(); });
-    if (construction_error_) {
-      lk.unlock();
+    sync::MutexLock lk(stats_mu_);
+    while (shards_ready_ != resolved_.size()) idle_cv_.wait(lk);
+    // Copy the verdict out while still holding the lock — the join path
+    // below runs unlocked and must not touch the guarded slot.
+    const std::exception_ptr error = construction_error_;
+    lk.unlock();
+    if (error) {
       former_.close();
       dispatcher_.close();  // no dispatch thread yet: release the workers
       for (std::thread& t : workers_) t.join();
-      std::rethrow_exception(construction_error_);
+      std::rethrow_exception(error);
     }
   }
   // Started only after the barrier, so every backends_[] entry the
@@ -221,7 +224,7 @@ void NttService::enqueue(Request&& request) {
   if (admission_ &&
       admission_->admit(cls) == AdmissionController::Decision::kShed) {
     {
-      const std::scoped_lock lk(stats_mu_);
+      const sync::MutexLock lk(stats_mu_);
       ++submitted_;
       ++class_counters_[cls].submitted;
       ++class_counters_[cls].shed;
@@ -245,7 +248,7 @@ void NttService::enqueue(Request&& request) {
     // Count the request as accepted *before* the queue sees it, so drain()
     // can never observe completed == accepted while a worker is finishing a
     // request whose submit() hasn't returned yet. Undone on rejection.
-    const std::scoped_lock lk(stats_mu_);
+    const sync::MutexLock lk(stats_mu_);
     ++submitted_;
     ++class_counters_[cls].submitted;
     ++accepted_;
@@ -274,7 +277,7 @@ void NttService::enqueue(Request&& request) {
       return;
     case WaveFormer::SubmitResult::kRejected:
       {
-        const std::scoped_lock lk(stats_mu_);
+        const sync::MutexLock lk(stats_mu_);
         --accepted_;
         ++rejected_;
       }
@@ -284,7 +287,7 @@ void NttService::enqueue(Request&& request) {
       return;
     case WaveFormer::SubmitResult::kClosed:
       {
-        const std::scoped_lock lk(stats_mu_);
+        const sync::MutexLock lk(stats_mu_);
         --accepted_;
         ++rejected_;
       }
@@ -309,12 +312,14 @@ void NttService::worker(std::size_t shard) {
     NTTPIM_CHECK_MSG(backend != nullptr,
                      "a backend factory returned null");
   } catch (...) {
-    const std::scoped_lock lk(stats_mu_);
+    const sync::MutexLock lk(stats_mu_);
     construction_error_ = std::current_exception();
   }
   {
-    const std::scoped_lock lk(stats_mu_);
-    backends_[shard] = backend.get();
+    const sync::MutexLock lk(stats_mu_);
+    // Release store pairs with estimate_wave's acquire load (see
+    // backends_): a reader that sees the pointer sees the construction.
+    backends_[shard].store(backend.get(), std::memory_order_release);
     ++shards_ready_;
   }
   idle_cv_.notify_all();
@@ -371,7 +376,8 @@ void NttService::dispatch_loop() {
 
 std::uint64_t NttService::estimate_wave(std::size_t shard,
                                         std::vector<Request>& wave) const {
-  fhe::NttBackend* backend = backends_[shard];
+  // Acquire pairs with the worker's release publication (see backends_).
+  fhe::NttBackend* backend = backends_[shard].load(std::memory_order_acquire);
   if (backend == nullptr) return wave.size();  // construction failed; moot
   WavePasses passes = wave_passes(wave);
   // Waves execute pinned to one channel of the shard's device, so price
@@ -539,7 +545,7 @@ void NttService::execute_group(std::size_t shard, fhe::NttBackend& backend,
     dispatcher_.complete(shard, w.estimated_cycles, w.channel);
 
   {
-    const std::scoped_lock lk(stats_mu_);
+    const sync::MutexLock lk(stats_mu_);
     waves_ += group.size();
     engine_passes_ += passes;
     batch_items_ += items;
@@ -585,8 +591,8 @@ void NttService::pause() { former_.pause(); }
 void NttService::resume() { former_.resume(); }
 
 void NttService::drain() {
-  std::unique_lock lk(stats_mu_);
-  idle_cv_.wait(lk, [&] { return completed_ + failed_ == accepted_; });
+  sync::MutexLock lk(stats_mu_);
+  while (completed_ + failed_ != accepted_) idle_cv_.wait(lk);
 }
 
 void NttService::shutdown() {
@@ -601,7 +607,7 @@ void NttService::shutdown() {
 
 void NttService::reset_stats() {
   {
-    const std::scoped_lock lk(stats_mu_);
+    const sync::MutexLock lk(stats_mu_);
     // Re-base the request counters while preserving the drain() invariant
     // completed + failed <= accepted: what's still in flight carries over
     // as the new epoch's accepted-but-pending backlog.
@@ -632,7 +638,7 @@ void NttService::reset_stats() {
 ServiceStats NttService::stats() const {
   ServiceStats s;
   {
-    const std::scoped_lock lk(stats_mu_);
+    const sync::MutexLock lk(stats_mu_);
     s.submitted = submitted_;
     s.completed = completed_;
     s.rejected = rejected_;
@@ -674,16 +680,18 @@ ServiceStats NttService::stats() const {
   // its own lock); sampled alongside, like the latency summaries.
   s.trace_events = collector_.total_events();
   s.trace_dropped_events = collector_.dropped_events();
-  // Dispatcher backlog snapshots are taken outside stats_mu_ (the two
-  // locks never nest the other way, and the estimates are instantaneous
-  // gauges anyway). The backend kind is re-stamped from the resolved
-  // descriptors so it survives reset_stats().
+  // Dispatcher backlogs are sampled outside stats_mu_ (the two locks
+  // never nest the other way), but each shard's total and per-channel
+  // gauges come from one backlog_snapshot() — a single lock acquisition —
+  // so they always tile: total == sum over channels. The backend kind is
+  // re-stamped from the resolved descriptors so it survives reset_stats().
   for (std::size_t i = 0; i < s.shards.size(); ++i) {
     s.shards[i].kind = resolved_[i].kind;
-    s.shards[i].estimated_backlog_cycles = dispatcher_.backlog_cycles(i);
+    const Dispatcher::ShardBacklog backlog = dispatcher_.backlog_snapshot(i);
+    s.shards[i].estimated_backlog_cycles = backlog.total_cycles;
     for (std::size_t c = 0; c < s.shards[i].channels.size(); ++c)
       s.shards[i].channels[c].estimated_backlog_cycles =
-          dispatcher_.backlog_cycles(i, c);
+          backlog.channel_cycles[c];
   }
   s.queue_latency = queue_latency_.summary();
   s.service_latency = service_latency_.summary();

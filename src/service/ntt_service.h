@@ -53,12 +53,12 @@
 // to call at any time from any thread.
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag only; locking goes through sync::Mutex
 #include <thread>
 #include <vector>
 
@@ -68,6 +68,7 @@
 #include "service/request.h"
 #include "service/stats.h"
 #include "service/wave_former.h"
+#include "sync/mutex.h"
 #include "telemetry/trace_collector.h"
 
 namespace nttpim::fhe {
@@ -301,26 +302,27 @@ class NttService {
   std::optional<AdmissionController> admission_;
   WaveFormer former_;
   Dispatcher dispatcher_;
-  /// Shard backends by index, published by each worker before the
-  /// readiness barrier (null = that shard's construction failed). Only the
-  /// dispatch thread and stealing workers read them — through the
-  /// share-readable estimate path, and only after the barrier — so the
-  /// pointers they see are valid for every estimate_wave call.
-  std::vector<fhe::NttBackend*> backends_;
+  /// Shard backends by index, published by each worker (release store)
+  /// before the readiness barrier (null = that shard's construction
+  /// failed). The dispatch thread and stealing workers read them through
+  /// the share-readable estimate path with an acquire load — pairing with
+  /// the publication store, so a reader that sees a pointer sees the
+  /// fully constructed backend behind it — and only after the barrier.
+  std::vector<std::atomic<fhe::NttBackend*>> backends_;
 
-  mutable std::mutex stats_mu_;
-  std::condition_variable idle_cv_;  ///< drain() + constructor barrier
-  std::size_t shards_ready_ = 0;
-  std::exception_ptr construction_error_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t waves_ = 0;
-  std::uint64_t engine_passes_ = 0;
-  std::uint64_t batch_items_ = 0;
-  std::vector<ShardStats> shard_stats_;
+  mutable sync::Mutex stats_mu_;
+  sync::CondVar idle_cv_;  ///< drain() + constructor barrier
+  std::size_t shards_ready_ NTTPIM_GUARDED_BY(stats_mu_) = 0;
+  std::exception_ptr construction_error_ NTTPIM_GUARDED_BY(stats_mu_);
+  std::uint64_t submitted_ NTTPIM_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t accepted_ NTTPIM_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t completed_ NTTPIM_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t rejected_ NTTPIM_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t failed_ NTTPIM_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t waves_ NTTPIM_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t engine_passes_ NTTPIM_GUARDED_BY(stats_mu_) = 0;
+  std::uint64_t batch_items_ NTTPIM_GUARDED_BY(stats_mu_) = 0;
+  std::vector<ShardStats> shard_stats_ NTTPIM_GUARDED_BY(stats_mu_);
   /// Per-class counter tile of ClassStats (size num_classes; the latency
   /// halves live in the recorders below). Guarded by stats_mu_.
   struct ClassCounters {
@@ -329,7 +331,7 @@ class NttService {
     std::uint64_t shed = 0;
     std::uint64_t deadline_misses = 0;
   };
-  std::vector<ClassCounters> class_counters_;
+  std::vector<ClassCounters> class_counters_ NTTPIM_GUARDED_BY(stats_mu_);
   /// Per-class stage-latency sums (microseconds) behind
   /// ClassStats::stages; stats() divides by count. Guarded by stats_mu_.
   struct StageTotals {
@@ -340,7 +342,7 @@ class NttService {
     double execute_us = 0;
     double completion_us = 0;
   };
-  std::vector<StageTotals> stage_totals_;
+  std::vector<StageTotals> stage_totals_ NTTPIM_GUARDED_BY(stats_mu_);
 
   LatencyRecorder queue_latency_;
   LatencyRecorder service_latency_;

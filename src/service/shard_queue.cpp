@@ -28,32 +28,38 @@ ShardQueue::Channel& ShardQueue::chan(std::size_t channel) {
   return channels_[channel];
 }
 
-bool ShardQueue::empty() const noexcept {
+bool ShardQueue::empty(sync::Mutex& mu) const noexcept {
+  (void)mu;
   for (const Channel& c : channels_)
     if (!c.waves.empty()) return false;
   return true;
 }
 
-std::size_t ShardQueue::size() const noexcept {
+std::size_t ShardQueue::size(sync::Mutex& mu) const noexcept {
+  (void)mu;
   std::size_t total = 0;
   for (const Channel& c : channels_) total += c.waves.size();
   return total;
 }
 
-std::uint64_t ShardQueue::queued_cycles() const noexcept {
+std::uint64_t ShardQueue::queued_cycles(sync::Mutex& mu) const noexcept {
+  (void)mu;
   std::uint64_t total = 0;
   for (const Channel& c : channels_) total += c.queued_cycles;
   return total;
 }
 
-std::uint64_t ShardQueue::backlog_cycles() const noexcept {
+std::uint64_t ShardQueue::backlog_cycles(sync::Mutex& mu) const noexcept {
+  (void)mu;
   std::uint64_t total = 0;
   for (const Channel& c : channels_)
     total += c.queued_cycles + c.executing_cycles;
   return total;
 }
 
-void ShardQueue::push(std::size_t channel, QueuedWave&& wave) {
+void ShardQueue::push(std::size_t channel, QueuedWave&& wave,
+                      sync::Mutex& mu) {
+  (void)mu;
   // No capacity check: full() is advisory (see the header) — the open
   // Dispatcher blocks on it, the closing one pushes past it to drain.
   Channel& c = chan(channel);
@@ -75,8 +81,9 @@ void ShardQueue::push(std::size_t channel, QueuedWave&& wave) {
 }
 
 std::uint64_t ShardQueue::queued_cycles_before(
-    std::size_t channel, ServiceClock::time_point deadline,
-    std::uint64_t seq) const {
+    std::size_t channel, ServiceClock::time_point deadline, std::uint64_t seq,
+    sync::Mutex& mu) const {
+  (void)mu;
   QueuedWave key;
   key.deadline = deadline;
   key.seq = seq;
@@ -88,20 +95,25 @@ std::uint64_t ShardQueue::queued_cycles_before(
   return cycles;
 }
 
-const QueuedWave& ShardQueue::wave_at(std::size_t channel,
-                                      std::size_t i) const {
+const QueuedWave& ShardQueue::wave_at(std::size_t channel, std::size_t i,
+                                      sync::Mutex& mu) const {
+  (void)mu;
   const Channel& c = chan(channel);
   NTTPIM_EXPECT_MSG(i < c.waves.size(), "wave index out of range");
   return c.waves[i];
 }
 
-QueuedWave& ShardQueue::wave_at(std::size_t channel, std::size_t i) {
+QueuedWave& ShardQueue::wave_at(std::size_t channel, std::size_t i,
+                                sync::Mutex& mu) {
+  (void)mu;
   Channel& c = chan(channel);
   NTTPIM_EXPECT_MSG(i < c.waves.size(), "wave index out of range");
   return c.waves[i];
 }
 
-QueuedWave ShardQueue::take_at(std::size_t channel, std::size_t i) {
+QueuedWave ShardQueue::take_at(std::size_t channel, std::size_t i,
+                               sync::Mutex& mu) {
+  (void)mu;
   Channel& c = chan(channel);
   NTTPIM_EXPECT_MSG(i < c.waves.size(), "take index out of range");
   QueuedWave wave = std::move(c.waves[i]);
@@ -110,13 +122,15 @@ QueuedWave ShardQueue::take_at(std::size_t channel, std::size_t i) {
   return wave;
 }
 
-void ShardQueue::begin_wave(std::size_t channel,
-                            std::uint64_t estimated_cycles) {
+void ShardQueue::begin_wave(std::size_t channel, std::uint64_t estimated_cycles,
+                            sync::Mutex& mu) {
+  (void)mu;
   chan(channel).executing_cycles += estimated_cycles;
 }
 
 void ShardQueue::finish_wave(std::size_t channel,
-                             std::uint64_t estimated_cycles) {
+                             std::uint64_t estimated_cycles, sync::Mutex& mu) {
+  (void)mu;
   Channel& c = chan(channel);
   NTTPIM_EXPECT_MSG(c.executing_cycles >= estimated_cycles,
                     "finishing a wave that never began");

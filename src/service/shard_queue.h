@@ -22,6 +22,15 @@
 // serializes every access under its single mutex. Waves are coarse (one
 // bank-parallel engine pass each), so that one lock is nowhere near the
 // hot path.
+//
+// That external-locking contract is not prose alone: every accessor and
+// mutator takes the owning mutex by reference and is annotated
+// NTTPIM_REQUIRES(mu), so a clang -Wthread-safety build rejects any call
+// site that does not provably hold the dispatcher's lock. The reference is
+// unused at runtime — it exists purely as the capability token the
+// analysis checks (TSA resolves parameter-named capabilities against the
+// lock the caller actually holds, which member-pointer aliases cannot
+// express).
 #pragma once
 
 #include <cstddef>
@@ -30,6 +39,7 @@
 #include <vector>
 
 #include "service/request.h"
+#include "sync/mutex.h"
 
 namespace nttpim::service {
 
@@ -75,22 +85,32 @@ class ShardQueue {
                       std::size_t num_channels = 1,
                       bool deadline_ordered = false);
 
+  /// Channel count is fixed at construction and safe to read unlocked.
   std::size_t channels() const noexcept { return channels_.size(); }
 
-  bool empty() const noexcept;  ///< every channel's deque is empty
-  bool empty(std::size_t channel) const {
+  /// Every channel's deque is empty.
+  bool empty(sync::Mutex& mu) const noexcept NTTPIM_REQUIRES(mu);
+  bool empty(std::size_t channel, sync::Mutex& mu) const NTTPIM_REQUIRES(mu) {
+    (void)mu;
     return chan(channel).waves.empty();
   }
-  bool full(std::size_t channel) const {
+  bool full(std::size_t channel, sync::Mutex& mu) const NTTPIM_REQUIRES(mu) {
+    (void)mu;
     return chan(channel).waves.size() >= capacity_;
   }
-  std::size_t size() const noexcept;  ///< queued waves across channels
-  std::size_t size(std::size_t channel) const {
+  /// Queued waves across channels.
+  std::size_t size(sync::Mutex& mu) const noexcept NTTPIM_REQUIRES(mu);
+  std::size_t size(std::size_t channel, sync::Mutex& mu) const
+      NTTPIM_REQUIRES(mu) {
+    (void)mu;
     return chan(channel).waves.size();
   }
 
-  std::uint64_t queued_cycles() const noexcept;
-  std::uint64_t queued_cycles(std::size_t channel) const {
+  std::uint64_t queued_cycles(sync::Mutex& mu) const noexcept
+      NTTPIM_REQUIRES(mu);
+  std::uint64_t queued_cycles(std::size_t channel, sync::Mutex& mu) const
+      NTTPIM_REQUIRES(mu) {
+    (void)mu;
     return chan(channel).queued_cycles;
   }
   /// Estimated cycles queued on `channel` *ahead of* a wave with urgency
@@ -100,12 +120,18 @@ class ShardQueue {
   /// because the lane lets the urgent wave jump the rest.
   std::uint64_t queued_cycles_before(std::size_t channel,
                                      ServiceClock::time_point deadline,
-                                     std::uint64_t seq) const;
-  std::uint64_t executing_cycles(std::size_t channel) const {
+                                     std::uint64_t seq, sync::Mutex& mu) const
+      NTTPIM_REQUIRES(mu);
+  std::uint64_t executing_cycles(std::size_t channel, sync::Mutex& mu) const
+      NTTPIM_REQUIRES(mu) {
+    (void)mu;
     return chan(channel).executing_cycles;
   }
-  std::uint64_t backlog_cycles() const noexcept;
-  std::uint64_t backlog_cycles(std::size_t channel) const {
+  std::uint64_t backlog_cycles(sync::Mutex& mu) const noexcept
+      NTTPIM_REQUIRES(mu);
+  std::uint64_t backlog_cycles(std::size_t channel, sync::Mutex& mu) const
+      NTTPIM_REQUIRES(mu) {
+    (void)mu;
     const Channel& c = chan(channel);
     return c.queued_cycles + c.executing_cycles;
   }
@@ -113,7 +139,8 @@ class ShardQueue {
   /// Enqueue a priced wave on one channel (dispatcher side): appended in
   /// FIFO mode, inserted in (deadline, arrival) order when the queue is
   /// deadline_ordered.
-  void push(std::size_t channel, QueuedWave&& wave);
+  void push(std::size_t channel, QueuedWave&& wave, sync::Mutex& mu)
+      NTTPIM_REQUIRES(mu);
 
   /// Remove and return the front wave queued on `channel` — the oldest
   /// (FIFO mode) or the most-deadline-urgent (deadline_ordered). Both the
@@ -121,25 +148,33 @@ class ShardQueue {
   /// the thief because the front wave has waited longest (or is most at
   /// risk of missing its deadline) and is the least likely to still be
   /// wanted by a busy owner.
-  QueuedWave take_oldest(std::size_t channel) { return take_at(channel, 0); }
+  QueuedWave take_oldest(std::size_t channel, sync::Mutex& mu)
+      NTTPIM_REQUIRES(mu) {
+    return take_at(channel, 0, mu);
+  }
 
   /// Inspect the i-th wave of one channel (0 = oldest) without removing it
   /// — how a thief checks backend compatibility before committing to a
   /// steal. (Mutable overload because the Estimator signature takes the
   /// request vector mutably; estimators must not actually modify it.)
-  const QueuedWave& wave_at(std::size_t channel, std::size_t i) const;
-  QueuedWave& wave_at(std::size_t channel, std::size_t i);
+  const QueuedWave& wave_at(std::size_t channel, std::size_t i,
+                            sync::Mutex& mu) const NTTPIM_REQUIRES(mu);
+  QueuedWave& wave_at(std::size_t channel, std::size_t i, sync::Mutex& mu)
+      NTTPIM_REQUIRES(mu);
 
   /// Remove and return the i-th wave of one channel (0 = oldest):
   /// take_oldest() generalized so a thief can skip waves its backend
   /// cannot run.
-  QueuedWave take_at(std::size_t channel, std::size_t i);
+  QueuedWave take_at(std::size_t channel, std::size_t i, sync::Mutex& mu)
+      NTTPIM_REQUIRES(mu);
 
   /// Account a wave this shard's worker started / finished executing on
   /// `channel` (the wave may have been taken from a *peer's* deque or
   /// another channel — the cost always follows the executor).
-  void begin_wave(std::size_t channel, std::uint64_t estimated_cycles);
-  void finish_wave(std::size_t channel, std::uint64_t estimated_cycles);
+  void begin_wave(std::size_t channel, std::uint64_t estimated_cycles,
+                  sync::Mutex& mu) NTTPIM_REQUIRES(mu);
+  void finish_wave(std::size_t channel, std::uint64_t estimated_cycles,
+                   sync::Mutex& mu) NTTPIM_REQUIRES(mu);
 
  private:
   struct Channel {
@@ -148,6 +183,8 @@ class ShardQueue {
     std::uint64_t executing_cycles = 0;
   };
 
+  // Private helpers carry no annotations: the capability lives on the
+  // public API above, and every path to a Channel goes through it.
   const Channel& chan(std::size_t channel) const;
   Channel& chan(std::size_t channel);
 

@@ -34,7 +34,7 @@ LatencyRecorder::LatencyRecorder(std::size_t capacity) : capacity_(capacity) {
 }
 
 void LatencyRecorder::record(double us) {
-  const std::scoped_lock lk(mu_);
+  const sync::MutexLock lk(mu_);
   ++count_;
   sum_us_ += us;
   max_us_ = std::max(max_us_, us);
@@ -47,7 +47,7 @@ void LatencyRecorder::record(double us) {
 }
 
 void LatencyRecorder::reset() {
-  const std::scoped_lock lk(mu_);
+  const sync::MutexLock lk(mu_);
   window_.clear();
   next_ = 0;
   count_ = 0;
@@ -59,7 +59,7 @@ LatencySummary LatencyRecorder::summary() const {
   std::vector<double> scratch;
   LatencySummary s;
   {
-    const std::scoped_lock lk(mu_);
+    const sync::MutexLock lk(mu_);
     s.count = count_;
     s.mean_us = count_ ? sum_us_ / static_cast<double>(count_) : 0;
     s.max_us = max_us_;

@@ -11,10 +11,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "service/backend.h"
+#include "sync/mutex.h"
 
 namespace nttpim::service {
 
@@ -42,13 +42,14 @@ class LatencyRecorder {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> window_;  // ring buffer of the last `capacity_` samples
-  std::size_t capacity_;
-  std::size_t next_ = 0;
-  std::uint64_t count_ = 0;
-  double sum_us_ = 0;
-  double max_us_ = 0;
+  mutable sync::Mutex mu_;
+  /// Ring buffer of the last `capacity_` samples.
+  std::vector<double> window_ NTTPIM_GUARDED_BY(mu_);
+  std::size_t capacity_;  ///< fixed at construction
+  std::size_t next_ NTTPIM_GUARDED_BY(mu_) = 0;
+  std::uint64_t count_ NTTPIM_GUARDED_BY(mu_) = 0;
+  double sum_us_ NTTPIM_GUARDED_BY(mu_) = 0;
+  double max_us_ NTTPIM_GUARDED_BY(mu_) = 0;
 };
 
 /// Per-channel slice of one shard's counters: one entry per independent

@@ -23,11 +23,13 @@ WaveFormer::WaveFormer(const Config& config)
 WaveFormer::SubmitResult WaveFormer::submit(Request&& request,
                                             SubmitInfo* info) {
   const std::size_t items = request.batch_items();
-  std::unique_lock lk(mu_);
+  sync::MutexLock lk(mu_);
   if (cfg_.overflow == OverflowPolicy::kBlock) {
-    space_cv_.wait(lk, [&] {
-      return closed_ || pending_items_ + items <= cfg_.capacity_items;
-    });
+    // Explicit wait loop, not a predicate lambda: the thread-safety
+    // analysis treats a lambda as a separate function, so a predicate
+    // touching guarded members could not be checked against mu_.
+    while (!closed_ && pending_items_ + items > cfg_.capacity_items)
+      space_cv_.wait(lk);
     if (closed_) return SubmitResult::kClosed;
   } else {
     if (closed_) return SubmitResult::kClosed;
@@ -121,11 +123,9 @@ std::vector<Request> WaveFormer::cut_wave() {
 }
 
 std::vector<Request> WaveFormer::next_wave() {
-  std::unique_lock lk(mu_);
+  sync::MutexLock lk(mu_);
   for (;;) {
-    ready_cv_.wait(lk, [&] {
-      return closed_ || (!paused_ && !queue_.empty());
-    });
+    while (!closed_ && (paused_ || queue_.empty())) ready_cv_.wait(lk);
     if (queue_.empty()) {
       if (closed_) return {};
       continue;  // paused was lifted with nothing queued, or a spurious wake
@@ -163,13 +163,13 @@ std::vector<Request> WaveFormer::next_wave() {
 }
 
 void WaveFormer::pause() {
-  const std::scoped_lock lk(mu_);
+  const sync::MutexLock lk(mu_);
   paused_ = true;
 }
 
 void WaveFormer::resume() {
   {
-    const std::scoped_lock lk(mu_);
+    const sync::MutexLock lk(mu_);
     paused_ = false;
   }
   ready_cv_.notify_all();
@@ -179,13 +179,13 @@ void WaveFormer::tick() {
   // Taking the lock (not just notifying) closes the race with a consumer
   // that read the fake time before the caller advanced it but has not yet
   // parked on the condition variable.
-  const std::scoped_lock lk(mu_);
+  const sync::MutexLock lk(mu_);
   ready_cv_.notify_all();
 }
 
 void WaveFormer::close() {
   {
-    const std::scoped_lock lk(mu_);
+    const sync::MutexLock lk(mu_);
     closed_ = true;
     paused_ = false;  // a paused former still drains on shutdown
   }
@@ -194,12 +194,12 @@ void WaveFormer::close() {
 }
 
 std::size_t WaveFormer::pending_items() const {
-  const std::scoped_lock lk(mu_);
+  const sync::MutexLock lk(mu_);
   return pending_items_;
 }
 
 bool WaveFormer::closed() const {
-  const std::scoped_lock lk(mu_);
+  const sync::MutexLock lk(mu_);
   return closed_;
 }
 

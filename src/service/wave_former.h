@@ -39,14 +39,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "service/request.h"
+#include "sync/mutex.h"
 
 namespace nttpim::service {
 
@@ -114,22 +113,24 @@ class WaveFormer {
   /// Earliest flush instant of the current backlog: the front's
   /// window expiry, tightened (under EDF) by the earliest pending
   /// deadline. Caller holds mu_; queue_ must be non-empty.
-  ServiceClock::time_point flush_deadline() const;
+  ServiceClock::time_point flush_deadline() const NTTPIM_REQUIRES(mu_);
 
   /// Cut one wave off the backlog (FIFO, or EDF order per Config::edf),
   /// updating pending_items_. Caller holds mu_; queue_ must be non-empty.
-  std::vector<Request> cut_wave();
+  std::vector<Request> cut_wave() NTTPIM_REQUIRES(mu_);
 
   const Config cfg_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;  ///< consumers: work / flush / close
-  std::condition_variable space_cv_;  ///< blocked producers
-  std::deque<Request> queue_;
-  std::size_t pending_items_ = 0;
-  std::uint64_t next_seq_ = 0;  ///< arrival stamp (see Request::seq)
-  std::uint64_t next_wave_id_ = 1;  ///< cut stamp (see Request::wave_id)
-  bool paused_ = false;
-  bool closed_ = false;
+  mutable sync::Mutex mu_;
+  sync::CondVar ready_cv_;  ///< consumers: work / flush / close
+  sync::CondVar space_cv_;  ///< blocked producers
+  std::deque<Request> queue_ NTTPIM_GUARDED_BY(mu_);
+  std::size_t pending_items_ NTTPIM_GUARDED_BY(mu_) = 0;
+  /// Arrival stamp (see Request::seq).
+  std::uint64_t next_seq_ NTTPIM_GUARDED_BY(mu_) = 0;
+  /// Cut stamp (see Request::wave_id).
+  std::uint64_t next_wave_id_ NTTPIM_GUARDED_BY(mu_) = 1;
+  bool paused_ NTTPIM_GUARDED_BY(mu_) = false;
+  bool closed_ NTTPIM_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace nttpim::service

@@ -1,0 +1,99 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// This is the only place in the repository allowed to name the raw
+// standard-library lock primitives (tools/lint_contracts.py enforces it).
+// The wrappers add zero state and zero overhead over std::mutex /
+// std::unique_lock / std::condition_variable; what they add is the Clang
+// Thread Safety Analysis capability attributes, so every GUARDED_BY /
+// REQUIRES contract written against a sync::Mutex is checked by the clang
+// `-Wthread-safety -Werror` CI build.
+//
+// CondVar deliberately has no predicate-taking wait overload: TSA analyses
+// a predicate lambda as a separate function, so a predicate touching
+// GUARDED_BY members would produce false positives. Call sites spell the
+// standard loop instead:
+//
+//   sync::MutexLock lk(mu_);
+//   while (!ready_) cv_.wait(lk);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "sync/thread_annotations.h"
+
+namespace nttpim::sync {
+
+class CondVar;
+class MutexLock;
+
+/// A std::mutex carrying the TSA `capability` attribute. Prefer the RAII
+/// MutexLock below; the manual lock()/unlock() surface exists for the rare
+/// split-scope pattern and for the wrappers themselves.
+class NTTPIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NTTPIM_ACQUIRE() { mu_.lock(); }
+  void unlock() NTTPIM_RELEASE() { mu_.unlock(); }
+  bool try_lock() NTTPIM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a sync::Mutex (TSA `scoped_lockable`). Holds a
+/// std::unique_lock underneath so CondVar can wait on it; supports manual
+/// unlock()/lock() for split-scope sections (e.g. dropping the lock before
+/// joining worker threads on a constructor failure path).
+class NTTPIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NTTPIM_ACQUIRE(mu) : lk_(mu.mu_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() NTTPIM_RELEASE() {}  // unique_lock releases if still held
+
+  /// Releases early; the destructor then does nothing.
+  void unlock() NTTPIM_RELEASE() { lk_.unlock(); }
+  /// Re-acquires after an early unlock().
+  void lock() NTTPIM_ACQUIRE() { lk_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable waiting on a MutexLock. wait() atomically releases
+/// and re-acquires the lock; TSA models the capability as held across the
+/// call, which matches the invariant the caller's loop relies on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lk_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.lk_, tp);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lk_, d);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace nttpim::sync

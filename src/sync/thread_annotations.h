@@ -1,0 +1,91 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap the capability-based lock annotations documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so the concurrency
+// contracts of the serving stack (which mutex guards which member, which
+// APIs require an externally held lock) are machine-checked at compile
+// time instead of living only in header prose. Under a compiler without
+// the attributes (gcc builds, MSVC) every macro expands to nothing, so the
+// annotated code compiles identically everywhere; the clang CI job builds
+// with -Wthread-safety -Werror and is the enforcement point.
+//
+// Naming follows the upstream attribute names with an NTTPIM_ prefix
+// (the same shape as abseil's thread_annotations.h, which this layer is
+// modeled on). Use them through the nttpim::sync wrappers (sync/mutex.h)
+// rather than annotating std::mutex directly — the contract linter
+// (tools/lint_contracts.py) rejects raw standard-library lock types
+// outside src/sync/.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define NTTPIM_HAS_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define NTTPIM_HAS_ATTRIBUTE(x) 0
+#endif
+
+#if NTTPIM_HAS_ATTRIBUTE(capability)
+#define NTTPIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NTTPIM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (lockable) type; `x` names the
+/// capability kind in diagnostics ("mutex").
+#define NTTPIM_CAPABILITY(x) NTTPIM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define NTTPIM_SCOPED_CAPABILITY NTTPIM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define NTTPIM_GUARDED_BY(x) NTTPIM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define NTTPIM_PT_GUARDED_BY(x) NTTPIM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define NTTPIM_ACQUIRED_BEFORE(...) \
+  NTTPIM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define NTTPIM_ACQUIRED_AFTER(...) \
+  NTTPIM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the listed capabilities (exclusively / shared).
+/// The capability expression may name a member, a parameter of the
+/// annotated function, or a member of a parameter — the latter is how
+/// externally-locked classes (service/shard_queue.h) publish their
+/// contract across the class boundary.
+#define NTTPIM_REQUIRES(...) \
+  NTTPIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define NTTPIM_REQUIRES_SHARED(...) \
+  NTTPIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the listed capabilities.
+#define NTTPIM_ACQUIRE(...) \
+  NTTPIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NTTPIM_ACQUIRE_SHARED(...) \
+  NTTPIM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define NTTPIM_RELEASE(...) \
+  NTTPIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define NTTPIM_RELEASE_SHARED(...) \
+  NTTPIM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the
+/// return value that means success.
+#define NTTPIM_TRY_ACQUIRE(...) \
+  NTTPIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (non-reentrancy).
+#define NTTPIM_EXCLUDES(...) \
+  NTTPIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the analysis).
+#define NTTPIM_ASSERT_CAPABILITY(x) \
+  NTTPIM_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define NTTPIM_RETURN_CAPABILITY(x) NTTPIM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the contract holds anyway.
+#define NTTPIM_NO_THREAD_SAFETY_ANALYSIS \
+  NTTPIM_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,73 @@
+// ThreadConfined<T>: checked wrapper for single-driver (thread-confined)
+// state.
+//
+// Several hot structures in the stack are deliberately unlocked because
+// exactly one thread ever touches them: a PIM worker's mapping plan cache,
+// its wave capture log, and similar per-backend scratch. The prose
+// contract used to be the only guard. This wrapper keeps the release-build
+// cost at zero (the value is stored inline; get() is a plain reference in
+// NDEBUG builds) while debug builds — including the ASan and TSan CI jobs,
+// which compile with CMAKE_BUILD_TYPE=Debug — record the constructing
+// thread and assert on every access that the caller is still that thread.
+//
+// Ownership handoff (construct on thread A, drive from thread B) must be
+// externally synchronized; the new owner then calls rebind_owner() once
+// before its first access.
+#pragma once
+
+#ifndef NDEBUG
+#include <cassert>
+#include <thread>
+#endif
+
+#include <utility>
+
+namespace nttpim::sync {
+
+template <typename T>
+class ThreadConfined {
+ public:
+  template <typename... Args>
+  explicit ThreadConfined(Args&&... args)
+      : value_(std::forward<Args>(args)...) {}
+
+  ThreadConfined(const ThreadConfined&) = delete;
+  ThreadConfined& operator=(const ThreadConfined&) = delete;
+
+  T& get() noexcept {
+    assert_owner();
+    return value_;
+  }
+  const T& get() const noexcept {
+    assert_owner();
+    return value_;
+  }
+
+  T* operator->() noexcept { return &get(); }
+  const T* operator->() const noexcept { return &get(); }
+  T& operator*() noexcept { return get(); }
+  const T& operator*() const noexcept { return get(); }
+
+  /// Adopts the calling thread as the new owner. The handoff itself must
+  /// happen-before this call (e.g. via thread join or a lock).
+  void rebind_owner() noexcept {
+#ifndef NDEBUG
+    owner_ = std::this_thread::get_id();
+#endif
+  }
+
+ private:
+  void assert_owner() const noexcept {
+#ifndef NDEBUG
+    assert(owner_ == std::this_thread::get_id() &&
+           "ThreadConfined state accessed off its owner thread");
+#endif
+  }
+
+#ifndef NDEBUG
+  std::thread::id owner_ = std::this_thread::get_id();
+#endif
+  T value_;
+};
+
+}  // namespace nttpim::sync

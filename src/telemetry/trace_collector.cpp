@@ -1,6 +1,6 @@
 #include "telemetry/trace_collector.h"
 
-#include <thread>
+#include <utility>
 
 #include "telemetry/ring_buffer.h"
 
@@ -12,12 +12,21 @@ namespace {
 /// keeps id 0 and never consults the thread_local cache.
 std::atomic<std::uint64_t> g_next_collector_id{1};
 
-// Per-thread ring cache. The id guards against a collector being
-// destroyed and another constructed at the same address: ids are
-// monotone and never reused, so a stale (id, buffer) pair can never
-// match a live collector it does not belong to.
+// Per-thread ring cache, two levels. The single slot below is the emit
+// fast path (one comparison); the vector is the full registry of every
+// (collector id, ring) this thread has registered, consulted on a slot
+// miss so a thread alternating between collectors re-registers its
+// existing rings instead of duplicating them. In both, the collector id
+// guards against staleness: ids are monotone and never reused, so an
+// entry for a destroyed collector can never match a live one. Threads
+// are matched ONLY through this thread_local state, never by
+// std::thread::id — the OS recycles thread ids, and matching on them
+// let a new thread adopt a dead thread's ring and name. Entries for
+// destroyed collectors linger (a pointer pair per collector the thread
+// ever emitted to) but are never dereferenced.
 thread_local std::uint64_t t_collector_id = 0;
 thread_local void* t_buffer = nullptr;
+thread_local std::vector<std::pair<std::uint64_t, void*>> t_rings;
 
 }  // namespace
 
@@ -40,14 +49,12 @@ const char* to_string(EventKind kind) noexcept {
 }
 
 struct TraceCollector::ThreadBuffer {
-  ThreadBuffer(std::size_t capacity, std::uint64_t tid, std::string name,
-               std::thread::id owner)
-      : ring(capacity), tid(tid), name(std::move(name)), owner(owner) {}
+  ThreadBuffer(std::size_t capacity, std::uint64_t tid, std::string name)
+      : ring(capacity), tid(tid), name(std::move(name)) {}
 
   EventRing ring;
   std::uint64_t tid;
   std::string name;
-  std::thread::id owner;
   std::atomic<std::uint64_t> recorded{0};
   std::atomic<std::uint64_t> dropped{0};
 };
@@ -83,11 +90,14 @@ void TraceCollector::set_thread_name(std::string_view name) {
 
 TraceCollector::ThreadBuffer* TraceCollector::register_thread(
     std::string_view name) {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
+  // This thread's ring for *this* collector, if it made one before (the
+  // fast-path slot may have been overwritten by another collector). Only
+  // the thread_local registry identifies the thread — see its comment.
   ThreadBuffer* buf = nullptr;
-  for (const auto& candidate : buffers_) {
-    if (candidate->owner == std::this_thread::get_id()) {
-      buf = candidate.get();
+  for (const auto& [cid, ptr] : t_rings) {
+    if (cid == id_) {
+      buf = static_cast<ThreadBuffer*>(ptr);
       break;
     }
   }
@@ -95,9 +105,9 @@ TraceCollector::ThreadBuffer* TraceCollector::register_thread(
     const std::uint64_t tid = buffers_.size() + 1;
     buffers_.push_back(std::make_unique<ThreadBuffer>(
         cfg_.ring_capacity, tid,
-        name.empty() ? "thread-" + std::to_string(tid) : std::string(name),
-        std::this_thread::get_id()));
+        name.empty() ? "thread-" + std::to_string(tid) : std::string(name)));
     buf = buffers_.back().get();
+    t_rings.emplace_back(id_, buf);
   } else if (!name.empty()) {
     buf->name = name;
   }
@@ -108,7 +118,7 @@ TraceCollector::ThreadBuffer* TraceCollector::register_thread(
 
 TraceCollector::Snapshot TraceCollector::drain() {
   Snapshot snapshot;
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   snapshot.threads.reserve(buffers_.size());
   for (const auto& buf : buffers_) {
     ThreadTrace trace;
@@ -122,7 +132,7 @@ TraceCollector::Snapshot TraceCollector::drain() {
 }
 
 void TraceCollector::reset() {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   std::vector<TraceEvent> discard;
   for (const auto& buf : buffers_) {
     discard.clear();
@@ -133,7 +143,7 @@ void TraceCollector::reset() {
 }
 
 std::uint64_t TraceCollector::total_events() const {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& buf : buffers_)
     total += buf->recorded.load(std::memory_order_relaxed);
@@ -141,7 +151,7 @@ std::uint64_t TraceCollector::total_events() const {
 }
 
 std::uint64_t TraceCollector::dropped_events() const {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   std::uint64_t total = 0;
   for (const auto& buf : buffers_)
     total += buf->dropped.load(std::memory_order_relaxed);
@@ -149,7 +159,7 @@ std::uint64_t TraceCollector::dropped_events() const {
 }
 
 std::size_t TraceCollector::thread_count() const {
-  const std::scoped_lock lock(mu_);
+  const sync::MutexLock lock(mu_);
   return buffers_.size();
 }
 

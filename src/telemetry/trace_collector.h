@@ -18,11 +18,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "sync/mutex.h"
 #include "telemetry/trace_event.h"
 
 namespace nttpim::telemetry {
@@ -98,10 +98,13 @@ class TraceCollector {
  private:
   struct ThreadBuffer;
 
-  /// Cold path: find-or-create the calling thread's ring (by thread id,
-  /// so a thread alternating between collectors re-registers instead of
-  /// duplicating), optionally (re)name it, refresh the thread_local
-  /// cache. Returns the ring buffer.
+  /// Cold path: find-or-create the calling thread's ring via the
+  /// thread-local (collector id -> ring) registry — never by thread id,
+  /// which the OS recycles (a new thread must never adopt a dead thread's
+  /// ring or name). A thread alternating between collectors re-registers
+  /// its existing ring instead of duplicating it. Optionally (re)names the
+  /// ring and refreshes the thread_local fast-path cache. Returns the ring
+  /// buffer.
   ThreadBuffer* register_thread(std::string_view name);
 
   const Config cfg_{};
@@ -113,8 +116,12 @@ class TraceCollector {
   const std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
 
-  mutable std::mutex mu_;  ///< registration, drains, counter reads
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  /// Registration, drains, counter reads. Guards the buffer *vector*
+  /// only: each ThreadBuffer's ring is an SPSC channel its owning
+  /// producer writes lock-free (the reason there is no PT_GUARDED_BY —
+  /// the pointees are deliberately accessed outside the lock).
+  mutable sync::Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ NTTPIM_GUARDED_BY(mu_);
 };
 
 }  // namespace nttpim::telemetry

@@ -1,0 +1,37 @@
+// Negative-compile case: acquiring a mutex already held — the
+// self-deadlock a std::mutex only reveals at runtime (and only on the
+// execution that actually reaches the second lock).
+#include "sync/mutex.h"
+
+namespace {
+
+nttpim::sync::Mutex mu;
+int shared_value NTTPIM_GUARDED_BY(mu) = 0;
+
+int locked_once() {
+  mu.lock();
+  const int v = ++shared_value;
+  mu.unlock();
+  return v;
+}
+
+#ifdef NTTPIM_NEGATIVE
+int locked_twice() {
+  mu.lock();
+  mu.lock();  // rejected: acquiring mutex 'mu' that is already held
+  const int v = ++shared_value;
+  mu.unlock();
+  mu.unlock();
+  return v;
+}
+#endif
+
+}  // namespace
+
+int main() {
+#ifdef NTTPIM_NEGATIVE
+  return locked_twice();
+#else
+  return locked_once();
+#endif
+}

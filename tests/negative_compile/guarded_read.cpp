@@ -1,0 +1,38 @@
+// Negative-compile case: reading a GUARDED_BY member without its mutex.
+// Control: locked reads and writes compile everywhere. Violation: the
+// bare read must be rejected by -Werror=thread-safety ("reading variable
+// requires holding mutex").
+#include "sync/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const nttpim::sync::MutexLock lk(mu_);
+    ++value_;
+  }
+  long read() const {
+    const nttpim::sync::MutexLock lk(mu_);
+    return value_;
+  }
+#ifdef NTTPIM_NEGATIVE
+  long read_unlocked() const { return value_; }  // rejected: no mu_
+#endif
+
+ private:
+  mutable nttpim::sync::Mutex mu_;
+  long value_ NTTPIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+#ifdef NTTPIM_NEGATIVE
+  return static_cast<int>(c.read_unlocked());
+#else
+  return static_cast<int>(c.read());
+#endif
+}

@@ -1,0 +1,36 @@
+// Negative-compile case: writing a GUARDED_BY member without its mutex —
+// the lost-update shape TSan can only catch if a test happens to race.
+#include "sync/mutex.h"
+
+namespace {
+
+class Gauge {
+ public:
+  void set(double v) {
+    const nttpim::sync::MutexLock lk(mu_);
+    value_ = v;
+  }
+#ifdef NTTPIM_NEGATIVE
+  void set_unlocked(double v) { value_ = v; }  // rejected: no mu_
+#endif
+  double snap() const {
+    const nttpim::sync::MutexLock lk(mu_);
+    return value_;
+  }
+
+ private:
+  mutable nttpim::sync::Mutex mu_;
+  double value_ NTTPIM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Gauge g;
+#ifdef NTTPIM_NEGATIVE
+  g.set_unlocked(1.0);
+#else
+  g.set(1.0);
+#endif
+  return g.snap() > 0 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// Negative-compile case: a manual-lock path that forgets the unlock —
+// the leak the RAII MutexLock exists to prevent, caught at compile time
+// on the rare split-scope paths that do lock by hand.
+#include "sync/mutex.h"
+
+namespace {
+
+nttpim::sync::Mutex mu;
+int shared_value NTTPIM_GUARDED_BY(mu) = 0;
+
+int balanced() {
+  mu.lock();
+  const int v = ++shared_value;
+  mu.unlock();
+  return v;
+}
+
+#ifdef NTTPIM_NEGATIVE
+int leaks_the_lock() {
+  mu.lock();
+  return ++shared_value;  // rejected: mutex 'mu' still held at exit
+}
+#endif
+
+}  // namespace
+
+int main() {
+#ifdef NTTPIM_NEGATIVE
+  return leaks_the_lock();
+#else
+  return balanced();
+#endif
+}

@@ -1,0 +1,38 @@
+// Negative-compile case: ShardQueue's externally-locked contract, checked
+// against the REAL header. Every ShardQueue accessor takes the owning
+// sync::Mutex as a parameter-capability annotated NTTPIM_REQUIRES(mu) —
+// the machine-checked form of the old "caller holds the dispatcher's
+// lock" prose. Control: the Dispatcher idiom (lock held across the call)
+// compiles everywhere. Violation: the same call without the lock must be
+// rejected ("calling function ... requires holding mutex 'mu'").
+#include <cstdint>
+
+#include "service/shard_queue.h"
+#include "sync/mutex.h"
+
+namespace {
+
+nttpim::sync::Mutex mu;
+
+std::uint64_t backlog_locked(const nttpim::service::ShardQueue& q) {
+  const nttpim::sync::MutexLock lk(mu);
+  return q.backlog_cycles(mu);
+}
+
+#ifdef NTTPIM_NEGATIVE
+std::uint64_t backlog_unlocked(const nttpim::service::ShardQueue& q) {
+  return q.backlog_cycles(mu);  // rejected: requires holding mu
+}
+#endif
+
+}  // namespace
+
+int main() {
+  nttpim::service::ShardQueue queue(/*capacity_waves=*/2,
+                                    /*num_channels=*/1);
+#ifdef NTTPIM_NEGATIVE
+  return backlog_unlocked(queue) == 0 ? 0 : 1;
+#else
+  return backlog_locked(queue) == 0 ? 0 : 1;
+#endif
+}

@@ -1,0 +1,29 @@
+// Negative-compile case: releasing a mutex the thread does not hold —
+// undefined behavior for std::mutex, rejected statically here.
+#include "sync/mutex.h"
+
+namespace {
+
+nttpim::sync::Mutex mu;
+
+void balanced() {
+  mu.lock();
+  mu.unlock();
+}
+
+#ifdef NTTPIM_NEGATIVE
+void release_without_acquire() {
+  mu.unlock();  // rejected: releasing mutex 'mu' that was not held
+}
+#endif
+
+}  // namespace
+
+int main() {
+#ifdef NTTPIM_NEGATIVE
+  release_without_acquire();
+#else
+  balanced();
+#endif
+  return 0;
+}

@@ -23,6 +23,7 @@
 #include "service/dispatcher.h"
 #include "service/ntt_service.h"
 #include "service/wave_former.h"
+#include "sync/mutex.h"
 
 namespace {
 
@@ -74,14 +75,14 @@ TEST(ServiceE2E, ConcurrentClientsMatchCpuBackend) {
           cpu.forward(expected, *params);
         if (svc.submit(std::move(poly), params, inv(inverse)).get() !=
             expected)
-          mismatches.fetch_add(1);
+          mismatches.fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
   for (auto& t : threads) t.join();
   svc.drain();
 
-  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(mismatches.load(std::memory_order_relaxed), 0u);
   const auto stats = svc.stats();
   EXPECT_EQ(stats.completed, kThreads * kRequests);
   EXPECT_EQ(stats.failed, 0u);
@@ -242,22 +243,24 @@ TEST(ServiceUnit, CallbackVariantDeliversResultAndErrors) {
   svc.submit(std::move(poly), params, inv(false),
              [&](std::vector<std::uint32_t>&& result,
                  std::exception_ptr error) {
-               ok = !error && result == expected;
+               // Relaxed flag: the latch publishes it to the waiter.
+               ok.store(!error && result == expected,
+                        std::memory_order_relaxed);
                done.count_down();
              });
   done.wait();
-  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(ok.load(std::memory_order_relaxed));
 
   svc.shutdown();
   std::latch failed(1);
   std::atomic<bool> saw_error{false};
   svc.submit(rng.residues(params->n(), params->q()), params, inv(false),
              [&](std::vector<std::uint32_t>&&, std::exception_ptr error) {
-               saw_error = error != nullptr;
+               saw_error.store(error != nullptr, std::memory_order_relaxed);
                failed.count_down();
              });
   failed.wait();
-  EXPECT_TRUE(saw_error.load());
+  EXPECT_TRUE(saw_error.load(std::memory_order_relaxed));
 }
 
 // Synchronous argument validation happens at the submit() call site.
@@ -346,11 +349,11 @@ TEST(ServiceUnit, WaveFormerTimeoutUsesCurrentFrontDeadline) {
   cfg.flush_window = std::chrono::microseconds(100);
   cfg.clock = [&] {
     return service::ServiceClock::time_point(
-        std::chrono::microseconds(fake_us.load()));
+        std::chrono::microseconds(fake_us.load(std::memory_order_relaxed)));
   };
   service::WaveFormer former(cfg);
 
-  std::mutex waves_mu;
+  sync::Mutex waves_mu;
   std::vector<std::vector<std::uint32_t>> waves;  // request tags per wave
   auto consume = [&] {
     for (;;) {
@@ -359,7 +362,7 @@ TEST(ServiceUnit, WaveFormerTimeoutUsesCurrentFrontDeadline) {
       std::vector<std::uint32_t> tags;
       for (const auto& r : wave) tags.push_back(r.a[0]);
       {
-        const std::scoped_lock lk(waves_mu);
+        const sync::MutexLock lk(waves_mu);
         waves.push_back(std::move(tags));
       }
       // Promises resolve only after the wave is published, so a test
@@ -381,7 +384,7 @@ TEST(ServiceUnit, WaveFormerTimeoutUsesCurrentFrontDeadline) {
 
   // Front 0 flushes alone, but only once its own window has elapsed.
   auto f0 = submit(0);
-  fake_us = 100;
+  fake_us.store(100, std::memory_order_relaxed);
   former.tick();
   f0.get();
 
@@ -410,7 +413,7 @@ struct Harness {
   explicit Harness(service::WaveFormer::Config cfg) {
     cfg.clock = [this] {
       return service::ServiceClock::time_point(
-          std::chrono::microseconds(fake_us.load()));
+          std::chrono::microseconds(fake_us.load(std::memory_order_relaxed)));
     };
     former.emplace(cfg);
   }
@@ -479,7 +482,7 @@ TEST(ServiceUnit, WaveFormerEdfCutsByDeadlineThenPriorityThenArrival) {
 
   // Remainder {0, 2} has no deadline: it waits out the full window
   // (enqueued at t=0) and flushes in arrival order.
-  h.fake_us = 100;
+  h.fake_us.store(100, std::memory_order_relaxed);
   h.former->tick();
   f0.get();
   f2.get();
@@ -509,7 +512,7 @@ TEST(ServiceUnit, WaveFormerEdfDeadlineTightensFlushWindow) {
   std::thread consumer;
   std::vector<std::vector<std::uint32_t>> waves;
   consumer = std::thread([&] { waves = h.run_consumer_to_close(); });
-  h.fake_us = 40;
+  h.fake_us.store(40, std::memory_order_relaxed);
   h.former->tick();
   f0.get();
   f1.get();
@@ -543,9 +546,9 @@ TEST(ServiceUnit, WaveFormerWithoutEdfIgnoresDeadlines) {
   f1.get();
   // The deadlined leftover must wait out the *window* (no EDF tightening):
   // fake time 50 is past both deadlines but must not flush it.
-  h.fake_us = 50;
+  h.fake_us.store(50, std::memory_order_relaxed);
   h.former->tick();
-  h.fake_us = 100;
+  h.fake_us.store(100, std::memory_order_relaxed);
   h.former->tick();
   f2.get();
 
@@ -570,7 +573,7 @@ TEST(ServiceUnit, AdmissionTokenBucketRefillExactness) {
   };
   cfg.clock = [&] {
     return service::ServiceClock::time_point(
-        std::chrono::microseconds(fake_us.load()));
+        std::chrono::microseconds(fake_us.load(std::memory_order_relaxed)));
   };
   service::AdmissionController adm(std::move(cfg));
 
@@ -581,20 +584,20 @@ TEST(ServiceUnit, AdmissionTokenBucketRefillExactness) {
   EXPECT_DOUBLE_EQ(adm.tokens(0), 0.0);
 
   // 500 ms at 2/sec refills exactly one token; 250 ms more only half.
-  fake_us = 500000;
+  fake_us.store(500000, std::memory_order_relaxed);
   EXPECT_EQ(adm.admit(0), Decision::kAdmit);
   EXPECT_EQ(adm.admit(0), Decision::kShed);
-  fake_us = 750000;
+  fake_us.store(750000, std::memory_order_relaxed);
   EXPECT_EQ(adm.admit(0), Decision::kShed);
   EXPECT_DOUBLE_EQ(adm.tokens(0), 0.5);
   // A long idle stretch refills to the burst cap, never beyond.
-  fake_us = 10000000;
+  fake_us.store(10000000, std::memory_order_relaxed);
   EXPECT_DOUBLE_EQ(adm.tokens(0), 2.0);
 
   // Tenant 1: rate 0 is a deterministic lifetime cap of `burst`.
   for (int i = 0; i < 3; ++i) EXPECT_EQ(adm.admit(1), Decision::kAdmit);
   EXPECT_EQ(adm.admit(1), Decision::kShed);
-  fake_us = 20000000;
+  fake_us.store(20000000, std::memory_order_relaxed);
   EXPECT_EQ(adm.admit(1), Decision::kShed);
 
   // Tenant 2 (burst <= 0) and tenant 9 (unconfigured) always admit.
@@ -729,6 +732,48 @@ TEST(ServiceUnit, DispatcherCloseReleasesBlockedDispatch) {
   EXPECT_EQ(dispatch_test::tag_of(first->requests), 0u);
   EXPECT_EQ(dispatch_test::tag_of(second->requests), 1u);
   EXPECT_FALSE(dispatcher.next_wave_for(0).has_value());
+}
+
+// Regression: a shard's total and per-channel backlog gauges must come
+// from one lock acquisition (backlog_snapshot), so they always tile —
+// total == sum over channels — instead of the separate backlog_cycles()
+// calls stats() used to make, between which a wave could land or retire.
+TEST(ServiceUnit, DispatcherBacklogSnapshotTiles) {
+  service::Dispatcher::Config cfg;
+  cfg.shards.resize(1);
+  cfg.shards[0].channels = 2;
+  cfg.queue_capacity_waves = 4;
+  cfg.cost_aware = true;  // least-backlogged channel: 100 -> ch0, 60 -> ch1
+  service::Dispatcher dispatcher(
+      cfg, [](std::size_t, std::vector<service::Request>& wave) {
+        return std::uint64_t{dispatch_test::tag_of(wave) == 0 ? 100u : 60u};
+      });
+  dispatcher.dispatch(dispatch_test::tagged_wave(0));
+  dispatcher.dispatch(dispatch_test::tagged_wave(1));
+  dispatcher.dispatch(dispatch_test::tagged_wave(2));  // 60 -> lighter ch1
+
+  const auto snap = dispatcher.backlog_snapshot(0);
+  ASSERT_EQ(snap.channel_cycles.size(), 2u);
+  EXPECT_EQ(snap.total_cycles, 220u);
+  EXPECT_EQ(snap.channel_cycles[0] + snap.channel_cycles[1],
+            snap.total_cycles);
+  // Consistent with the single-gauge accessors under quiescence.
+  EXPECT_EQ(snap.total_cycles, dispatcher.backlog_cycles(0));
+  EXPECT_EQ(snap.channel_cycles[0], dispatcher.backlog_cycles(0, 0));
+  EXPECT_EQ(snap.channel_cycles[1], dispatcher.backlog_cycles(0, 1));
+
+  // Executing work stays in the total until complete() retires it, on the
+  // channel that began it.
+  auto group = dispatcher.next_waves_for(0);
+  ASSERT_EQ(group.size(), 2u);  // one wave per channel
+  const auto executing = dispatcher.backlog_snapshot(0);
+  EXPECT_EQ(executing.total_cycles, 220u);
+  for (const auto& w : group)
+    dispatcher.complete(0, w.estimated_cycles, w.channel);
+  const auto after = dispatcher.backlog_snapshot(0);
+  EXPECT_EQ(after.total_cycles, 60u);  // the third wave still queued
+  EXPECT_EQ(after.channel_cycles[0] + after.channel_cycles[1], 60u);
+  dispatcher.close();
 }
 
 // Heterogeneous routing: with per-shard estimators, cost-aware dispatch
@@ -1127,7 +1172,7 @@ TEST(ServiceProperty, StealingConservesRequestsUnderSkewedLoad) {
                  [&, id](std::vector<std::uint32_t>&& result,
                          std::exception_ptr error) {
                    if (!error && !result.empty())
-                     delivered[id].fetch_add(1);
+                     delivered[id].fetch_add(1, std::memory_order_relaxed);
                    done.count_down();
                  });
     }
@@ -1137,7 +1182,7 @@ TEST(ServiceProperty, StealingConservesRequestsUnderSkewedLoad) {
   svc.drain();
 
   for (std::size_t id = 0; id < kTotal; ++id)
-    EXPECT_EQ(delivered[id].load(), 1) << "request " << id;
+    EXPECT_EQ(delivered[id].load(std::memory_order_relaxed), 1) << "request " << id;
   const auto stats = svc.stats();
   EXPECT_EQ(stats.completed, kTotal);
   EXPECT_EQ(stats.failed, 0u);
@@ -1165,7 +1210,7 @@ TEST(ServiceProperty, WaveFormerConservesRequestsUnderConcurrency) {
   std::atomic<std::uint64_t> consumed{0};
   std::atomic<std::uint64_t> oversized_waves{0};
   std::vector<std::uint8_t> seen(kProducers * kPerProducer, 0);
-  std::mutex seen_mu;
+  sync::Mutex seen_mu;
 
   std::vector<std::thread> consumers;
   for (int c = 0; c < 2; ++c) {
@@ -1173,12 +1218,12 @@ TEST(ServiceProperty, WaveFormerConservesRequestsUnderConcurrency) {
       for (;;) {
         auto wave = former.next_wave();
         if (wave.empty()) return;
-        if (wave.size() > cfg.max_wave_items) oversized_waves.fetch_add(1);
-        const std::scoped_lock lk(seen_mu);
+        if (wave.size() > cfg.max_wave_items) oversized_waves.fetch_add(1, std::memory_order_relaxed);
+        const sync::MutexLock lk(seen_mu);
         for (auto& r : wave) {
           ++seen[r.a[0]];
           r.promise.set_value({});
-          consumed.fetch_add(1);
+          consumed.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
@@ -1202,8 +1247,8 @@ TEST(ServiceProperty, WaveFormerConservesRequestsUnderConcurrency) {
   former.close();
   for (auto& t : consumers) t.join();
 
-  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
-  EXPECT_EQ(oversized_waves.load(), 0u);
+  EXPECT_EQ(consumed.load(std::memory_order_relaxed), kProducers * kPerProducer);
+  EXPECT_EQ(oversized_waves.load(std::memory_order_relaxed), 0u);
   for (const auto count : seen) EXPECT_EQ(count, 1);
 }
 
@@ -1244,7 +1289,7 @@ TEST(ServiceE2E, MixedBackendShardsMatchCpuReference) {
           cpu.inverse(expected, *params);
           if (svc.submit_multiply(std::move(a), std::move(b), params).get() !=
               expected)
-            mismatches.fetch_add(1);
+            mismatches.fetch_add(1, std::memory_order_relaxed);
         } else {
           const bool inverse = r % 3 == 0;
           auto poly = rng.residues(params->n(), params->q());
@@ -1255,7 +1300,7 @@ TEST(ServiceE2E, MixedBackendShardsMatchCpuReference) {
             cpu.forward(expected, *params);
           if (svc.submit(std::move(poly), params, inv(inverse)).get() !=
               expected)
-            mismatches.fetch_add(1);
+            mismatches.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
@@ -1263,7 +1308,7 @@ TEST(ServiceE2E, MixedBackendShardsMatchCpuReference) {
   for (auto& t : threads) t.join();
   svc.drain();
 
-  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(mismatches.load(std::memory_order_relaxed), 0u);
   const auto stats = svc.stats();
   EXPECT_EQ(stats.completed, kThreads * kRequests);
   EXPECT_EQ(stats.failed, 0u);
@@ -1303,7 +1348,7 @@ TEST(ServiceProperty, HeteroStealingConservesRequests) {
       svc.submit(rng.residues(params->n(), params->q()), params, inv(false),
                  [&, id](std::vector<std::uint32_t>&& result,
                          std::exception_ptr error) {
-                   if (!error && !result.empty()) delivered[id].fetch_add(1);
+                   if (!error && !result.empty()) delivered[id].fetch_add(1, std::memory_order_relaxed);
                    done.count_down();
                  });
     }
@@ -1313,7 +1358,7 @@ TEST(ServiceProperty, HeteroStealingConservesRequests) {
   svc.drain();
 
   for (std::size_t id = 0; id < kTotal; ++id)
-    EXPECT_EQ(delivered[id].load(), 1) << "request " << id;
+    EXPECT_EQ(delivered[id].load(std::memory_order_relaxed), 1) << "request " << id;
   const auto stats = svc.stats();
   EXPECT_EQ(stats.completed, kTotal);
   EXPECT_EQ(stats.failed, 0u);

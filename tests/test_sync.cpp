@@ -1,0 +1,142 @@
+// Tests of the annotated synchronization layer (src/sync/): the wrappers
+// must behave exactly like the std primitives they carry — the TSA
+// annotations are compile-time only — and ThreadConfined must enforce the
+// single-driver contract in debug builds while staying a plain value in
+// release builds.
+//
+// Sleep-free like every test in the repo: synchronization is joins,
+// condition handshakes, and latches, never wall time.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sync/mutex.h"
+#include "sync/thread_confined.h"
+
+namespace {
+
+using namespace nttpim;
+
+// Mutual exclusion: racing unlocked increments of a plain int would lose
+// updates (and trip TSan); under the wrapper every update lands.
+TEST(SyncMutex, MutexLockProvidesMutualExclusion) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  sync::Mutex mu;
+  std::int64_t counter = 0;  // guarded by mu (test-local, no annotation)
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        const sync::MutexLock lk(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(SyncMutex, TryLockReportsContention) {
+  sync::Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // Another thread must fail while we hold it (same-thread re-try_lock is
+  // UB for std::mutex, so probe from a helper).
+  bool second = true;
+  std::thread probe([&] { second = mu.try_lock(); });
+  probe.join();
+  EXPECT_FALSE(second);
+  mu.unlock();
+  std::thread retry([&] {
+    if (mu.try_lock()) mu.unlock();
+  });
+  retry.join();
+}
+
+TEST(SyncMutex, MutexLockSupportsManualUnlockRelock) {
+  sync::Mutex mu;
+  sync::MutexLock lk(mu);
+  lk.unlock();
+  // While released, a helper thread can take and drop the mutex.
+  std::thread helper([&] { const sync::MutexLock inner(mu); });
+  helper.join();
+  lk.lock();  // destructor releases the re-acquired lock
+}
+
+// The producer/consumer handshake every converted wait loop in the repo
+// uses: explicit `while (!pred) cv.wait(lk)` (the layer deliberately has
+// no predicate overload — see sync/mutex.h).
+TEST(SyncCondVar, WaitNotifyHandshake) {
+  sync::Mutex mu;
+  sync::CondVar cv;
+  int stage = 0;  // 0 -> 1 (main publishes), 1 -> 2 (worker replies)
+
+  std::thread worker([&] {
+    sync::MutexLock lk(mu);
+    while (stage != 1) cv.wait(lk);
+    stage = 2;
+    cv.notify_all();
+  });
+  {
+    sync::MutexLock lk(mu);
+    stage = 1;
+    cv.notify_all();
+    while (stage != 2) cv.wait(lk);
+  }
+  worker.join();
+  EXPECT_EQ(stage, 2);
+}
+
+TEST(SyncCondVar, WaitForTimesOutWithoutNotify) {
+  sync::Mutex mu;
+  sync::CondVar cv;
+  sync::MutexLock lk(mu);
+  // Nobody notifies: the deadline must bound the wait (a generous bound —
+  // the assertion is termination, not timing).
+  EXPECT_EQ(cv.wait_for(lk, std::chrono::milliseconds(1)),
+            std::cv_status::timeout);
+}
+
+TEST(SyncThreadConfined, OwnerThreadAccessesValue) {
+  sync::ThreadConfined<std::vector<int>> boxed(3, 7);  // forwarded ctor
+  EXPECT_EQ(boxed->size(), 3u);
+  EXPECT_EQ((*boxed)[0], 7);
+  boxed->push_back(9);
+  EXPECT_EQ(boxed.get().back(), 9);
+}
+
+// Handoff: construct on this thread, adopt on the worker (the join/start
+// edge is the required external synchronization), drive there, adopt back.
+TEST(SyncThreadConfined, RebindOwnerTransfersConfinement) {
+  sync::ThreadConfined<int> boxed(1);
+  std::thread worker([&] {
+    boxed.rebind_owner();
+    *boxed += 1;
+  });
+  worker.join();
+  boxed.rebind_owner();
+  EXPECT_EQ(*boxed, 2);
+}
+
+#ifndef NDEBUG
+// Debug builds (the ASan/TSan CI jobs) must catch an off-owner access —
+// the checked half of the single-driver contract. Compiled out in
+// release, where the wrapper is a plain value.
+TEST(SyncThreadConfinedDeathTest, OffOwnerAccessAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sync::ThreadConfined<int> boxed(1);
+        std::thread offender([&] { (void)*boxed; });
+        offender.join();
+      },
+      "owner thread");
+}
+#endif
+
+}  // namespace

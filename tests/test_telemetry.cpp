@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -118,11 +119,13 @@ TEST(TraceCollectorConcurrency, ConcurrentProducerAndDrainer) {
     for (std::uint64_t i = 0; i < kTotal; ++i)
       collector.emit(event_at(static_cast<std::int64_t>(i),
                               EventKind::kSubmit, i));
-    done.store(true);
+    // Relaxed: a termination flag only — the join below is the real
+    // synchronization, and the post-join drain picks up stragglers.
+    done.store(true, std::memory_order_relaxed);
   });
 
   std::vector<TraceEvent> received;
-  while (!done.load()) {
+  while (!done.load(std::memory_order_relaxed)) {
     for (const auto& thread : collector.drain().threads)
       received.insert(received.end(), thread.events.begin(),
                       thread.events.end());
@@ -201,6 +204,76 @@ TEST(TraceCollectorGating, ThreadNamesLabelTracks) {
   }
   EXPECT_EQ(names, (std::set<std::string>{"dispatcher", "shard-0"}));
   EXPECT_EQ(tids, (std::set<std::uint64_t>{1, 2}));
+}
+
+// Regression (thread-id reuse): rings are registered by the collector's
+// own monotone ids, never by std::thread::id, which the OS recycles. A
+// sequence of short-lived named threads — glibc reuses the joined
+// thread's id almost immediately — must each get a distinct track with
+// its own name; the old id-keyed registry silently merged them, with the
+// newest name overwriting the dead thread's track.
+TEST(TraceCollectorGating, RecycledThreadIdsGetDistinctTracks) {
+  TraceCollector collector({/*enabled=*/true, /*ring_capacity=*/16});
+  constexpr int kThreads = 4;
+  for (int i = 0; i < kThreads; ++i) {
+    std::thread t([&, i] {
+      collector.set_thread_name("worker-" + std::to_string(i));
+      collector.emit(event_at(i, EventKind::kSubmit,
+                              static_cast<std::uint64_t>(i)));
+    });
+    t.join();  // the next thread may be handed this one's recycled id
+  }
+
+  EXPECT_EQ(collector.thread_count(), static_cast<std::size_t>(kThreads));
+  const auto snap = collector.drain();
+  ASSERT_EQ(snap.threads.size(), static_cast<std::size_t>(kThreads));
+  std::set<std::string> names;
+  for (const auto& t : snap.threads) {
+    ASSERT_EQ(t.events.size(), 1u) << t.name;
+    names.insert(t.name);
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kThreads));
+}
+
+// Regression (collector alternation): a thread emitting into two live
+// collectors keeps exactly one ring in each — re-registration must find
+// the existing ring via the per-collector registry, not allocate a
+// duplicate — and each collector receives exactly its own events. Also
+// covers the stale-cache case: a collector constructed after another was
+// destroyed must never adopt the dead collector's cached ring.
+TEST(TraceCollectorGating, AlternatingCollectorsKeepStableRings) {
+  auto first = std::make_unique<TraceCollector>(
+      TraceCollector::Config{/*enabled=*/true, /*ring_capacity=*/16});
+  TraceCollector second({/*enabled=*/true, /*ring_capacity=*/16});
+  std::thread worker([&] {
+    first->emit(event_at(1, EventKind::kSubmit, 1));
+    second.emit(event_at(2, EventKind::kSubmit, 2));
+    first->emit(event_at(3, EventKind::kSubmit, 3));
+    second.emit(event_at(4, EventKind::kSubmit, 4));
+    first->emit(event_at(5, EventKind::kSubmit, 5));
+  });
+  worker.join();
+
+  EXPECT_EQ(first->thread_count(), 1u);
+  EXPECT_EQ(second.thread_count(), 1u);
+  EXPECT_EQ(first->total_events(), 3u);
+  EXPECT_EQ(second.total_events(), 2u);
+
+  // Stale-cache case, exercised from *this* thread so its thread_local
+  // registry really holds an entry for the collector being destroyed: a
+  // collector constructed afterwards must register a fresh ring, never
+  // adopt the dead collector's.
+  first->emit(event_at(6, EventKind::kSubmit, 6));
+  EXPECT_EQ(first->thread_count(), 2u);
+  first.reset();
+  TraceCollector third({/*enabled=*/true, /*ring_capacity=*/16});
+  third.emit(event_at(7, EventKind::kSubmit, 7));
+  EXPECT_EQ(third.thread_count(), 1u);
+  EXPECT_EQ(third.total_events(), 1u);
+  const auto snap = third.drain();
+  ASSERT_EQ(snap.threads.size(), 1u);
+  ASSERT_EQ(snap.threads[0].events.size(), 1u);
+  EXPECT_EQ(snap.threads[0].events[0].seq, 7u);
 }
 
 // -------------------------------------------- service instrumentation
